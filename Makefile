@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: test vet bench bench-full fuzz examples clean
+
+test:
+	go test ./...
+
+vet:
+	gofmt -l . && go vet ./...
+
+# The per-table/figure benchmarks at test scale.
+bench:
+	go test -bench=. -benchmem ./...
+
+# The full-scale experiment suite (Tables 1-3, Figure 8, ablations).
+bench-full:
+	go run ./cmd/vxbench -work bench-work all
+
+fuzz:
+	go test -fuzz FuzzParse -fuzztime 30s ./internal/xq/
+	go test -fuzz FuzzParseSerialize -fuzztime 30s ./internal/xmlmodel/
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/bibjoin
+	go run ./examples/treebank
+	go run ./examples/skyserver
+	go run ./examples/extensions
+
+clean:
+	rm -rf bench-work

@@ -1,0 +1,229 @@
+// Command vxstore manages vectorized XML repositories: vectorize a
+// document, reconstruct it, inspect its statistics, and run XQ queries
+// with the graph-reduction engine.
+//
+// Usage:
+//
+//	vxstore vectorize -repo DIR file.xml     decompose a document into (S,V)
+//	vxstore append -repo DIR fragment.xml    append a fragment's children
+//	vxstore reconstruct -repo DIR            emit the stored document as XML
+//	vxstore stats -repo DIR                  skeleton/vector statistics
+//	vxstore query -repo DIR [-explain] 'for $x in ... return ...'
+//	vxstore query -repo DIR -f query.xq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vxml/internal/core"
+	"vxml/internal/qgraph"
+	"vxml/internal/vector"
+	"vxml/internal/vectorize"
+	"vxml/internal/xq"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "vectorize":
+		err = cmdVectorize(os.Args[2:])
+	case "reconstruct":
+		err = cmdReconstruct(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "append":
+		err = cmdAppend(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vxstore:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  vxstore vectorize -repo DIR file.xml
+  vxstore append -repo DIR fragment.xml
+  vxstore reconstruct -repo DIR
+  vxstore stats -repo DIR
+  vxstore query -repo DIR [-explain] [-f query.xq | 'query text']`)
+}
+
+func cmdVectorize(args []string) error {
+	fs := flag.NewFlagSet("vectorize", flag.ExitOnError)
+	repoDir := fs.String("repo", "", "repository directory to create")
+	pool := fs.Int("pool", 8192, "buffer pool pages")
+	compress := fs.Bool("compress", false, "DEFLATE-compress data vectors per page")
+	fs.Parse(args)
+	if *repoDir == "" || fs.NArg() != 1 {
+		return fmt.Errorf("vectorize needs -repo DIR and one XML file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	repo, err := vectorize.Create(f, *repoDir, vectorize.Options{PoolPages: *pool, Compress: *compress})
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+	fmt.Printf("vectorized %s into %s\n", fs.Arg(0), *repoDir)
+	return printStats(repo)
+}
+
+func openRepo(fs *flag.FlagSet, repoDir *string, pool *int) (*vectorize.Repository, error) {
+	if *repoDir == "" {
+		return nil, fmt.Errorf("missing -repo DIR")
+	}
+	return vectorize.Open(*repoDir, vectorize.Options{PoolPages: *pool})
+}
+
+func cmdReconstruct(args []string) error {
+	fs := flag.NewFlagSet("reconstruct", flag.ExitOnError)
+	repoDir := fs.String("repo", "", "repository directory")
+	pool := fs.Int("pool", 8192, "buffer pool pages")
+	fs.Parse(args)
+	repo, err := openRepo(fs, repoDir, pool)
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+	return repo.WriteXML(os.Stdout)
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	repoDir := fs.String("repo", "", "repository directory")
+	pool := fs.Int("pool", 8192, "buffer pool pages")
+	verbose := fs.Bool("v", false, "list every vector")
+	fs.Parse(args)
+	repo, err := openRepo(fs, repoDir, pool)
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+	if err := printStats(repo); err != nil {
+		return err
+	}
+	if *verbose {
+		for _, name := range repo.Vectors.Names() {
+			v, err := repo.Vectors.Vector(name)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-60s %8d values\n", name, v.Len())
+		}
+	}
+	return nil
+}
+
+func printStats(repo *vectorize.Repository) error {
+	fmt.Printf("document nodes:  %d\n", repo.Skel.ExpandedSize())
+	fmt.Printf("skeleton nodes:  %d\n", repo.Skel.NumNodes())
+	fmt.Printf("skeleton edges:  %d\n", repo.Skel.NumEdges())
+	fmt.Printf("vectors:         %d\n", len(repo.Vectors.Names()))
+	if set, ok := repo.Vectors.(*vector.DiskSet); ok {
+		fmt.Printf("vector bytes:    %d\n", set.CatalogBytes())
+	}
+	fmt.Printf("compression:     %.1fx (nodes per skeleton node)\n",
+		float64(repo.Skel.ExpandedSize())/float64(repo.Skel.NumNodes()))
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	repoDir := fs.String("repo", "", "repository directory")
+	pool := fs.Int("pool", 8192, "buffer pool pages")
+	file := fs.String("f", "", "read the query from a file")
+	explain := fs.Bool("explain", false, "print the query graph and plan instead of running")
+	stats := fs.Bool("stats", false, "print evaluation statistics to stderr")
+	fs.Parse(args)
+
+	var src string
+	switch {
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	case fs.NArg() == 1:
+		src = fs.Arg(0)
+	default:
+		return fmt.Errorf("query needs -f FILE or one query argument")
+	}
+
+	q, err := xq.Parse(src)
+	if err != nil {
+		return err
+	}
+	plan, err := qgraph.Build(q)
+	if err != nil {
+		return err
+	}
+	if *explain {
+		fmt.Println("query graph:")
+		fmt.Print(qgraph.GraphOf(plan).String())
+		fmt.Println("\nreduction plan:")
+		fmt.Println(plan.String())
+		return nil
+	}
+
+	repo, err := openRepo(fs, repoDir, pool)
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+	eng := core.NewEngine(repo.Skel, repo.Classes, repo.Vectors, repo.Syms, core.Options{})
+	res, err := eng.Eval(plan)
+	if err != nil {
+		return err
+	}
+	if err := vectorize.ReconstructXML(res.Skel, res.Classes, res.Vectors, res.Syms, os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if *stats {
+		s := eng.Stats()
+		fmt.Fprintf(os.Stderr, "tuples=%d vectors-opened=%d values-scanned=%d rows=%d\n",
+			s.Tuples, s.VectorsOpened, s.ValuesScanned, s.RowsProduced)
+	}
+	return nil
+}
+
+func cmdAppend(args []string) error {
+	fs := flag.NewFlagSet("append", flag.ExitOnError)
+	repoDir := fs.String("repo", "", "repository directory")
+	pool := fs.Int("pool", 8192, "buffer pool pages")
+	fs.Parse(args)
+	if *repoDir == "" || fs.NArg() != 1 {
+		return fmt.Errorf("append needs -repo DIR and one XML fragment file")
+	}
+	repo, err := openRepo(fs, repoDir, pool)
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := repo.Append(f); err != nil {
+		return err
+	}
+	fmt.Printf("appended %s\n", fs.Arg(0))
+	return printStats(repo)
+}

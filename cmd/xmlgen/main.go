@@ -1,0 +1,69 @@
+// Command xmlgen generates the synthetic datasets of the experiment suite
+// (XMark-like auctions, TreeBank-like parse trees, MedLine-like citations,
+// SkyServer-like wide tables) as XML on stdout or into a file.
+//
+// Usage:
+//
+//	xmlgen -kind xmark -scale 1.0 [-seed N] [-o out.xml]
+//	xmlgen -kind treebank -sentences 30000
+//	xmlgen -kind medline -citations 60000
+//	xmlgen -kind skyserver -rows 20000 -cols 368
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"vxml/internal/datagen"
+)
+
+func main() {
+	kind := flag.String("kind", "", "xmark | treebank | medline | skyserver")
+	out := flag.String("o", "", "output file (default stdout)")
+	seed := flag.Int64("seed", 1, "random seed")
+	scale := flag.Float64("scale", 1.0, "xmark scale factor")
+	sentences := flag.Int("sentences", 30000, "treebank sentences")
+	citations := flag.Int("citations", 60000, "medline citations")
+	rows := flag.Int("rows", 20000, "skyserver rows")
+	cols := flag.Int("cols", 368, "skyserver columns")
+	neighbors := flag.Int("neighbors", 0, "skyserver neighbor rows (default rows/2)")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+
+	var err error
+	switch *kind {
+	case "xmark":
+		err = datagen.XMark{Scale: *scale, Seed: *seed}.Generate(w)
+	case "treebank":
+		err = datagen.TreeBank{Sentences: *sentences, Seed: *seed}.Generate(w)
+	case "medline":
+		err = datagen.MedLine{Citations: *citations, Seed: *seed}.Generate(w)
+	case "skyserver":
+		err = datagen.SkyServerDB{Rows: *rows, Cols: *cols, NeighborRows: *neighbors, Seed: *seed}.Generate(w)
+	default:
+		err = fmt.Errorf("unknown -kind %q (want xmark, treebank, medline or skyserver)", *kind)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xmlgen:", err)
+	os.Exit(1)
+}

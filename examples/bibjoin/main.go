@@ -1,0 +1,74 @@
+// Bibjoin: an end-to-end join with result templates. Two document
+// collections (citations and annotations) live under one root; a
+// cross-collection value join pairs them, and an element template shapes
+// the output, which round-trips through its vectorized representation
+// back to XML text.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"vxml/internal/core"
+	"vxml/internal/qgraph"
+	"vxml/internal/vectorize"
+	"vxml/internal/xmlmodel"
+	"vxml/internal/xq"
+)
+
+const db = `<library>
+  <catalog>
+    <entry><isbn>1-55860-622-X</isbn><title>Data on the Web</title><year>1999</year></entry>
+    <entry><isbn>0-201-53771-0</isbn><title>Foundations of Databases</title><year>1995</year></entry>
+    <entry><isbn>1-55860-438-3</isbn><title>Readings in Database Systems</title><year>1998</year></entry>
+  </catalog>
+  <reviews>
+    <review><isbn>1-55860-622-X</isbn><score>9</score><blurb>web data classic</blurb></review>
+    <review><isbn>0-201-53771-0</isbn><score>10</score><blurb>the alice book</blurb></review>
+    <review><isbn>1-55860-622-X</isbn><score>7</score><blurb>aging but useful</blurb></review>
+    <review><isbn>9-99999-999-9</isbn><score>2</score><blurb>dangling reference</blurb></review>
+  </reviews>
+</library>`
+
+const query = `<reviewed>
+for $e in /library/catalog/entry,
+    $r in /library/reviews/review
+where $e/isbn = $r/isbn and $r/score >= 8
+return <match>{$e/title}{$r/score}</match>
+</reviewed>`
+
+func main() {
+	syms := xmlmodel.NewSymbols()
+	repo, err := vectorize.FromString(db, syms)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q := xq.MustParse(query)
+	plan, err := qgraph.Build(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plan:")
+	fmt.Println(plan.String())
+
+	eng := core.NewEngine(repo.Skel, repo.Classes, repo.Vectors, syms, core.Options{})
+	res, err := eng.Eval(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nresult:")
+	if err := vectorize.ReconstructXML(res.Skel, res.Classes, res.Vectors, syms, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// The result is itself a vectorized document: list its vectors.
+	fmt.Println("\nresult vectors:")
+	for _, name := range res.Vectors.Names() {
+		v, _ := res.Vectors.Vector(name)
+		fmt.Printf("  %-28s %d values\n", name, v.Len())
+	}
+}

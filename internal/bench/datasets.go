@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"vxml/internal/datagen"
+	"vxml/internal/vectorize"
+)
+
+// Config sizes the experiment. Defaults (applied by New) target a few
+// hundred MB of XML total — the paper's gigabyte datasets scaled to a
+// laptop; Quick() shrinks everything for tests.
+type Config struct {
+	WorkDir string
+
+	XKScale        float64 // XMark scale factor (Table 1 used 1 and 10)
+	TBSentences    int
+	MLCitations    int
+	SSRows         int
+	SSCols         int
+	SSNeighborRows int
+
+	PoolPages int // buffer pool per opened store
+
+	// Failure models (Table 2): GX loads the whole document in memory and
+	// fails above GXMaxBytes; the document store fails to load above
+	// DSMaxBytes; Timeout aborts runaway evaluations.
+	GXMaxBytes int64
+	DSMaxBytes int64
+	Timeout    time.Duration
+
+	Seed int64
+}
+
+// New fills defaults and returns a harness rooted at cfg.WorkDir.
+func New(cfg Config) *Harness {
+	if cfg.WorkDir == "" {
+		cfg.WorkDir = "bench-work"
+	}
+	if cfg.XKScale == 0 {
+		cfg.XKScale = 1
+	}
+	if cfg.TBSentences == 0 {
+		cfg.TBSentences = 4000
+	}
+	if cfg.MLCitations == 0 {
+		cfg.MLCitations = 60000
+	}
+	if cfg.SSRows == 0 {
+		cfg.SSRows = 20000
+	}
+	if cfg.SSCols == 0 {
+		cfg.SSCols = 368
+	}
+	if cfg.SSNeighborRows == 0 {
+		cfg.SSNeighborRows = cfg.SSRows / 2
+	}
+	if cfg.PoolPages == 0 {
+		cfg.PoolPages = 8192 // 64 MiB
+	}
+	if cfg.GXMaxBytes == 0 {
+		cfg.GXMaxBytes = 24 << 20
+	}
+	if cfg.DSMaxBytes == 0 {
+		cfg.DSMaxBytes = 48 << 20
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 120 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 20050405 // the paper's ICDE year and month
+	}
+	return &Harness{Cfg: cfg, datasets: map[string]*Dataset{}}
+}
+
+// Quick returns a configuration small enough for unit tests (a few MB).
+func Quick(workDir string) Config {
+	return Config{
+		WorkDir:     workDir,
+		XKScale:     0.2,
+		TBSentences: 500,
+		MLCitations: 2000,
+		SSRows:      500,
+		SSCols:      40,
+		PoolPages:   2048,
+		GXMaxBytes:  1 << 30,
+		DSMaxBytes:  1 << 30,
+		Timeout:     60 * time.Second,
+	}
+}
+
+// Harness prepares datasets lazily and runs the experiments.
+type Harness struct {
+	Cfg      Config
+	datasets map[string]*Dataset
+}
+
+// Dataset is one prepared dataset: the generated XML file and its
+// vectorized repository. Baseline loads (docstore, associations,
+// relational tables) are built on first use by their runners.
+type Dataset struct {
+	ID       DatasetID
+	XMLPath  string
+	XMLBytes int64
+	RepoDir  string
+
+	h  *Harness
+	ds *dsState
+	cr *crState
+	rr *rrState
+}
+
+// Dataset generates (or reuses) a dataset and its vectorized repository.
+func (h *Harness) Dataset(id DatasetID) (*Dataset, error) {
+	return h.datasetScaled(id, 0)
+}
+
+// datasetScaled supports Figure 8's XMark sweep: scaleOverride > 0 swaps
+// the XK scale factor (other datasets ignore it).
+func (h *Harness) datasetScaled(id DatasetID, scaleOverride float64) (*Dataset, error) {
+	key := string(id)
+	if scaleOverride > 0 {
+		key = fmt.Sprintf("%s@%g", id, scaleOverride)
+	}
+	if d, ok := h.datasets[key]; ok {
+		return d, nil
+	}
+	dir := filepath.Join(h.Cfg.WorkDir, key)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	d := &Dataset{ID: id, XMLPath: filepath.Join(dir, "data.xml"), RepoDir: filepath.Join(dir, "repo"), h: h}
+
+	// Generate XML if absent.
+	if st, err := os.Stat(d.XMLPath); err == nil && st.Size() > 0 {
+		d.XMLBytes = st.Size()
+	} else {
+		f, err := os.Create(d.XMLPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := h.generate(id, scaleOverride, f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		st, err := os.Stat(d.XMLPath)
+		if err != nil {
+			return nil, err
+		}
+		d.XMLBytes = st.Size()
+	}
+
+	// Vectorize if absent. A partial repository from an earlier failure is
+	// removed first (skeleton.bin is written last, so its presence marks a
+	// complete repository).
+	if _, err := os.Stat(filepath.Join(d.RepoDir, "skeleton.bin")); err != nil {
+		if err := os.RemoveAll(d.RepoDir); err != nil {
+			return nil, err
+		}
+		f, err := os.Open(d.XMLPath)
+		if err != nil {
+			return nil, err
+		}
+		repo, err := vectorize.Create(f, d.RepoDir, vectorize.Options{PoolPages: h.Cfg.PoolPages})
+		f.Close()
+		if err != nil {
+			os.RemoveAll(d.RepoDir)
+			return nil, fmt.Errorf("bench: vectorize %s: %w", id, err)
+		}
+		if err := repo.Close(); err != nil {
+			return nil, err
+		}
+	}
+	h.datasets[key] = d
+	return d, nil
+}
+
+func (h *Harness) generate(id DatasetID, scaleOverride float64, w io.Writer) error {
+	seed := h.Cfg.Seed
+	switch id {
+	case XK:
+		scale := h.Cfg.XKScale
+		if scaleOverride > 0 {
+			scale = scaleOverride
+		}
+		return datagen.XMark{Scale: scale, Seed: seed}.Generate(w)
+	case TB:
+		return datagen.TreeBank{Sentences: h.Cfg.TBSentences, Seed: seed}.Generate(w)
+	case ML:
+		return datagen.MedLine{Citations: h.Cfg.MLCitations, Seed: seed}.Generate(w)
+	case SS:
+		return datagen.SkyServerDB{
+			Rows:         h.Cfg.SSRows,
+			Cols:         h.Cfg.SSCols,
+			NeighborRows: h.Cfg.SSNeighborRows,
+			Seed:         seed,
+		}.Generate(w)
+	}
+	return fmt.Errorf("bench: unknown dataset %s", id)
+}

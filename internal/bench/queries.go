@@ -1,0 +1,127 @@
+// Package bench is the experiment harness reproducing the paper's §5
+// evaluation: Table 1 (dataset statistics), Table 2 (which system can run
+// which query), Table 3 (the 13-query timing matrix across five systems)
+// and Figure 8 (XMark scalability), plus ablation benchmarks for the
+// engine's design choices.
+package bench
+
+// QueryID names one workload query as in the paper's Table 2.
+type QueryID string
+
+// The thirteen workload queries.
+const (
+	KQ1 QueryID = "KQ1"
+	KQ2 QueryID = "KQ2"
+	KQ3 QueryID = "KQ3"
+	KQ4 QueryID = "KQ4"
+	TQ1 QueryID = "TQ1"
+	TQ2 QueryID = "TQ2"
+	TQ3 QueryID = "TQ3"
+	MQ1 QueryID = "MQ1"
+	MQ2 QueryID = "MQ2"
+	SQ1 QueryID = "SQ1"
+	SQ2 QueryID = "SQ2"
+	SQ3 QueryID = "SQ3"
+	SQ4 QueryID = "SQ4"
+)
+
+// AllQueries lists the workload in Table 2 order.
+var AllQueries = []QueryID{KQ1, KQ2, KQ3, KQ4, TQ1, TQ2, TQ3, MQ1, MQ2, SQ1, SQ2, SQ3, SQ4}
+
+// DatasetID names a dataset family.
+type DatasetID string
+
+// The four dataset families of Table 1.
+const (
+	XK DatasetID = "XK"
+	TB DatasetID = "TB"
+	ML DatasetID = "ML"
+	SS DatasetID = "SS"
+)
+
+// AllDatasets lists the dataset families in Table 1 order.
+var AllDatasets = []DatasetID{XK, TB, ML, SS}
+
+// DatasetOf maps each query to its dataset.
+func DatasetOf(q QueryID) DatasetID {
+	switch q[0] {
+	case 'K':
+		return XK
+	case 'T':
+		return TB
+	case 'M':
+		return ML
+	default:
+		return SS
+	}
+}
+
+// QuerySources holds the XQ text of each workload query.
+//
+// KQ1 and KQ4 are XMark Q5 and Q13. KQ2/KQ3 stand in for XMark Q11/Q12:
+// the originals are arithmetic value joins (income vs 5000×initial) that
+// XQ cannot express; we substitute reference-equality joins of the same
+// person×auction shape (XMark Q8/Q9 style), with KQ3 adding Q12's income
+// restriction. TQ1–TQ3, MQ1, MQ2 are the paper's Appendix A queries
+// verbatim (modulo the MedlineCitationSet root-tag typo). SQ1–SQ4 realize
+// the SkyServer queries' shapes: SQ1 the 3-of-368-columns select/project
+// of the introduction, SQ2 a wider projection, SQ3 the highly selective
+// two-table join that SQL Server wins with an index, SQ4 a
+// multi-predicate select/project.
+var QuerySources = map[QueryID]string{
+	KQ1: `for $t in /site/closed_auctions/closed_auction
+	      where $t/price >= 40 return $t/price`,
+	KQ2: `for $p in /site/people/person,
+	          $b in /site/open_auctions/open_auction/bidder
+	      where $b/personref/@person = $p/@id
+	      return $p/name`,
+	KQ3: `for $p in /site/people/person,
+	          $b in /site/open_auctions/open_auction/bidder
+	      where $b/personref/@person = $p/@id and $p/profile/@income > 50000
+	      return $p/name`,
+	KQ4: `for $i in /site/regions/australia/item
+	      return <item_info>{$i/description}</item_info>`,
+	TQ1: `/alltreebank/FILE/EMPTY/S/NP[JJ='Federal']`,
+	TQ2: `for $s in /alltreebank/FILE/EMPTY/S,
+	          $nn in $s//NN,
+	          $vb in $s//VB
+	      where $nn = $vb return $s`,
+	TQ3: `for $s in /alltreebank/FILE/EMPTY/S,
+	          $nn1 in $s/NP/NN,
+	          $nn2 in $s//WHNP/NP/NN
+	      where $nn1 = $nn2 return $s`,
+	MQ1: `/MedlineCitationSet/MedlineCitation[Language = "dut"][PubData/Year = 1999]`,
+	MQ2: `for $x in /MedlineCitationSet/MedlineCitation,
+	          $y in /MedlineCitationSet/MedlineCitation/CommentCorrection/CommentOn
+	      where $x/PMID = $y/PMID return $x/MedlineID`,
+	SQ1: `for $r in /skyserver/photoobj/row
+	      where $r/objtype = 'QSO'
+	      return $r/ra, $r/dec, $r/objid`,
+	SQ2: `for $r in /skyserver/photoobj/row
+	      where $r/objtype = 'GALAXY'
+	      return $r/objid, $r/ra, $r/dec, $r/c5, $r/c6, $r/c7, $r/c8`,
+	SQ3: `for $r in /skyserver/photoobj/row,
+	          $n in /skyserver/neighbors/row
+	      where $r/mode = '1' and $r/objid = $n/objid
+	      return $n/neighborobjid`,
+	SQ4: `for $r in /skyserver/photoobj/row
+	      where $r/objtype = 'QSO' and $r/mode = '2'
+	      return $r/ra, $r/dec`,
+}
+
+// dsIndexPaths gives the docstore the "appropriate index on the retrieved
+// path" per XPath query, as the paper built for BDB.
+var dsIndexPaths = map[DatasetID][]string{
+	TB: {"FILE/EMPTY/S/NP/JJ"},
+	ML: {"MedlineCitation/Language"},
+	XK: nil,
+	SS: nil,
+}
+
+// dsQueryOverride gives the XPath-1.0 form of queries the document store
+// can run (the paper's BDB ran KQ1 and KQ4 as XPath); queries absent here
+// run with their XQ text (and fail with ErrNoXQuery if out of fragment).
+var dsQueryOverride = map[QueryID]string{
+	KQ1: `/site/closed_auctions/closed_auction[price >= 40]/price`,
+	KQ4: `/site/regions/australia/item`,
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vxml/internal/datagen"
+	"vxml/internal/relational"
+)
+
+// skyGenFor mirrors the XML SkyServer generator's parameters/seed so that
+// the relational loaders store bit-identical data.
+func skyGenFor(cfg Config) datagen.SkyServer {
+	return datagen.SkyServer{Rows: cfg.SSRows, Cols: cfg.SSCols, Seed: cfg.Seed}
+}
+
+// loadSkyRows streams the photoobj rows into a row writer.
+func loadSkyRows(gen datagen.SkyServer, w *relational.RowWriter) error {
+	r := rand.New(rand.NewSource(gen.Seed))
+	names := gen.ColumnNames()
+	for i := 0; i < gen.Rows; i++ {
+		if err := w.Append(gen.RowValues(r, i, names)); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// loadNeighborRows streams the neighbors rows (same distribution as the
+// XML generator: seed+1, ObjRows = SSRows).
+func loadNeighborRows(cfg Config, w *relational.RowWriter) error {
+	r := rand.New(rand.NewSource(cfg.Seed + 1))
+	rows := cfg.SSNeighborRows
+	if rows <= 0 {
+		rows = cfg.SSRows / 2
+	}
+	for i := 0; i < rows; i++ {
+		vals := []string{
+			fmt.Sprintf("%d", 1000000+r.Intn(cfg.SSRows)),
+			fmt.Sprintf("%d", 1000000+r.Intn(cfg.SSRows)),
+			fmt.Sprintf("%.4f", r.Float64()*0.5),
+		}
+		if err := w.Append(vals); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}

@@ -1,0 +1,10 @@
+package core
+
+import "vxml/internal/xq"
+
+// compareValues and satisfies delegate to the shared xq semantics so the
+// engine and the DOM reference interpreter agree exactly (differential
+// tests depend on this).
+func compareValues(a, b string) int { return xq.CompareValues(a, b) }
+
+func satisfies(a string, op xq.CmpOp, b string) bool { return xq.Satisfies(a, op, b) }

@@ -1,0 +1,550 @@
+package core
+
+import (
+	"fmt"
+
+	"vxml/internal/qgraph"
+	"vxml/internal/skeleton"
+	"vxml/internal/vector"
+	"vxml/internal/xmlmodel"
+	"vxml/internal/xq"
+)
+
+// Options toggles the engine's optimizations; each toggle is an ablation
+// measured by the benchmark harness.
+type Options struct {
+	// NoRunCompression expands every run eagerly, disabling the extended-
+	// vector cardinality compaction (§4.2). Regular data degrades from
+	// O(skeleton) to O(document) for structure-only steps.
+	NoRunCompression bool
+	// FilterOnlyJoins evaluates cross-table joins the way §4.2 literally
+	// describes — as pure cardinality filters on both sides, pairing by
+	// common ancestor (cartesian) at grouping time. This is cheaper but
+	// over-produces pairs when value matches do not align; the default
+	// merges the tables with true pairing.
+	FilterOnlyJoins bool
+}
+
+// EvalStats reports what a query evaluation touched.
+type EvalStats struct {
+	VectorsOpened int   // distinct data vectors loaded (lazy loading)
+	ValuesScanned int64 // vector values read across all operations
+	RowsProduced  int64 // instantiation rows created by reduce steps
+	Tuples        int64 // final value tuples passed to the result skeleton
+}
+
+// Engine evaluates plans over one vectorized document.
+type Engine struct {
+	Skel    *skeleton.Skeleton
+	Classes *skeleton.Classes
+	Vectors vector.Set
+	Syms    *xmlmodel.Symbols
+	Opts    Options
+
+	stats      EvalStats
+	vecs       map[skeleton.ClassID]vector.Vector // text class -> opened vector
+	tables     []*Table
+	varTabs    map[string]int // var -> index into tables
+	targetMemo map[string][]skeleton.ClassID
+	spanMemo   map[[2]skeleton.ClassID][]span
+	chainMemo  map[[2]skeleton.ClassID][]*skeleton.Cursor
+	indexes    map[skeleton.ClassID]*VectorIndex
+}
+
+// NewEngine returns an engine over a vectorized document.
+func NewEngine(skel *skeleton.Skeleton, cls *skeleton.Classes, vecs vector.Set, syms *xmlmodel.Symbols, opts Options) *Engine {
+	return &Engine{Skel: skel, Classes: cls, Vectors: vecs, Syms: syms, Opts: opts}
+}
+
+// Stats returns the counters of the most recent Eval.
+func (e *Engine) Stats() EvalStats { return e.stats }
+
+// vectorFor lazily opens the data vector of a text class.
+func (e *Engine) vectorFor(c skeleton.ClassID) (vector.Vector, error) {
+	if e.vecs == nil {
+		e.vecs = make(map[skeleton.ClassID]vector.Vector)
+	}
+	if v, ok := e.vecs[c]; ok {
+		return v, nil
+	}
+	v, err := e.Vectors.Vector(e.Classes.VectorName(c))
+	if err != nil {
+		return nil, err
+	}
+	e.vecs[c] = v
+	e.stats.VectorsOpened++
+	return v, nil
+}
+
+func (e *Engine) tableOf(v string) (*Table, int, error) {
+	idx, ok := e.varTabs[v]
+	if !ok {
+		return nil, -1, fmt.Errorf("core: variable %s has no instantiation", v)
+	}
+	t := e.tables[idx]
+	col := t.Col(v)
+	if col < 0 {
+		return nil, -1, fmt.Errorf("core: variable %s missing from its table", v)
+	}
+	return t, col, nil
+}
+
+// run executes the plan's operations, leaving final tables in e.tables.
+func (e *Engine) run(plan *qgraph.Plan) error {
+	e.stats = EvalStats{}
+	e.vecs = make(map[skeleton.ClassID]vector.Vector)
+	e.tables = nil
+	e.varTabs = make(map[string]int)
+	output := map[string]bool{}
+	for _, v := range plan.OutputVars {
+		output[v] = true
+	}
+	for _, op := range plan.Ops {
+		var err error
+		switch op.Kind {
+		case qgraph.OpBind:
+			err = e.opBind(op)
+		case qgraph.OpProj:
+			err = e.opProj(op)
+		case qgraph.OpSel:
+			err = e.opSel(op)
+		case qgraph.OpExists:
+			err = e.opExists(op)
+		case qgraph.OpJoin:
+			err = e.opJoin(op)
+		default:
+			err = fmt.Errorf("core: unknown op kind %v", op.Kind)
+		}
+		if err != nil {
+			return err
+		}
+		// Drop dead columns (except the columns an op manages itself:
+		// opProj already consumed a dropped source).
+		for _, v := range op.DropAfter {
+			if idx, ok := e.varTabs[v]; ok {
+				t := e.tables[idx]
+				if col := t.Col(v); col >= 0 {
+					t.dropColumn(col)
+				}
+				delete(e.varTabs, v)
+			}
+		}
+		if e.Opts.NoRunCompression {
+			e.expandAll()
+		}
+	}
+	return nil
+}
+
+func (e *Engine) expandAll() {
+	for _, t := range e.tables {
+		for _, s := range t.Segs {
+			if len(s.Classes) > 0 {
+				s.normalizeCol(len(s.Classes) - 1)
+			}
+		}
+	}
+}
+
+// opBind instantiates a variable from the document root.
+func (e *Engine) opBind(op qgraph.Op) error {
+	targets := e.resolveFromDoc(op.Path)
+	t := &Table{Vars: []string{op.Var}}
+	for _, c := range targets {
+		n := e.Classes.Count(c)
+		if n == 0 {
+			continue
+		}
+		seg := &Segment{
+			Classes: []skeleton.ClassID{c},
+			Rows:    []Row{{Occ: []int64{0}, Run: n, Mult: 1}},
+		}
+		t.Segs = append(t.Segs, seg)
+		e.stats.RowsProduced++
+	}
+	e.tables = append(e.tables, t)
+	e.varTabs[op.Var] = len(e.tables) - 1
+	return nil
+}
+
+// resolveFromDoc resolves a document-rooted path. The first step matches
+// against the (virtual document node's only child, the) root element:
+// "/bib/book" selects book children of a <bib> root and nothing on any
+// other root; "//author" selects author elements anywhere, including the
+// root itself if it is named author.
+func (e *Engine) resolveFromDoc(steps []xq.Step) []skeleton.ClassID {
+	if len(steps) == 0 {
+		return nil
+	}
+	first, rest := steps[0], steps[1:]
+	root := e.Classes.Root()
+	rootTag := e.Syms.Name(e.Classes.Tag(root))
+	var seeds []skeleton.ClassID
+	if first.Axis == xq.Child {
+		if first.Name != rootTag && first.Name != "*" {
+			return nil
+		}
+		seeds = []skeleton.ClassID{root}
+	} else {
+		if first.Name == rootTag || first.Name == "*" {
+			seeds = append(seeds, root)
+		}
+		if first.Name == "*" {
+			seeds = append(seeds, e.descendantElements(root)...)
+		} else if sym := e.Syms.Lookup(first.Name); sym != xmlmodel.NoSym {
+			seeds = append(seeds, e.Classes.Descendants(root, sym)...)
+		}
+	}
+	set := map[skeleton.ClassID]bool{}
+	for _, s := range seeds {
+		for _, t := range e.resolveTargets(s, rest) {
+			set[t] = true
+		}
+	}
+	out := make([]skeleton.ClassID, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sortClassIDs(out)
+	return out
+}
+
+func sortClassIDs(s []skeleton.ClassID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// opProj instantiates op.Var from op.Src via op.Path — the projection
+// reduce step. Cardinality handling depends on liveness:
+//
+//   - source live, target live: per-source expansion (pairs materialize);
+//   - source dying here: the whole source span maps to the child span,
+//     rows stay run-compressed;
+//   - target dead (a bound variable never used again): multiplicities
+//     multiply by the fanout, rows with no match are filtered out.
+func (e *Engine) opProj(op qgraph.Op) error {
+	t, srcCol, err := e.tableOf(op.Src)
+	if err != nil {
+		return err
+	}
+	srcDies := contains(op.DropAfter, op.Src)
+	targetDead := contains(op.DropAfter, op.Var)
+
+	if len(op.Path) == 0 {
+		// Alias: same instances under a new name.
+		return e.projAlias(t, srcCol, op.Var, srcDies, targetDead)
+	}
+
+	lastCol := len(t.Vars) - 1
+	replaceInPlace := srcDies && srcCol == lastCol
+	// Resolve targets, cursor chains and existence spans once per distinct
+	// source class: with descendant-axis variables there can be thousands
+	// of (segment, target) pairs sharing the same source class.
+	resolved := map[skeleton.ClassID]*projTargets{}
+	resolve := func(src skeleton.ClassID) *projTargets {
+		if pt, ok := resolved[src]; ok {
+			return pt
+		}
+		pt := &projTargets{classes: e.resolveTargets(src, op.Path)}
+		pt.curs = make([][]*skeleton.Cursor, len(pt.classes))
+		pt.keep = make([][]span, len(pt.classes))
+		for i, dst := range pt.classes {
+			pt.curs[i] = e.cursorsBetween(src, dst)
+			pt.keep[i] = e.nonEmptySpans(src, dst, pt.curs[i])
+		}
+		resolved[src] = pt
+		return pt
+	}
+	var outSegs []*Segment
+	for _, seg := range t.Segs {
+		pt := resolve(seg.Classes[srcCol])
+		switch {
+		case targetDead:
+			outSegs = append(outSegs, e.projDead(seg, srcCol, pt.classes)...)
+		case replaceInPlace:
+			outSegs = append(outSegs, e.projReplace(seg, srcCol, pt.classes)...)
+		default:
+			outSegs = append(outSegs, e.projExpand(seg, srcCol, pt, srcDies)...)
+		}
+	}
+
+	t.Segs = outSegs
+	switch {
+	case targetDead:
+		// Var never materializes; multiplicities carry its bindings.
+	case replaceInPlace:
+		t.Vars[srcCol] = op.Var
+		delete(e.varTabs, op.Src)
+		e.varTabs[op.Var] = indexOfTable(e.tables, t)
+	case srcDies:
+		t.Vars = append(removeStringAt(t.Vars, srcCol), op.Var)
+		delete(e.varTabs, op.Src)
+		e.varTabs[op.Var] = indexOfTable(e.tables, t)
+	default:
+		t.Vars = append(t.Vars, op.Var)
+		e.varTabs[op.Var] = indexOfTable(e.tables, t)
+	}
+	for _, s := range outSegs {
+		e.stats.RowsProduced += int64(len(s.Rows))
+	}
+	return nil
+}
+
+func removeStringAt(s []string, i int) []string {
+	out := make([]string, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	return append(out, s[i+1:]...)
+}
+
+// projDead folds the fanout into multiplicities: for each source
+// occurrence, Mult *= total target count (zero drops the occurrence).
+func (e *Engine) projDead(seg *Segment, srcCol int, targets []skeleton.ClassID) []*Segment {
+	chains := make([][]*skeleton.Cursor, len(targets))
+	for i, dst := range targets {
+		chains[i] = e.chainCursors(e.chainBetween(seg.Classes[srcCol], dst))
+	}
+	out := &Segment{Classes: seg.Classes}
+	last := srcCol == len(seg.Classes)-1
+	for _, r := range seg.Rows {
+		if last && len(chains) == 1 && len(chains[0]) == 1 {
+			// Fast path: single one-step chain on the trailing run column —
+			// split by uniform fanout without expanding.
+			chains[0][0].Segments(r.Occ[srcCol], r.Run, func(p0, n, k, _ int64) {
+				if k == 0 {
+					return
+				}
+				occ := make([]int64, len(r.Occ))
+				copy(occ, r.Occ)
+				occ[srcCol] = p0
+				out.Rows = append(out.Rows, Row{Occ: occ, Run: n, Mult: r.Mult * k})
+			})
+			continue
+		}
+		span := int64(1)
+		if last {
+			span = r.Run
+		}
+		for i := int64(0); i < span; i++ {
+			p := r.Occ[srcCol] + i
+			var total int64
+			for _, curs := range chains {
+				_, cnt := descendSpan(curs, p, 1)
+				total += cnt
+			}
+			if total == 0 {
+				continue
+			}
+			occ := make([]int64, len(r.Occ))
+			copy(occ, r.Occ)
+			occ[srcCol] = p
+			out.Rows = append(out.Rows, Row{Occ: occ, Run: 1, Mult: r.Mult * total})
+		}
+	}
+	out.Rows = mergeRows(out.Rows)
+	if len(out.Rows) == 0 {
+		return nil
+	}
+	return []*Segment{out}
+}
+
+// projReplace replaces the trailing source column with the target: the
+// children of a run of sources are a contiguous run of targets.
+func (e *Engine) projReplace(seg *Segment, srcCol int, targets []skeleton.ClassID) []*Segment {
+	var out []*Segment
+	for _, dst := range targets {
+		curs := e.chainCursors(e.chainBetween(seg.Classes[srcCol], dst))
+		classes := make([]skeleton.ClassID, len(seg.Classes))
+		copy(classes, seg.Classes)
+		classes[srcCol] = dst
+		os := &Segment{Classes: classes}
+		for _, r := range seg.Rows {
+			start, count := descendSpan(curs, r.Occ[srcCol], r.Run)
+			if count == 0 {
+				continue
+			}
+			occ := make([]int64, len(r.Occ))
+			copy(occ, r.Occ)
+			occ[srcCol] = start
+			os.Rows = append(os.Rows, Row{Occ: occ, Run: count, Mult: r.Mult})
+		}
+		os.Rows = mergeRows(os.Rows)
+		if len(os.Rows) > 0 {
+			out = append(out, os)
+		}
+	}
+	return out
+}
+
+// projTargets caches, per source class, the resolved target classes with
+// their cursor chains and non-empty source spans.
+type projTargets struct {
+	classes []skeleton.ClassID
+	curs    [][]*skeleton.Cursor
+	keep    [][]span
+}
+
+// projExpand materializes one row per (source, contiguous-target-range):
+// the general both-live case. If srcDies (but src is not the trailing
+// column) the source column is removed from the result.
+//
+// With many target classes (descendant-axis variables over irregular
+// data), most (source occurrence, target class) pairs are empty; a
+// memoized whole-class existence pass prunes them before any per-row
+// descent, so the cost tracks matches rather than rows × classes.
+func (e *Engine) projExpand(seg *Segment, srcCol int, pt *projTargets, srcDies bool) []*Segment {
+	seg.normalizeCol(len(seg.Classes) - 1) // runs only survive on the trailing column
+	var out []*Segment
+	for di, dst := range pt.classes {
+		curs, keep := pt.curs[di], pt.keep[di]
+		if len(keep) == 0 {
+			continue
+		}
+		var os *Segment // allocated on first surviving row
+		for _, r := range seg.Rows {
+			if !spanContains(keep, r.Occ[srcCol]) {
+				continue
+			}
+			start, count := descendSpan(curs, r.Occ[srcCol], 1)
+			if count == 0 {
+				continue
+			}
+			if os == nil {
+				var classes []skeleton.ClassID
+				if srcDies {
+					classes = removeAt(seg.Classes, srcCol)
+				} else {
+					classes = append([]skeleton.ClassID{}, seg.Classes...)
+				}
+				os = &Segment{Classes: append(classes, dst)}
+			}
+			var occ []int64
+			if srcDies {
+				occ = removeAt64(r.Occ, srcCol)
+			} else {
+				occ = append([]int64{}, r.Occ...)
+			}
+			occ = append(occ, start)
+			os.Rows = append(os.Rows, Row{Occ: occ, Run: count, Mult: r.Mult})
+		}
+		if os != nil && len(os.Rows) > 0 {
+			os.Rows = mergeRows(os.Rows)
+			out = append(out, os)
+		}
+	}
+	return out
+}
+
+// projAlias duplicates (or renames) a column for zero-step projections.
+func (e *Engine) projAlias(t *Table, srcCol int, newVar string, srcDies, targetDead bool) error {
+	if targetDead {
+		return nil // alias of an existing binding: multiplicity 1, no-op
+	}
+	if srcDies {
+		old := t.Vars[srcCol]
+		t.Vars[srcCol] = newVar
+		delete(e.varTabs, old)
+		e.varTabs[newVar] = indexOfTable(e.tables, t)
+		return nil
+	}
+	for _, seg := range t.Segs {
+		seg.normalizeCol(len(seg.Classes) - 1)
+		seg.Classes = append(seg.Classes, seg.Classes[srcCol])
+		for i := range seg.Rows {
+			seg.Rows[i].Occ = append(seg.Rows[i].Occ, seg.Rows[i].Occ[srcCol])
+		}
+	}
+	t.Vars = append(t.Vars, newVar)
+	e.varTabs[newVar] = indexOfTable(e.tables, t)
+	return nil
+}
+
+func contains(list []string, v string) bool {
+	for _, s := range list {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+func replaceOrAppend(vars []string, col int, v string) []string {
+	vars[col] = v
+	return vars
+}
+
+func removeAt(s []skeleton.ClassID, i int) []skeleton.ClassID {
+	out := make([]skeleton.ClassID, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	return append(out, s[i+1:]...)
+}
+
+func removeAt64(s []int64, i int) []int64 {
+	out := make([]int64, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	return append(out, s[i+1:]...)
+}
+
+func indexOfTable(tables []*Table, t *Table) int {
+	for i, x := range tables {
+		if x == t {
+			return i
+		}
+	}
+	panic("core: table not registered")
+}
+
+// nonEmptySpans returns (memoized) the spans of src-class occurrences
+// that have at least one descendant at dst along the chain.
+func (e *Engine) nonEmptySpans(src, dst skeleton.ClassID, curs []*skeleton.Cursor) []span {
+	key := [2]skeleton.ClassID{src, dst}
+	if s, ok := e.spanMemo[key]; ok {
+		return s
+	}
+	var s []span
+	total := e.Classes.Count(src)
+	if len(curs) == 0 {
+		s = []span{{0, total}}
+	} else {
+		s = existsRuns(curs, 0, 0, total)
+	}
+	if e.spanMemo == nil {
+		e.spanMemo = make(map[[2]skeleton.ClassID][]span)
+	}
+	e.spanMemo[key] = s
+	return s
+}
+
+// cursorsBetween memoizes the cursor chain from src down to dst.
+func (e *Engine) cursorsBetween(src, dst skeleton.ClassID) []*skeleton.Cursor {
+	key := [2]skeleton.ClassID{src, dst}
+	if c, ok := e.chainMemo[key]; ok {
+		return c
+	}
+	c := e.chainCursors(e.chainBetween(src, dst))
+	if e.chainMemo == nil {
+		e.chainMemo = make(map[[2]skeleton.ClassID][]*skeleton.Cursor)
+	}
+	e.chainMemo[key] = c
+	return c
+}
+
+// spanContains reports whether sorted spans cover position p.
+func spanContains(spans []span, p int64) bool {
+	lo, hi := 0, len(spans)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		s := spans[mid]
+		switch {
+		case p < s.Start:
+			hi = mid - 1
+		case p >= s.Start+s.Count:
+			lo = mid + 1
+		default:
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"vxml/internal/skeleton"
+	"vxml/internal/xq"
+)
+
+// VectorIndex is a sorted (value, position) index over one data vector —
+// the paper's §6 future-work item ("we currently make no use of indexing,
+// and there is no reason why we cannot use it with the same effect as in
+// relational systems"). With an index, a selection becomes a lookup (or a
+// range scan) instead of a full vector scan; SQ3's reversal against the
+// indexed relational plan disappears (see the ablation benchmarks).
+type VectorIndex struct {
+	vals []string
+	pos  []int64
+}
+
+// BuildVectorIndex sorts one vector's values. Load-time work.
+func (e *Engine) BuildVectorIndex(path string) (*VectorIndex, error) {
+	cls := e.Classes.Resolve(path)
+	if cls == skeleton.NoClass {
+		return nil, fmt.Errorf("core: no class %q to index", path)
+	}
+	text := e.textTarget(cls)
+	if text == skeleton.NoClass {
+		return nil, fmt.Errorf("core: class %q has no text values to index", path)
+	}
+	vec, err := e.vectorFor(text)
+	if err != nil {
+		return nil, err
+	}
+	idx := &VectorIndex{
+		vals: make([]string, 0, vec.Len()),
+		pos:  make([]int64, 0, vec.Len()),
+	}
+	err = vec.Scan(0, vec.Len(), func(p int64, val []byte) error {
+		idx.vals = append(idx.vals, string(val))
+		idx.pos = append(idx.pos, p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, len(idx.vals))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return xq.CompareValues(idx.vals[order[a]], idx.vals[order[b]]) < 0
+	})
+	vals := make([]string, len(order))
+	pos := make([]int64, len(order))
+	for i, o := range order {
+		vals[i], pos[i] = idx.vals[o], idx.pos[o]
+	}
+	idx.vals, idx.pos = vals, pos
+
+	if e.indexes == nil {
+		e.indexes = make(map[skeleton.ClassID]*VectorIndex)
+	}
+	e.indexes[text] = idx
+	return idx, nil
+}
+
+// Positions returns, sorted ascending, the vector positions whose value
+// satisfies "value op bound".
+func (idx *VectorIndex) Positions(op xq.CmpOp, bound string) []int64 {
+	n := len(idx.vals)
+	lower := func() int { // first i with vals[i] >= bound
+		return sort.Search(n, func(i int) bool { return xq.CompareValues(idx.vals[i], bound) >= 0 })
+	}
+	upper := func() int { // first i with vals[i] > bound
+		return sort.Search(n, func(i int) bool { return xq.CompareValues(idx.vals[i], bound) > 0 })
+	}
+	var out []int64
+	collect := func(lo, hi int) {
+		out = append(out, idx.pos[lo:hi]...)
+	}
+	switch op {
+	case xq.OpEq:
+		collect(lower(), upper())
+	case xq.OpNe:
+		collect(0, lower())
+		collect(upper(), n)
+	case xq.OpLt:
+		collect(0, lower())
+	case xq.OpLe:
+		collect(0, upper())
+	case xq.OpGt:
+		collect(upper(), n)
+	case xq.OpGe:
+		collect(lower(), n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// indexedSpans serves a selection predicate from an index when one exists
+// for the chain's text class: the matching positions are fetched from the
+// index, clipped to the chain's reachable span, and mapped up to variable
+// occurrences. Returns (spans, true) on an index hit.
+func (e *Engine) indexedSpans(seg *Segment, col int, sc selChain, op xq.CmpOp, value string) ([]span, bool) {
+	idx, ok := e.indexes[sc.text]
+	if !ok {
+		return nil, false
+	}
+	positions := idx.Positions(op, value)
+	if len(positions) == 0 {
+		return nil, true
+	}
+	var keep []int64
+	for _, r := range seg.Rows {
+		occ, n := r.Occ[col], int64(1)
+		if col == len(seg.Classes)-1 {
+			n = r.Run
+		}
+		start, count := descendSpan(sc.down, occ, n)
+		if count == 0 {
+			continue
+		}
+		// Binary search the sorted positions falling in [start, start+count).
+		lo := sort.Search(len(positions), func(i int) bool { return positions[i] >= start })
+		for i := lo; i < len(positions) && positions[i] < start+count; i++ {
+			keep = append(keep, ascendPos(sc.down, positions[i]))
+		}
+	}
+	sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
+	return spansFromSorted(keep), true
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vxml/internal/qgraph"
+	"vxml/internal/skeleton"
+	"vxml/internal/storage"
+	"vxml/internal/vector"
+	"vxml/internal/vectorize"
+	"vxml/internal/xq"
+)
+
+// Eval runs the plan and constructs the vectorized result (S', V'): the
+// output skeleton is built with stepwise hash-consing per tuple (subtrees
+// shared as they repeat) and output vectors are populated by positional
+// copies from input vectors — the input skeleton is never decompressed.
+func (e *Engine) Eval(plan *qgraph.Plan) (*vectorize.MemRepository, error) {
+	out := vector.NewMemSet()
+	skel, err := e.evalWithSink(plan, vectorize.MemSink{Set: out})
+	if err != nil {
+		return nil, err
+	}
+	return &vectorize.MemRepository{
+		Syms:    e.Syms,
+		Skel:    skel,
+		Classes: skeleton.NewClasses(skel, e.Syms),
+		Vectors: out,
+	}, nil
+}
+
+// EvalToDir evaluates the plan and stores the result as an on-disk
+// repository at dir — query results stay in the same vectorized form as
+// inputs, so pipelines compose on disk.
+func (e *Engine) EvalToDir(plan *qgraph.Plan, dir string, poolPages int) (*vectorize.Repository, error) {
+	store, err := storage.OpenStore(dir, poolPages)
+	if err != nil {
+		return nil, err
+	}
+	sink := vectorize.NewDiskSink(vector.CreateDiskSet(store))
+	skel, err := e.evalWithSink(plan, sink)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	if err := sink.Close(); err != nil {
+		store.Close()
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, "skeleton.bin"))
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	if err := skeleton.Encode(f, skel, e.Syms); err != nil {
+		f.Close()
+		store.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		store.Close()
+		return nil, err
+	}
+	if err := store.Close(); err != nil {
+		return nil, err
+	}
+	return vectorize.Open(dir, vectorize.Options{PoolPages: poolPages})
+}
+
+// evalWithSink runs the plan, streaming output values to sink and
+// returning the result skeleton.
+func (e *Engine) evalWithSink(plan *qgraph.Plan, sink vectorize.Sink) (*skeleton.Skeleton, error) {
+	if err := e.run(plan); err != nil {
+		return nil, err
+	}
+	rb := &resultBuilder{
+		e:       e,
+		builder: skeleton.NewBuilder(),
+		out:     sink,
+		imports: make(map[*skeleton.Node]*skeleton.Node),
+		chains:  make(map[[2]skeleton.ClassID][]*skeleton.Cursor),
+		cursors: make(map[skeleton.ClassID]*skeleton.NodeCursor),
+	}
+	if err := rb.emitAll(plan); err != nil {
+		return nil, err
+	}
+	root := rb.builder.Make(e.Syms.Intern(plan.ResultTag), rb.rootEdges)
+	return rb.builder.Finish(root), nil
+}
+
+// resultBuilder holds result-construction state.
+type resultBuilder struct {
+	e         *Engine
+	builder   *skeleton.Builder
+	out       vectorize.Sink
+	rootEdges []skeleton.Edge
+	imports   map[*skeleton.Node]*skeleton.Node
+	chains    map[[2]skeleton.ClassID][]*skeleton.Cursor
+	cursors   map[skeleton.ClassID]*skeleton.NodeCursor
+}
+
+// binding is one output variable's instance in a tuple.
+type binding struct {
+	class skeleton.ClassID
+	occ   int64
+}
+
+// emitAll enumerates the final tuples (cartesian across surviving tables,
+// expanding runs and multiplicities) and expands the result template per
+// tuple.
+func (rb *resultBuilder) emitAll(plan *qgraph.Plan) error {
+	e := rb.e
+	// Surviving tables in creation order; nil slots were merged away.
+	var tables []*Table
+	for _, t := range e.tables {
+		if t != nil {
+			tables = append(tables, t)
+		}
+	}
+	tuple := make(map[string]binding)
+	var rec func(ti int, mult int64) error
+	rec = func(ti int, mult int64) error {
+		if mult == 0 {
+			return nil
+		}
+		if ti == len(tables) {
+			e.stats.Tuples += mult
+			return rb.emitTuple(plan, tuple, mult)
+		}
+		t := tables[ti]
+		for _, seg := range t.Segs {
+			last := len(seg.Classes) - 1
+			for _, r := range seg.Rows {
+				n := r.Run
+				if last < 0 {
+					n = 1
+				}
+				for i := int64(0); i < n; i++ {
+					for c := range seg.Classes {
+						occ := r.Occ[c]
+						if c == last {
+							occ += i
+						}
+						tuple[t.Vars[c]] = binding{seg.Classes[c], occ}
+					}
+					if err := rec(ti+1, mult*r.Mult); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+	return rec(0, 1)
+}
+
+// emitTuple expands the return template once per multiplicity.
+func (rb *resultBuilder) emitTuple(plan *qgraph.Plan, tuple map[string]binding, mult int64) error {
+	for m := int64(0); m < mult; m++ {
+		for _, item := range plan.Return {
+			edges, err := rb.emitItem(item, tuple, "/"+plan.ResultTag)
+			if err != nil {
+				return err
+			}
+			for _, ed := range edges {
+				rb.appendRootEdge(ed)
+			}
+		}
+	}
+	return nil
+}
+
+func (rb *resultBuilder) appendRootEdge(ed skeleton.Edge) {
+	if n := len(rb.rootEdges); n > 0 && rb.rootEdges[n-1].Child == ed.Child {
+		rb.rootEdges[n-1].Count += ed.Count
+		return
+	}
+	rb.rootEdges = append(rb.rootEdges, ed)
+}
+
+// emitItem renders one return item as child edges under prefix (the output
+// path of the containing element), appending any text values to the
+// corresponding output vectors.
+func (rb *resultBuilder) emitItem(item xq.RetItem, tuple map[string]binding, prefix string) ([]skeleton.Edge, error) {
+	switch item := item.(type) {
+	case xq.RetText:
+		if err := rb.out.Append(prefix, []byte(item.Text)); err != nil {
+			return nil, err
+		}
+		return []skeleton.Edge{{Child: rb.builder.Text(), Count: 1}}, nil
+	case xq.RetElem:
+		myPrefix := prefix + "/" + item.Tag
+		var kids []skeleton.Edge
+		for _, k := range item.Kids {
+			es, err := rb.emitItem(k, tuple, myPrefix)
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, es...)
+		}
+		n := rb.builder.Make(rb.e.Syms.Intern(item.Tag), kids)
+		return []skeleton.Edge{{Child: n, Count: 1}}, nil
+	case xq.RetPath:
+		return rb.emitPath(item.Term, tuple, prefix)
+	}
+	return nil, fmt.Errorf("core: unknown return item %T", item)
+}
+
+// emitPath copies, for the tuple's binding of the term's variable, every
+// subtree reachable via the term's path.
+func (rb *resultBuilder) emitPath(term xq.PathTerm, tuple map[string]binding, prefix string) ([]skeleton.Edge, error) {
+	b, ok := tuple[term.Var]
+	if !ok {
+		return nil, fmt.Errorf("core: tuple missing %s", term.Var)
+	}
+	var edges []skeleton.Edge
+	if len(term.Path.Steps) == 0 {
+		ed, err := rb.copySubtree(b.class, b.occ, prefix)
+		if err != nil {
+			return nil, err
+		}
+		return append(edges, ed), nil
+	}
+	for _, dst := range rb.e.resolveTargets(b.class, term.Path.Steps) {
+		curs := rb.chainFor(b.class, dst)
+		start, count := descendSpan(curs, b.occ, 1)
+		for i := int64(0); i < count; i++ {
+			ed, err := rb.copySubtree(dst, start+i, prefix)
+			if err != nil {
+				return nil, err
+			}
+			edges = append(edges, ed)
+		}
+	}
+	return edges, nil
+}
+
+// chainFor memoizes descent cursor chains between class pairs.
+func (rb *resultBuilder) chainFor(src, dst skeleton.ClassID) []*skeleton.Cursor {
+	key := [2]skeleton.ClassID{src, dst}
+	if c, ok := rb.chains[key]; ok {
+		return c
+	}
+	c := rb.e.chainCursors(rb.e.chainBetween(src, dst))
+	rb.chains[key] = c
+	return c
+}
+
+// copySubtree copies the occ-th instance of class into the output: the
+// skeleton node is imported (hash-consing shares repeats — stepwise
+// compression) and the instance's slice of every descendant data vector is
+// appended to the output vector named by the result-tree path.
+func (rb *resultBuilder) copySubtree(class skeleton.ClassID, occ int64, prefix string) (skeleton.Edge, error) {
+	e := rb.e
+	nc, ok := rb.cursors[class]
+	if !ok {
+		nc = skeleton.NewNodeCursor(e.Classes.NodeRuns(class))
+		rb.cursors[class] = nc
+	}
+	node := nc.At(occ)
+	imported := rb.importNode(node)
+
+	tag := e.Syms.Name(e.Classes.Tag(class))
+	subPrefix := prefix + "/" + tag
+	// Copy vector slices for every text class in the subtree.
+	for _, d := range e.Classes.Descendants(class, skeleton.TextStep) {
+		curs := rb.chainFor(class, d)
+		start, count := descendSpan(curs, occ, 1)
+		if count == 0 {
+			continue
+		}
+		vec, err := e.vectorFor(d)
+		if err != nil {
+			return skeleton.Edge{}, err
+		}
+		outName := subPrefix + rb.relPath(class, d)
+		e.stats.ValuesScanned += count
+		err = vec.Scan(start, count, func(_ int64, val []byte) error {
+			return rb.out.Append(outName, val)
+		})
+		if err != nil {
+			return skeleton.Edge{}, err
+		}
+	}
+	return skeleton.Edge{Child: imported, Count: 1}, nil
+}
+
+// relPath is the path from class (exclusive) to the text class's parent
+// element (inclusive), e.g. "" when the text is directly under class.
+func (rb *resultBuilder) relPath(class, text skeleton.ClassID) string {
+	e := rb.e
+	var parts []string
+	for c := e.Classes.Parent(text); c != class; c = e.Classes.Parent(c) {
+		parts = append(parts, e.Syms.Name(e.Classes.Tag(c)))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := len(parts) - 1; i >= 0; i-- {
+		b.WriteByte('/')
+		b.WriteString(parts[i])
+	}
+	return b.String()
+}
+
+// importNode rehashes an input skeleton node into the output builder with
+// a persistent memo (sharing across tuples).
+func (rb *resultBuilder) importNode(n *skeleton.Node) *skeleton.Node {
+	if m, ok := rb.imports[n]; ok {
+		return m
+	}
+	var m *skeleton.Node
+	if n.IsText {
+		m = rb.builder.Text()
+	} else {
+		edges := make([]skeleton.Edge, len(n.Edges))
+		for i, ed := range n.Edges {
+			edges[i] = skeleton.Edge{Child: rb.importNode(ed.Child), Count: ed.Count}
+		}
+		m = rb.builder.Make(n.Tag, edges)
+	}
+	rb.imports[n] = m
+	return m
+}

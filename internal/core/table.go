@@ -1,0 +1,204 @@
+// Package core implements the paper's graph-reduction evaluation of XQ
+// queries over vectorized XML data (§4): instantiation tables play the
+// role of extended vectors, reduce steps (projection, selection, join)
+// evaluate one query-graph edge collection-at-a-time scanning each needed
+// data vector once, and the result is emitted as a new skeleton + vector
+// set with stepwise compression and without decompressing the input.
+//
+// Variable instances are identified by occurrence index — the rank of the
+// instance among all instances of its path class in document order — so a
+// text instance's occurrence is exactly its data-vector position (see
+// internal/skeleton). Tables keep the paper's cardinality annotations as
+// runs: the trailing column of a row may cover a range of consecutive
+// occurrences, which keeps highly regular data (one row covering ten
+// million table rows) compact through structure-only steps.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"vxml/internal/skeleton"
+)
+
+// Row is one entry of an instantiation table. Occ holds one occurrence
+// index per table column; the last column covers the Run consecutive
+// occurrences [Occ[last], Occ[last]+Run). Mult is the tuple multiplicity
+// contributed by dropped bound variables (the paper's card).
+type Row struct {
+	Occ  []int64
+	Run  int64
+	Mult int64
+}
+
+// Segment groups rows whose columns share one class assignment. Variables
+// bound through the descendant axis can range over several classes; each
+// combination is a separate segment.
+type Segment struct {
+	Classes []skeleton.ClassID
+	Rows    []Row
+}
+
+// Table is an instantiation table: an ordered set of variables (columns)
+// and class-homogeneous segments of rows.
+type Table struct {
+	Vars []string
+	Segs []*Segment
+}
+
+// Col returns the column index of a variable, or -1.
+func (t *Table) Col(v string) int {
+	for i, name := range t.Vars {
+		if name == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumRows returns the total row count across segments (not expanding runs).
+func (t *Table) NumRows() int {
+	n := 0
+	for _, s := range t.Segs {
+		n += len(s.Rows)
+	}
+	return n
+}
+
+// NumTuples returns the number of logical tuples (expanding runs and
+// multiplicities).
+func (t *Table) NumTuples() int64 {
+	var n int64
+	for _, s := range t.Segs {
+		for _, r := range s.Rows {
+			n += r.Run * r.Mult
+		}
+	}
+	return n
+}
+
+// String renders the table for debugging.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "table(%s)\n", strings.Join(t.Vars, ","))
+	for _, s := range t.Segs {
+		fmt.Fprintf(&b, " seg classes=%v rows=%d\n", s.Classes, len(s.Rows))
+		for i, r := range s.Rows {
+			if i >= 20 {
+				fmt.Fprintf(&b, "  ... %d more\n", len(s.Rows)-20)
+				break
+			}
+			fmt.Fprintf(&b, "  occ=%v run=%d mult=%d\n", r.Occ, r.Run, r.Mult)
+		}
+	}
+	return b.String()
+}
+
+// normalizeCol ensures the given column holds a single scalar occurrence
+// per row by expanding trailing runs when col is the last column. Columns
+// other than the last are scalar by construction.
+func (s *Segment) normalizeCol(col int) {
+	last := len(s.Classes) - 1
+	if col != last {
+		return
+	}
+	needs := false
+	for _, r := range s.Rows {
+		if r.Run > 1 {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return
+	}
+	out := make([]Row, 0, len(s.Rows))
+	for _, r := range s.Rows {
+		if r.Run <= 1 {
+			out = append(out, r)
+			continue
+		}
+		for i := int64(0); i < r.Run; i++ {
+			occ := make([]int64, len(r.Occ))
+			copy(occ, r.Occ)
+			occ[last] += i
+			out = append(out, Row{Occ: occ, Run: 1, Mult: r.Mult})
+		}
+	}
+	s.Rows = out
+}
+
+// dropColumn removes column col from every segment of t, folding run/
+// multiplicity semantics: dropping a trailing run column multiplies Mult
+// by Run; identical adjacent rows merge (their multiplicities add, or
+// their runs merge when contiguous on the new trailing column).
+func (t *Table) dropColumn(col int) {
+	last := len(t.Vars) - 1
+	t.Vars = append(t.Vars[:col], t.Vars[col+1:]...)
+	for _, s := range t.Segs {
+		for i := range s.Rows {
+			r := &s.Rows[i]
+			if col == last {
+				r.Mult *= r.Run
+				r.Run = 1
+			}
+			r.Occ = append(r.Occ[:col], r.Occ[col+1:]...)
+		}
+		s.Classes = append(s.Classes[:col], s.Classes[col+1:]...)
+		s.Rows = mergeRows(s.Rows)
+	}
+	// Dropping the only column leaves 0-column rows: fold everything into
+	// a single multiplicity row per segment (mergeRows already did).
+}
+
+// mergeRows merges adjacent rows that are identical (multiplicities add)
+// or contiguous on the trailing column with equal other columns (runs
+// concatenate, only when multiplicities are equal).
+func mergeRows(rows []Row) []Row {
+	if len(rows) == 0 {
+		return rows
+	}
+	out := rows[:0]
+	for _, r := range rows {
+		if len(out) > 0 {
+			p := &out[len(out)-1]
+			if sameOcc(p.Occ, r.Occ) && p.Run == r.Run {
+				p.Mult += r.Mult
+				continue
+			}
+			if p.Mult == r.Mult && contiguous(p, r) {
+				p.Run += r.Run
+				continue
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func sameOcc(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// contiguous reports whether r directly continues p's trailing run with
+// identical non-trailing columns.
+func contiguous(p *Row, r Row) bool {
+	n := len(p.Occ)
+	if n == 0 || n != len(r.Occ) {
+		return false
+	}
+	for i := 0; i < n-1; i++ {
+		if p.Occ[i] != r.Occ[i] {
+			return false
+		}
+	}
+	return p.Occ[n-1]+p.Run == r.Occ[n-1]
+}

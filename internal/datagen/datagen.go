@@ -1,0 +1,82 @@
+// Package datagen synthesizes the four dataset families of the paper's
+// Table 1, scaled to laptop budgets and fully deterministic per seed:
+//
+//   - XMark-like auctions (XK): the recognized XML benchmark; regular-ish
+//     with references, scaled by a factor as in Fig. 8's sweep.
+//   - TreeBank-like parse trees (TB): highly irregular, thousands of
+//     distinct paths — the many-tiny-vectors regime.
+//   - MedLine-like citations (ML): mid-complexity bibliographic records.
+//   - SkyServer-like astronomy table (SS): one wide, flat table (368
+//     columns in the paper) whose skeleton compresses to a constant size.
+//
+// Generators stream XML text to a writer; they never hold the document in
+// memory, so multi-gigabyte outputs are possible if desired.
+package datagen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// emitter is a tiny helper for writing XML text with error capture.
+type emitter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func newEmitter(w io.Writer) *emitter {
+	return &emitter{w: bufio.NewWriterSize(w, 64<<10)}
+}
+
+func (e *emitter) raw(s string) {
+	if e.err == nil {
+		_, e.err = e.w.WriteString(s)
+	}
+}
+
+func (e *emitter) open(tag string)  { e.raw("<" + tag + ">") }
+func (e *emitter) close(tag string) { e.raw("</" + tag + ">") }
+
+func (e *emitter) openAttrs(tag string, attrs ...string) {
+	e.raw("<" + tag)
+	for i := 0; i+1 < len(attrs); i += 2 {
+		e.raw(" " + attrs[i] + `="` + attrs[i+1] + `"`)
+	}
+	e.raw(">")
+}
+
+func (e *emitter) leaf(tag, val string) {
+	e.raw("<" + tag + ">" + val + "</" + tag + ">")
+}
+
+func (e *emitter) flush() error {
+	if e.err != nil {
+		return e.err
+	}
+	return e.w.Flush()
+}
+
+// words is a small deterministic vocabulary for text fields.
+var words = []string{
+	"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf",
+	"hotel", "india", "juliet", "kilo", "lima", "mike", "november",
+	"oscar", "papa", "quebec", "romeo", "sierra", "tango", "uniform",
+	"victor", "whiskey", "xray", "yankee", "zulu", "Federal", "market",
+	"growth", "report", "annual", "data", "survey",
+}
+
+func word(r *rand.Rand) string { return words[r.Intn(len(words))] }
+
+func sentence(r *rand.Rand, n int) string {
+	s := word(r)
+	for i := 1; i < n; i++ {
+		s += " " + word(r)
+	}
+	return s
+}
+
+func money(r *rand.Rand, max float64) string {
+	return fmt.Sprintf("%.2f", r.Float64()*max)
+}

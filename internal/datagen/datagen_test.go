@@ -1,0 +1,150 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"vxml/internal/vectorize"
+	"vxml/internal/xmlmodel"
+)
+
+func genString(t *testing.T, generate func(*strings.Builder) error) string {
+	t.Helper()
+	var b strings.Builder
+	if err := generate(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestXMarkDeterministicAndParseable(t *testing.T) {
+	g := XMark{Scale: 0.1, Seed: 7}
+	doc1 := genString(t, func(b *strings.Builder) error { return g.Generate(b) })
+	doc2 := genString(t, func(b *strings.Builder) error { return g.Generate(b) })
+	if doc1 != doc2 {
+		t.Fatal("XMark not deterministic")
+	}
+	syms := xmlmodel.NewSymbols()
+	root, err := xmlmodel.ParseString(doc1, syms)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if syms.Name(root.Tag) != "site" {
+		t.Errorf("root = %s", syms.Name(root.Tag))
+	}
+	for _, want := range []string{"<closed_auction>", "<australia>", "income=", "personref"} {
+		if !strings.Contains(doc1, want) {
+			t.Errorf("missing %s", want)
+		}
+	}
+	people, open, closed, items, cats := g.Counts()
+	if people != 102 || open != 48 || closed != 39 || items != 87 || cats != 5 {
+		t.Errorf("counts = %d %d %d %d %d", people, open, closed, items, cats)
+	}
+	if got := strings.Count(doc1, "<closed_auction>"); got != closed {
+		t.Errorf("closed auctions = %d, want %d", got, closed)
+	}
+}
+
+func TestXMarkScalesLinearly(t *testing.T) {
+	d1 := genString(t, func(b *strings.Builder) error { return XMark{Scale: 0.1, Seed: 1}.Generate(b) })
+	d5 := genString(t, func(b *strings.Builder) error { return XMark{Scale: 0.5, Seed: 1}.Generate(b) })
+	ratio := float64(len(d5)) / float64(len(d1))
+	if ratio < 3.5 || ratio > 6.5 {
+		t.Errorf("size ratio 0.5/0.1 = %.2f, want ~5", ratio)
+	}
+}
+
+func TestTreeBankIrregular(t *testing.T) {
+	doc := genString(t, func(b *strings.Builder) error {
+		return TreeBank{Sentences: 200, Seed: 3}.Generate(b)
+	})
+	syms := xmlmodel.NewSymbols()
+	repo, err := vectorize.FromString(doc, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Irregularity: many more distinct vectors than a regular dataset.
+	nvec := len(repo.Vectors.Names())
+	if nvec < 100 {
+		t.Errorf("TreeBank vectors = %d, want >= 100 (irregular)", nvec)
+	}
+	if !strings.Contains(doc, "<S>") || !strings.Contains(doc, "<NN>") {
+		t.Error("missing TreeBank tags")
+	}
+	// TQ1's shape must be present somewhere: an S with NP/JJ below EMPTY.
+	if !strings.Contains(doc, "<JJ>") {
+		t.Error("no JJ leaves generated")
+	}
+}
+
+func TestMedLineShape(t *testing.T) {
+	doc := genString(t, func(b *strings.Builder) error {
+		return MedLine{Citations: 500, Seed: 11}.Generate(b)
+	})
+	if strings.Count(doc, "<MedlineCitation>") != 500 {
+		t.Errorf("citations = %d", strings.Count(doc, "<MedlineCitation>"))
+	}
+	// Comment references exist (MQ2 needs them) and point at valid PMIDs.
+	if !strings.Contains(doc, "<CommentOn>") {
+		t.Error("no CommentOn records")
+	}
+	if !strings.Contains(doc, "dut") {
+		t.Error("no Dutch-language citations (MQ1 target)")
+	}
+	syms := xmlmodel.NewSymbols()
+	if _, err := xmlmodel.ParseString(doc, syms); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+}
+
+func TestSkyServerTinySkeleton(t *testing.T) {
+	g := SkyServer{Rows: 200, Cols: 30, Seed: 5}
+	doc := genString(t, func(b *strings.Builder) error { return g.Generate(b) })
+	syms := xmlmodel.NewSymbols()
+	repo, err := vectorize.FromString(doc, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skeleton size independent of rows: #, 30 columns, row, photoobj.
+	if got := repo.Skel.NumNodes(); got != 33 {
+		t.Errorf("skeleton nodes = %d, want 33", got)
+	}
+	if got := len(repo.Vectors.Names()); got != 30 {
+		t.Errorf("vectors = %d, want 30", got)
+	}
+	g2 := SkyServer{Rows: 1000, Cols: 30, Seed: 5}
+	doc2 := genString(t, func(b *strings.Builder) error { return g2.Generate(b) })
+	repo2, err := vectorize.FromString(doc2, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repo2.Skel.NumNodes() != repo.Skel.NumNodes() {
+		t.Errorf("skeleton grew with rows: %d vs %d", repo2.Skel.NumNodes(), repo.Skel.NumNodes())
+	}
+}
+
+func TestSkyServerColumnNames(t *testing.T) {
+	g := SkyServer{Cols: 10}
+	names := g.ColumnNames()
+	if len(names) != 10 || names[0] != "objid" || names[4] != "mode" || names[9] != "c9" {
+		t.Errorf("names = %v", names)
+	}
+	if got := len(SkyServer{}.ColumnNames()); got != 368 {
+		t.Errorf("default cols = %d, want 368", got)
+	}
+}
+
+func TestNeighborsParseable(t *testing.T) {
+	doc := genString(t, func(b *strings.Builder) error {
+		return Neighbors{Rows: 100, ObjRows: 50, Seed: 9}.Generate(b)
+	})
+	syms := xmlmodel.NewSymbols()
+	root, err := xmlmodel.ParseString(doc, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.Kids) != 100 {
+		t.Errorf("rows = %d", len(root.Kids))
+	}
+}

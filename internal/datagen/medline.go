@@ -1,0 +1,57 @@
+package datagen
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// MedLine generates a MedLine-like citation set: the mid-complexity
+// regime of Table 1. Each citation has a PMID, language, publication
+// year, authors, and (for a fraction) CommentCorrection references to
+// other citations' PMIDs, which MQ2 joins on.
+type MedLine struct {
+	Citations int
+	Seed      int64
+}
+
+var mlLanguages = []string{"eng", "eng", "eng", "eng", "ger", "fre", "dut", "spa"}
+
+// Generate writes the citation set.
+func (g MedLine) Generate(w io.Writer) error {
+	r := rand.New(rand.NewSource(g.Seed))
+	e := newEmitter(w)
+	e.open("MedlineCitationSet")
+	for i := 0; i < g.Citations; i++ {
+		e.open("MedlineCitation")
+		e.leaf("PMID", fmt.Sprint(10000+i))
+		e.leaf("MedlineID", fmt.Sprintf("ML%07d", i))
+		e.leaf("Language", mlLanguages[r.Intn(len(mlLanguages))])
+		e.open("PubData")
+		e.leaf("Year", fmt.Sprint(1990+r.Intn(14)))
+		e.leaf("Month", fmt.Sprint(1+r.Intn(12)))
+		e.close("PubData")
+		e.open("Article")
+		e.leaf("ArticleTitle", sentence(r, 6+r.Intn(8)))
+		e.open("AuthorList")
+		for a := 0; a < 1+r.Intn(4); a++ {
+			e.open("Author")
+			e.leaf("LastName", word(r))
+			e.leaf("Initials", string(rune('A'+r.Intn(26))))
+			e.close("Author")
+		}
+		e.close("AuthorList")
+		e.close("Article")
+		// ~20% of citations comment on an earlier one.
+		if i > 0 && r.Intn(5) == 0 {
+			e.open("CommentCorrection")
+			e.open("CommentOn")
+			e.leaf("PMID", fmt.Sprint(10000+r.Intn(i)))
+			e.close("CommentOn")
+			e.close("CommentCorrection")
+		}
+		e.close("MedlineCitation")
+	}
+	e.close("MedlineCitationSet")
+	return e.flush()
+}

@@ -1,0 +1,144 @@
+package datagen
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// SkyServer generates the astronomy regime of Table 1: a single flat
+// table with Cols columns (368 in the paper's SDSS photoobj table) and
+// Rows rows. The skeleton compresses to a constant ~Cols+4 nodes no
+// matter how many rows (Fig. 2(c)); queries touching 3 of 368 columns
+// read under 1% of the data — the paper's headline 37 s-vs-200 s case.
+//
+// Column 0 is "objid" (unique), column 1 "ra", column 2 "dec", column 3
+// "objtype" (selective categories), column 4 "mode" (highly selective);
+// the rest are photometric magnitudes named c5..c(Cols-1).
+type SkyServer struct {
+	Rows int
+	Cols int // default 368
+	Seed int64
+}
+
+// ColumnNames returns the column names in order.
+func (g SkyServer) ColumnNames() []string {
+	cols := g.Cols
+	if cols <= 0 {
+		cols = 368
+	}
+	names := make([]string, cols)
+	fixed := []string{"objid", "ra", "dec", "objtype", "mode"}
+	for i := range names {
+		if i < len(fixed) {
+			names[i] = fixed[i]
+		} else {
+			names[i] = fmt.Sprintf("c%d", i)
+		}
+	}
+	return names
+}
+
+var ssTypes = []string{"STAR", "STAR", "STAR", "GALAXY", "GALAXY", "QSO", "UNKNOWN"}
+
+// RowValues computes row i's values (shared by the XML generator and the
+// relational loaders so every system stores identical data).
+func (g SkyServer) RowValues(r *rand.Rand, i int, names []string) []string {
+	vals := make([]string, len(names))
+	for c := range names {
+		switch c {
+		case 0:
+			vals[c] = fmt.Sprintf("%d", 1000000+i)
+		case 1:
+			vals[c] = fmt.Sprintf("%.5f", r.Float64()*360)
+		case 2:
+			vals[c] = fmt.Sprintf("%.5f", r.Float64()*180-90)
+		case 3:
+			vals[c] = ssTypes[r.Intn(len(ssTypes))]
+		case 4:
+			// mode=1 for ~0.5% of rows: the highly selective predicate of SQ3.
+			if r.Intn(200) == 0 {
+				vals[c] = "1"
+			} else {
+				vals[c] = "2"
+			}
+		default:
+			vals[c] = fmt.Sprintf("%.3f", r.Float64()*30)
+		}
+	}
+	return vals
+}
+
+// Generate writes the photoobj table as XML.
+func (g SkyServer) Generate(w io.Writer) error {
+	r := rand.New(rand.NewSource(g.Seed))
+	e := newEmitter(w)
+	names := g.ColumnNames()
+	e.open("photoobj")
+	for i := 0; i < g.Rows; i++ {
+		e.open("row")
+		for c, v := range g.RowValues(r, i, names) {
+			e.leaf(names[c], v)
+		}
+		e.close("row")
+	}
+	e.close("photoobj")
+	return e.flush()
+}
+
+// Neighbors generates the second SkyServer table, joined by SQ3: each row
+// pairs an objid with a neighbor objid and a distance.
+type Neighbors struct {
+	Rows    int // neighbor pairs
+	ObjRows int // objid domain (must match the SkyServer table's Rows)
+	Seed    int64
+}
+
+// Generate writes the neighbors table as XML.
+func (g Neighbors) Generate(w io.Writer) error {
+	r := rand.New(rand.NewSource(g.Seed))
+	e := newEmitter(w)
+	e.open("neighbors")
+	for i := 0; i < g.Rows; i++ {
+		e.open("row")
+		e.leaf("objid", fmt.Sprintf("%d", 1000000+r.Intn(g.ObjRows)))
+		e.leaf("neighborobjid", fmt.Sprintf("%d", 1000000+r.Intn(g.ObjRows)))
+		e.leaf("distance", fmt.Sprintf("%.4f", r.Float64()*0.5))
+		e.close("row")
+	}
+	e.close("neighbors")
+	return e.flush()
+}
+
+// SkyServerDB generates the full SS experiment document: the photoobj
+// table and the neighbors table under one <skyserver> root, so that SQ3's
+// table join is expressible as a single-document XQ query.
+type SkyServerDB struct {
+	Rows         int
+	Cols         int
+	NeighborRows int
+	Seed         int64
+}
+
+// Generate writes the combined document.
+func (g SkyServerDB) Generate(w io.Writer) error {
+	e := newEmitter(w)
+	e.open("skyserver")
+	if err := e.flush(); err != nil {
+		return err
+	}
+	obj := SkyServer{Rows: g.Rows, Cols: g.Cols, Seed: g.Seed}
+	if err := obj.Generate(w); err != nil {
+		return err
+	}
+	nb := g.NeighborRows
+	if nb <= 0 {
+		nb = g.Rows / 2
+	}
+	if err := (Neighbors{Rows: nb, ObjRows: g.Rows, Seed: g.Seed + 1}).Generate(w); err != nil {
+		return err
+	}
+	e2 := newEmitter(w)
+	e2.close("skyserver")
+	return e2.flush()
+}

@@ -1,0 +1,100 @@
+package datagen
+
+import (
+	"io"
+	"math/rand"
+)
+
+// TreeBank generates a Penn-TreeBank-like corpus of parse trees: highly
+// irregular deep nesting over a fixed nonterminal alphabet, so the
+// vectorized decomposition produces a very large number of very small
+// vectors (the paper's TB has 221,545 vectors from 54 MB of XML).
+//
+// Structure: <alltreebank><FILE><EMPTY><S>...</S>...</EMPTY></FILE>...
+// with sentences S expanding randomly into NP/VP/PP/SBAR/WHNP phrases and
+// NN/VB/JJ/DT/IN/PRP leaves holding words.
+type TreeBank struct {
+	Sentences int
+	Files     int // FILE elements; sentences are spread across them
+	Seed      int64
+	MaxDepth  int // phrase nesting bound (default 8)
+}
+
+var tbPhrases = []string{"NP", "VP", "PP", "SBAR", "WHNP"}
+var tbLeaves = []string{"NN", "VB", "JJ", "DT", "IN", "PRP"}
+
+// Generate writes the corpus.
+func (g TreeBank) Generate(w io.Writer) error {
+	r := rand.New(rand.NewSource(g.Seed))
+	e := newEmitter(w)
+	files := g.Files
+	if files <= 0 {
+		files = 1 + g.Sentences/100
+	}
+	maxDepth := g.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 8
+	}
+	e.open("alltreebank")
+	perFile := (g.Sentences + files - 1) / files
+	emitted := 0
+	for f := 0; f < files && emitted < g.Sentences; f++ {
+		e.open("FILE")
+		e.open("EMPTY")
+		for s := 0; s < perFile && emitted < g.Sentences; s++ {
+			e.open("S")
+			// Deliberately plant the workload query shapes so TQ1–TQ3 are
+			// non-empty at any corpus size (the real TreeBank contains
+			// them; a purely random grammar need not):
+			switch emitted % 10 {
+			case 3: // TQ1: direct NP child holding a JJ leaf.
+				e.open("NP")
+				e.leaf("JJ", "Federal")
+				e.leaf("NN", word(r))
+				e.close("NP")
+			case 6: // TQ2: an NN and a VB sharing their word.
+				w := word(r)
+				e.leaf("NN", w)
+				e.open("VP")
+				e.leaf("VB", w)
+				e.close("VP")
+			case 9: // TQ3: NP/NN matching a WHNP/NP/NN.
+				w := word(r)
+				e.open("NP")
+				e.leaf("NN", w)
+				e.close("NP")
+				e.open("WHNP")
+				e.open("NP")
+				e.leaf("NN", w)
+				e.close("NP")
+				e.close("WHNP")
+			}
+			kids := 1 + r.Intn(3)
+			for k := 0; k < kids; k++ {
+				g.phrase(e, r, 1, maxDepth)
+			}
+			e.close("S")
+			emitted++
+		}
+		e.close("EMPTY")
+		e.close("FILE")
+	}
+	e.close("alltreebank")
+	return e.flush()
+}
+
+// phrase emits one random phrase subtree.
+func (g TreeBank) phrase(e *emitter, r *rand.Rand, depth, maxDepth int) {
+	if depth >= maxDepth || r.Intn(3) == 0 {
+		tag := tbLeaves[r.Intn(len(tbLeaves))]
+		e.leaf(tag, word(r))
+		return
+	}
+	tag := tbPhrases[r.Intn(len(tbPhrases))]
+	e.open(tag)
+	kids := 1 + r.Intn(3)
+	for k := 0; k < kids; k++ {
+		g.phrase(e, r, depth+1, maxDepth)
+	}
+	e.close(tag)
+}

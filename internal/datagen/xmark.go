@@ -1,0 +1,186 @@
+package datagen
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// XMark generates the auction-site benchmark document. Scale factor 1.0
+// corresponds (scaled 1:25 from the original generator so a factor-10
+// sweep fits a laptop) to ~1000 people, ~480 open and ~390 closed
+// auctions, and ~870 items over six regions.
+type XMark struct {
+	Scale float64
+	Seed  int64
+}
+
+// regions in XMark order; australia is the target of KQ4.
+var xmarkRegions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+// Counts returns the entity counts at the configured scale.
+func (g XMark) Counts() (people, open, closed, items, categories int) {
+	s := g.Scale
+	if s <= 0 {
+		s = 1
+	}
+	people = int(1020 * s)
+	open = int(480 * s)
+	closed = int(390 * s)
+	items = int(870 * s)
+	categories = int(40*s) + 1
+	return
+}
+
+// Generate writes the document.
+func (g XMark) Generate(w io.Writer) error {
+	r := rand.New(rand.NewSource(g.Seed))
+	e := newEmitter(w)
+	people, open, closed, items, categories := g.Counts()
+
+	e.open("site")
+
+	// Regions with items.
+	e.open("regions")
+	for ri, region := range xmarkRegions {
+		e.open(region)
+		for i := ri; i < items; i += len(xmarkRegions) {
+			e.openAttrs("item", "id", fmt.Sprintf("item%d", i))
+			e.leaf("location", word(r))
+			e.leaf("quantity", fmt.Sprint(1+r.Intn(5)))
+			e.leaf("name", sentence(r, 2))
+			e.open("payment")
+			e.raw("Creditcard")
+			e.close("payment")
+			e.open("description")
+			e.open("parlist")
+			for p := 0; p < 1+r.Intn(3); p++ {
+				e.open("listitem")
+				e.leaf("text", sentence(r, 5+r.Intn(10)))
+				e.close("listitem")
+			}
+			e.close("parlist")
+			e.close("description")
+			e.close("item")
+		}
+		e.close(region)
+	}
+	e.close("regions")
+
+	// Categories.
+	e.open("categories")
+	for c := 0; c < categories; c++ {
+		e.openAttrs("category", "id", fmt.Sprintf("category%d", c))
+		e.leaf("name", word(r))
+		e.open("description")
+		e.leaf("text", sentence(r, 6))
+		e.close("description")
+		e.close("category")
+	}
+	e.close("categories")
+
+	// People with profiles. Like the real XMark generator, many fields
+	// are optional, so person elements take many distinct shapes and the
+	// skeleton does not collapse to a single node.
+	e.open("people")
+	for p := 0; p < people; p++ {
+		e.openAttrs("person", "id", fmt.Sprintf("person%d", p))
+		e.leaf("name", sentence(r, 2))
+		e.leaf("emailaddress", fmt.Sprintf("mailto:p%d@example.org", p))
+		if r.Intn(2) == 0 {
+			e.leaf("phone", fmt.Sprintf("+%d (%d) %d", 1+r.Intn(90), r.Intn(1000), r.Intn(10000000)))
+		}
+		if r.Intn(3) == 0 {
+			e.open("address")
+			e.leaf("street", fmt.Sprintf("%d %s St", 1+r.Intn(100), word(r)))
+			e.leaf("city", word(r))
+			e.leaf("country", word(r))
+			e.close("address")
+		}
+		if r.Intn(2) == 0 {
+			e.leaf("homepage", fmt.Sprintf("http://example.org/~p%d", p))
+		}
+		if r.Intn(4) != 0 {
+			e.openAttrs("profile", "income", money(r, 100000))
+			for i := 0; i < r.Intn(3); i++ {
+				e.openAttrs("interest", "category", fmt.Sprintf("category%d", r.Intn(categories)))
+				e.close("interest")
+			}
+			if r.Intn(2) == 0 {
+				e.leaf("education", word(r))
+			}
+			e.leaf("business", yesNo(r))
+			e.close("profile")
+		}
+		if r.Intn(3) == 0 {
+			e.open("watches")
+			for i := 0; i < 1+r.Intn(3); i++ {
+				e.openAttrs("watch", "open_auction", fmt.Sprintf("open_auction%d", r.Intn(open)))
+				e.close("watch")
+			}
+			e.close("watches")
+		}
+		e.close("person")
+	}
+	e.close("people")
+
+	// Open auctions with bidders referencing people.
+	e.open("open_auctions")
+	for o := 0; o < open; o++ {
+		e.openAttrs("open_auction", "id", fmt.Sprintf("open_auction%d", o))
+		e.leaf("initial", money(r, 300))
+		for b := 0; b < 1+r.Intn(4); b++ {
+			e.open("bidder")
+			e.leaf("date", date(r))
+			e.openAttrs("personref", "person", fmt.Sprintf("person%d", r.Intn(people)))
+			e.close("personref")
+			e.leaf("increase", money(r, 30))
+			e.close("bidder")
+		}
+		e.leaf("current", money(r, 500))
+		e.openAttrs("itemref", "item", fmt.Sprintf("item%d", r.Intn(items)))
+		e.close("itemref")
+		e.openAttrs("seller", "person", fmt.Sprintf("person%d", r.Intn(people)))
+		e.close("seller")
+		e.leaf("quantity", fmt.Sprint(1+r.Intn(3)))
+		e.close("open_auction")
+	}
+	e.close("open_auctions")
+
+	// Closed auctions with prices (KQ1's target).
+	e.open("closed_auctions")
+	for c := 0; c < closed; c++ {
+		e.open("closed_auction")
+		e.openAttrs("seller", "person", fmt.Sprintf("person%d", r.Intn(people)))
+		e.close("seller")
+		e.openAttrs("buyer", "person", fmt.Sprintf("person%d", r.Intn(people)))
+		e.close("buyer")
+		e.openAttrs("itemref", "item", fmt.Sprintf("item%d", r.Intn(items)))
+		e.close("itemref")
+		e.leaf("price", money(r, 200))
+		e.leaf("date", date(r))
+		e.leaf("quantity", fmt.Sprint(1+r.Intn(3)))
+		e.leaf("type", "Regular")
+		e.open("annotation")
+		e.open("description")
+		e.leaf("text", sentence(r, 8+r.Intn(12)))
+		e.close("description")
+		e.close("annotation")
+		e.close("closed_auction")
+	}
+	e.close("closed_auctions")
+
+	e.close("site")
+	return e.flush()
+}
+
+func yesNo(r *rand.Rand) string {
+	if r.Intn(2) == 0 {
+		return "Yes"
+	}
+	return "No"
+}
+
+func date(r *rand.Rand) string {
+	return fmt.Sprintf("%02d/%02d/%d", 1+r.Intn(12), 1+r.Intn(28), 1998+r.Intn(4))
+}

@@ -1,0 +1,102 @@
+package docstore
+
+import (
+	"fmt"
+
+	"vxml/internal/storage"
+)
+
+// chunkFile stores variable-size byte records (serialized XML chunks,
+// which can exceed a page) as a continuous byte stream over pages, with
+// an in-memory directory of (offset, length) built at load time.
+type chunkFile struct {
+	pool  *storage.BufferPool
+	file  *storage.File
+	dir   []chunkLoc
+	count int64
+
+	frame *storage.Frame
+	used  int
+	off   int64
+}
+
+type chunkLoc struct {
+	off, ln int64
+}
+
+func newChunkFile(pool *storage.BufferPool, file *storage.File) (*chunkFile, error) {
+	if file.NumPages() != 0 {
+		return nil, fmt.Errorf("docstore: chunk file %s not empty", file.Path())
+	}
+	return &chunkFile{pool: pool, file: file}, nil
+}
+
+// append stores one record, returning its id.
+func (c *chunkFile) append(data []byte) (int64, error) {
+	id := c.count
+	c.dir = append(c.dir, chunkLoc{off: c.off, ln: int64(len(data))})
+	for len(data) > 0 {
+		if c.frame == nil || c.used == storage.PageSize {
+			if c.frame != nil {
+				c.pool.Unpin(c.frame, true)
+			}
+			fr, _, err := c.pool.Alloc(c.file)
+			if err != nil {
+				c.frame = nil
+				return 0, err
+			}
+			c.frame, c.used = fr, 0
+		}
+		n := copy(c.frame.Data[c.used:], data)
+		c.used += n
+		c.off += int64(n)
+		data = data[n:]
+	}
+	c.count++
+	return id, nil
+}
+
+func (c *chunkFile) finish() error {
+	if c.frame != nil {
+		c.pool.Unpin(c.frame, true)
+		c.frame = nil
+	}
+	return nil
+}
+
+// get reads one record by id.
+func (c *chunkFile) get(id int64) ([]byte, error) {
+	if id < 0 || id >= c.count {
+		return nil, fmt.Errorf("docstore: chunk %d out of range", id)
+	}
+	loc := c.dir[id]
+	out := make([]byte, loc.ln)
+	read := int64(0)
+	for read < loc.ln {
+		pos := loc.off + read
+		pg := pos / storage.PageSize
+		inPage := pos % storage.PageSize
+		fr, err := c.pool.Get(c.file, pg)
+		if err != nil {
+			return nil, err
+		}
+		n := copy(out[read:], fr.Data[inPage:])
+		c.pool.Unpin(fr, false)
+		read += int64(n)
+	}
+	return out, nil
+}
+
+// scanAll visits every record in id order.
+func (c *chunkFile) scanAll(fn func(data []byte) error) error {
+	for id := int64(0); id < c.count; id++ {
+		data, err := c.get(id)
+		if err != nil {
+			return err
+		}
+		if err := fn(data); err != nil {
+			return err
+		}
+	}
+	return nil
+}

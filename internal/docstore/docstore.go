@@ -1,0 +1,200 @@
+// Package docstore is the Berkeley DB XML-like baseline of the paper's
+// §5 experiments: the document is "chunked" into records (the paper had
+// to chunk datasets to load them into BDB at all), each chunk stored as
+// serialized XML text in a container file, with optional value indexes on
+// chosen paths. It answers XPath-style queries only — no joins, which is
+// why TQ2/TQ3/MQ2 and the XQuery XMark queries fail on it, exactly as in
+// the paper's Table 2.
+package docstore
+
+import (
+	"fmt"
+	"strings"
+
+	"vxml/internal/dom"
+	"vxml/internal/storage"
+	"vxml/internal/xmlmodel"
+	"vxml/internal/xq"
+)
+
+// Store is a chunked document container plus value indexes.
+type Store struct {
+	st      *storage.Store
+	syms    *xmlmodel.Symbols
+	rootTag string
+	chunks  *chunkFile
+	indexes map[string]map[string][]int64 // path -> value -> chunk ids
+}
+
+// ErrNoXQuery is returned for queries outside the XPath subset.
+var ErrNoXQuery = fmt.Errorf("docstore: no XQuery support (XPath 1.0 only)")
+
+// Build chunks the document under its root: each child of the root
+// becomes one record. indexPaths lists root-relative paths (e.g.
+// "book/publisher") whose values get an equality index — the paper built
+// "the appropriate index on the retrieved path" per query.
+func Build(st *storage.Store, root *xmlmodel.Node, syms *xmlmodel.Symbols, indexPaths []string) (*Store, error) {
+	f, err := st.Open("docstore/container")
+	if err != nil {
+		return nil, err
+	}
+	cf, err := newChunkFile(st.Pool(), f)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		st:      st,
+		syms:    syms,
+		rootTag: syms.Name(root.Tag),
+		chunks:  cf,
+		indexes: make(map[string]map[string][]int64),
+	}
+	for _, p := range indexPaths {
+		s.indexes[p] = make(map[string][]int64)
+	}
+	for _, kid := range root.Kids {
+		if kid.IsText() {
+			continue
+		}
+		id, err := cf.append([]byte(xmlmodel.TreeString(kid, syms)))
+		if err != nil {
+			return nil, err
+		}
+		for p, idx := range s.indexes {
+			s.indexValues(kid, p, id, idx)
+		}
+	}
+	if err := cf.finish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// indexValues adds chunk id under every value reachable via path from the
+// chunk root (path includes the chunk's own tag as first component).
+func (s *Store) indexValues(chunk *xmlmodel.Node, path string, id int64, idx map[string][]int64) {
+	parts := strings.Split(path, "/")
+	if len(parts) == 0 || s.syms.Name(chunk.Tag) != parts[0] {
+		return
+	}
+	nodes := []*xmlmodel.Node{chunk}
+	for _, p := range parts[1:] {
+		var next []*xmlmodel.Node
+		for _, n := range nodes {
+			for _, k := range n.Kids {
+				if !k.IsText() && s.syms.Name(k.Tag) == p {
+					next = append(next, k)
+				}
+			}
+		}
+		nodes = next
+	}
+	for _, n := range nodes {
+		for _, k := range n.Kids {
+			if k.IsText() {
+				ids := idx[k.Text]
+				if len(ids) == 0 || ids[len(ids)-1] != id {
+					idx[k.Text] = append(ids, id)
+				}
+			}
+		}
+	}
+}
+
+// NumChunks returns the number of stored records.
+func (s *Store) NumChunks() int64 { return s.chunks.count }
+
+// Query answers an XPath-only query (a single binding over a document
+// path with qualifiers, returning the bound variable). Anything else —
+// joins, multiple bindings, templates — returns ErrNoXQuery.
+func (s *Store) Query(q *xq.Query) ([]*xmlmodel.Node, error) {
+	if len(q.Bindings) != 1 || len(q.Conds) != 0 || len(q.Return) != 1 {
+		return nil, ErrNoXQuery
+	}
+	rp, ok := q.Return[0].(xq.RetPath)
+	if !ok || rp.Term.Var != q.Bindings[0].Var || len(rp.Term.Path.Steps) != 0 {
+		return nil, ErrNoXQuery
+	}
+	term := q.Bindings[0].Term
+	if term.Var != "" || len(term.Path.Steps) < 2 {
+		return nil, ErrNoXQuery
+	}
+	if term.Path.Steps[0].Name != s.rootTag || term.Path.Steps[0].Axis != xq.Child {
+		return nil, ErrNoXQuery
+	}
+
+	// If some qualifier's path has an index, fetch only its chunks;
+	// otherwise scan the whole container.
+	chunkIDs := s.candidateChunks(term.Path.Steps[1:])
+	var out []*xmlmodel.Node
+	err := s.eachChunk(chunkIDs, func(data []byte) error {
+		chunk, err := xmlmodel.ParseString(string(data), s.syms)
+		if err != nil {
+			return err
+		}
+		// Evaluate the remaining path on the chunk with the reference
+		// interpreter, by wrapping it under a synthetic root.
+		wrapper := xmlmodel.NewElem(s.syms.Intern(s.rootTag), chunk)
+		ev := dom.NewEvaluator(wrapper, s.syms)
+		sub := xq.Query{
+			ResultTag: "r",
+			Bindings:  []xq.Binding{{Var: "$x", Term: xq.PathTerm{Path: term.Path}}},
+			Return:    []xq.RetItem{xq.RetPath{Term: xq.PathTerm{Var: "$x"}}},
+		}
+		res, err := ev.Eval(&sub)
+		if err != nil {
+			return err
+		}
+		out = append(out, res.Kids...)
+		return nil
+	})
+	return out, err
+}
+
+// candidateChunks consults the indexes for an equality qualifier anywhere
+// along the path (the index key is the chunk-relative path of the compared
+// value); nil means "all chunks".
+func (s *Store) candidateChunks(steps []xq.Step) []int64 {
+	prefix := ""
+	for _, st := range steps {
+		if prefix == "" {
+			prefix = st.Name
+		} else {
+			prefix += "/" + st.Name
+		}
+		for _, qual := range st.Quals {
+			if qual.Op != xq.OpEq {
+				continue
+			}
+			path := prefix + "/" + joinPath(qual.Path)
+			if idx, ok := s.indexes[path]; ok {
+				return idx[qual.Value]
+			}
+		}
+	}
+	return nil
+}
+
+func joinPath(p xq.Path) string {
+	parts := make([]string, len(p.Steps))
+	for i, s := range p.Steps {
+		parts[i] = s.Name
+	}
+	return strings.Join(parts, "/")
+}
+
+func (s *Store) eachChunk(ids []int64, fn func(data []byte) error) error {
+	if ids == nil {
+		return s.chunks.scanAll(fn)
+	}
+	for _, id := range ids {
+		data, err := s.chunks.get(id)
+		if err != nil {
+			return err
+		}
+		if err := fn(data); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package docstore
+
+import (
+	"strings"
+	"testing"
+
+	"vxml/internal/storage"
+	"vxml/internal/xmlmodel"
+	"vxml/internal/xq"
+)
+
+const bibXML = `<bib>
+  <book><publisher>SBP</publisher><author>RH</author><title>Curation</title></book>
+  <book><publisher>SBP</publisher><author>RH</author><title>XML</title></book>
+  <book><publisher>AW</publisher><author>SB</author><title>AXML</title></book>
+  <article><author>BC</author><title>P2P</title></article>
+</bib>`
+
+func buildBib(t *testing.T, indexPaths []string) (*Store, *xmlmodel.Symbols) {
+	t.Helper()
+	st, err := storage.OpenStore(t.TempDir(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	syms := xmlmodel.NewSymbols()
+	root, err := xmlmodel.ParseString(bibXML, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(st, root, syms, indexPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, syms
+}
+
+func TestChunking(t *testing.T) {
+	s, _ := buildBib(t, nil)
+	if s.NumChunks() != 4 {
+		t.Errorf("chunks = %d, want 4", s.NumChunks())
+	}
+}
+
+func TestXPathFullScan(t *testing.T) {
+	s, syms := buildBib(t, nil)
+	q := xq.MustParse(`/bib/book[publisher='SBP']`)
+	nodes, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("matches = %d", len(nodes))
+	}
+	got := xmlmodel.TreeString(nodes[0], syms)
+	if !strings.Contains(got, "<title>Curation</title>") {
+		t.Errorf("first match = %s", got)
+	}
+}
+
+func TestXPathIndexed(t *testing.T) {
+	s, _ := buildBib(t, []string{"book/publisher"})
+	q := xq.MustParse(`/bib/book[publisher='AW']`)
+	nodes, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 {
+		t.Fatalf("matches = %d", len(nodes))
+	}
+	// The index must also produce nothing quickly for absent values.
+	q2 := xq.MustParse(`/bib/book[publisher='NONE']`)
+	nodes, err = s.Query(q2)
+	if err != nil || len(nodes) != 0 {
+		t.Errorf("absent value: %d matches, %v", len(nodes), err)
+	}
+}
+
+func TestDeepPathQuery(t *testing.T) {
+	s, _ := buildBib(t, nil)
+	q := xq.MustParse(`/bib/book/title`)
+	nodes, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 {
+		t.Errorf("titles = %d", len(nodes))
+	}
+}
+
+func TestNoXQuerySupport(t *testing.T) {
+	s, _ := buildBib(t, nil)
+	for _, src := range []string{
+		`for $b in /bib/book, $a in /bib/article where $b/author = $a/author return $b`,
+		`for $b in /bib/book return $b/title, $b/author`,
+		`for $b in /bib/book where $b/publisher = 'SBP' return $b`,
+	} {
+		if _, err := s.Query(xq.MustParse(src)); err != ErrNoXQuery {
+			t.Errorf("%s: err = %v, want ErrNoXQuery", src, err)
+		}
+	}
+}
+
+func TestLargeChunksSpanPages(t *testing.T) {
+	st, err := storage.OpenStore(t.TempDir(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	syms := xmlmodel.NewSymbols()
+	// One record much larger than a page.
+	big := xmlmodel.NewElem(syms.Intern("rec"))
+	for i := 0; i < 2000; i++ {
+		big.Append(xmlmodel.NewElem(syms.Intern("f"), xmlmodel.NewText("0123456789")))
+	}
+	root := xmlmodel.NewElem(syms.Intern("db"), big, big.Clone())
+	s, err := Build(st, root, syms, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := xq.MustParse(`/db/rec`)
+	nodes, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("records = %d", len(nodes))
+	}
+	if got := len(nodes[0].Kids); got != 2000 {
+		t.Errorf("fields = %d", got)
+	}
+}
+
+// TestDeepIndexedQualifier: the index is consulted for qualifiers at any
+// step of the path (TQ1's shape), not only the first.
+func TestDeepIndexedQualifier(t *testing.T) {
+	st, err := storage.OpenStore(t.TempDir(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	syms := xmlmodel.NewSymbols()
+	doc := `<alltreebank>
+<FILE><EMPTY><S><NP><JJ>Federal</JJ></NP></S></EMPTY></FILE>
+<FILE><EMPTY><S><NP><JJ>local</JJ></NP></S></EMPTY></FILE>
+<FILE><EMPTY><S><NP><JJ>Federal</JJ></NP></S></EMPTY></FILE>
+</alltreebank>`
+	root, err := xmlmodel.ParseString(doc, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(st, root, syms, []string{"FILE/EMPTY/S/NP/JJ"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := xq.MustParse(`/alltreebank/FILE/EMPTY/S/NP[JJ='Federal']`)
+	nodes, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 {
+		t.Errorf("matches = %d, want 2", len(nodes))
+	}
+	// The index must narrow the candidate set to the two matching chunks.
+	if got := s.candidateChunks(q.Bindings[0].Term.Path.Steps[1:]); len(got) != 2 {
+		t.Errorf("candidate chunks = %v, want 2 ids", got)
+	}
+}

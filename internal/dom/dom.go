@@ -1,0 +1,310 @@
+// Package dom is the Galax-like baseline of the paper's experiments (§5):
+// a straightforward main-memory XQuery interpreter that must load the
+// whole document as a tree and evaluates queries node-at-a-time with
+// nested loops. It shares the xq value-comparison semantics with the
+// vectorized engine, so it also serves as the reference oracle for
+// differential testing.
+package dom
+
+import (
+	"fmt"
+	"time"
+
+	"vxml/internal/xmlmodel"
+	"vxml/internal/xq"
+)
+
+// Evaluator interprets XQ queries over an in-memory tree.
+type Evaluator struct {
+	syms *xmlmodel.Symbols
+	root *xmlmodel.Node
+
+	// Budget bounds the number of nodes materialized into the result (0 =
+	// unlimited); exceeding it aborts with ErrBudget. The experiment
+	// harness uses it to model Galax's out-of-memory failures.
+	Budget int64
+	built  int64
+
+	// Deadline aborts evaluation with ErrTimeout once passed (zero =
+	// none); checked periodically, modeling the paper's ">50000 s" runs.
+	Deadline time.Time
+	ticks    int64
+}
+
+// ErrBudget is returned when the evaluator's node budget is exhausted.
+var ErrBudget = fmt.Errorf("dom: memory budget exhausted")
+
+// ErrTimeout is returned when the evaluator's deadline passes.
+var ErrTimeout = fmt.Errorf("dom: evaluation deadline exceeded")
+
+// NewEvaluator returns an evaluator over the given document tree.
+func NewEvaluator(root *xmlmodel.Node, syms *xmlmodel.Symbols) *Evaluator {
+	return &Evaluator{syms: syms, root: root}
+}
+
+// Eval evaluates the query and returns the result tree.
+func (ev *Evaluator) Eval(q *xq.Query) (*xmlmodel.Node, error) {
+	ev.built = 0
+	result := xmlmodel.NewElem(ev.syms.Intern(q.ResultTag))
+	binding := make(map[string]*xmlmodel.Node, len(q.Bindings))
+	var loop func(i int) error
+	loop = func(i int) error {
+		if i == len(q.Bindings) {
+			ok, err := ev.condsHold(q.Conds, binding)
+			if err != nil || !ok {
+				return err
+			}
+			return ev.emit(q.Return, binding, result)
+		}
+		b := q.Bindings[i]
+		nodes, err := ev.evalTerm(b.Term, binding)
+		if err != nil {
+			return err
+		}
+		for _, n := range nodes {
+			if err := ev.tick(); err != nil {
+				return err
+			}
+			binding[b.Var] = n
+			if err := loop(i + 1); err != nil {
+				return err
+			}
+		}
+		delete(binding, b.Var)
+		return nil
+	}
+	if err := loop(0); err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// evalTerm resolves a path term under the current bindings.
+func (ev *Evaluator) evalTerm(t xq.PathTerm, binding map[string]*xmlmodel.Node) ([]*xmlmodel.Node, error) {
+	var ctx []*xmlmodel.Node
+	if t.Var == "" {
+		// Document-rooted: the first step matches against the root element.
+		steps := t.Path.Steps
+		if len(steps) == 0 {
+			return nil, fmt.Errorf("dom: bare document path")
+		}
+		first, rest := steps[0], steps[1:]
+		var seeds []*xmlmodel.Node
+		if first.Axis == xq.Child {
+			if ev.matchName(ev.root, first.Name) {
+				seeds = append(seeds, ev.root)
+			}
+		} else {
+			ev.collectDescendants(ev.root, first.Name, true, &seeds)
+		}
+		for _, s := range seeds {
+			ok, err := ev.qualsHold(s, first.Quals)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				ctx = append(ctx, s)
+			}
+		}
+		return ev.evalSteps(ctx, rest)
+	}
+	n, ok := binding[t.Var]
+	if !ok {
+		return nil, fmt.Errorf("dom: unbound variable %s", t.Var)
+	}
+	return ev.evalSteps([]*xmlmodel.Node{n}, t.Path.Steps)
+}
+
+func (ev *Evaluator) evalSteps(ctx []*xmlmodel.Node, steps []xq.Step) ([]*xmlmodel.Node, error) {
+	for _, s := range steps {
+		var next []*xmlmodel.Node
+		for _, n := range ctx {
+			if s.Axis == xq.Child {
+				for _, k := range n.Kids {
+					if !k.IsText() && ev.matchName(k, s.Name) {
+						next = append(next, k)
+					}
+				}
+			} else {
+				ev.collectDescendants(n, s.Name, false, &next)
+			}
+		}
+		if len(s.Quals) > 0 {
+			var kept []*xmlmodel.Node
+			for _, n := range next {
+				ok, err := ev.qualsHold(n, s.Quals)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					kept = append(kept, n)
+				}
+			}
+			next = kept
+		}
+		ctx = next
+	}
+	return ctx, nil
+}
+
+// collectDescendants gathers descendant elements matching name;
+// includeSelf also tests n itself.
+func (ev *Evaluator) collectDescendants(n *xmlmodel.Node, name string, includeSelf bool, out *[]*xmlmodel.Node) {
+	if includeSelf && !n.IsText() && ev.matchName(n, name) {
+		*out = append(*out, n)
+	}
+	for _, k := range n.Kids {
+		if k.IsText() {
+			continue
+		}
+		if ev.matchName(k, name) {
+			*out = append(*out, k)
+		}
+		ev.collectDescendants(k, name, false, out)
+	}
+}
+
+func (ev *Evaluator) matchName(n *xmlmodel.Node, name string) bool {
+	if name == "*" {
+		return true
+	}
+	return ev.syms.Name(n.Tag) == name
+}
+
+func (ev *Evaluator) qualsHold(n *xmlmodel.Node, quals []xq.Qual) (bool, error) {
+	for _, q := range quals {
+		nodes, err := ev.evalSteps([]*xmlmodel.Node{n}, q.Path.Steps)
+		if err != nil {
+			return false, err
+		}
+		if q.Op == xq.OpNone {
+			if len(nodes) == 0 {
+				return false, nil
+			}
+			continue
+		}
+		if !anyValueSatisfies(nodes, q.Op, q.Value) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// values returns the comparable values of a node: its direct text
+// children, each a separate value (matching the engine's text-class
+// semantics).
+func values(n *xmlmodel.Node) []string {
+	var out []string
+	for _, k := range n.Kids {
+		if k.IsText() {
+			out = append(out, k.Text)
+		}
+	}
+	return out
+}
+
+func anyValueSatisfies(nodes []*xmlmodel.Node, op xq.CmpOp, c string) bool {
+	for _, n := range nodes {
+		for _, v := range values(n) {
+			if xq.Satisfies(v, op, c) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (ev *Evaluator) condsHold(conds []xq.Cond, binding map[string]*xmlmodel.Node) (bool, error) {
+	for _, c := range conds {
+		ok, err := ev.condHolds(c, binding)
+		if err != nil || !ok {
+			return ok, err
+		}
+	}
+	return true, nil
+}
+
+func (ev *Evaluator) condHolds(c xq.Cond, binding map[string]*xmlmodel.Node) (bool, error) {
+	lvals, err := ev.operandValues(c.Left, binding)
+	if err != nil {
+		return false, err
+	}
+	rvals, err := ev.operandValues(c.Right, binding)
+	if err != nil {
+		return false, err
+	}
+	for _, l := range lvals {
+		for _, r := range rvals {
+			if xq.Satisfies(l, c.Op, r) {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+func (ev *Evaluator) operandValues(o xq.Operand, binding map[string]*xmlmodel.Node) ([]string, error) {
+	if o.Term == nil {
+		return []string{o.Const}, nil
+	}
+	nodes, err := ev.evalTerm(*o.Term, binding)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, n := range nodes {
+		out = append(out, values(n)...)
+	}
+	return out, nil
+}
+
+// emit expands the return items for one variable tuple.
+func (ev *Evaluator) emit(items []xq.RetItem, binding map[string]*xmlmodel.Node, parent *xmlmodel.Node) error {
+	for _, item := range items {
+		switch item := item.(type) {
+		case xq.RetText:
+			if err := ev.charge(1); err != nil {
+				return err
+			}
+			parent.Append(xmlmodel.NewText(item.Text))
+		case xq.RetElem:
+			el := xmlmodel.NewElem(ev.syms.Intern(item.Tag))
+			if err := ev.charge(1); err != nil {
+				return err
+			}
+			if err := ev.emit(item.Kids, binding, el); err != nil {
+				return err
+			}
+			parent.Append(el)
+		case xq.RetPath:
+			nodes, err := ev.evalTerm(item.Term, binding)
+			if err != nil {
+				return err
+			}
+			for _, n := range nodes {
+				if err := ev.charge(int64(n.CountNodes())); err != nil {
+					return err
+				}
+				parent.Append(n.Clone())
+			}
+		}
+	}
+	return nil
+}
+
+func (ev *Evaluator) charge(n int64) error {
+	ev.built += n
+	if ev.Budget > 0 && ev.built > ev.Budget {
+		return ErrBudget
+	}
+	return ev.tick()
+}
+
+// tick checks the deadline every 4096 calls.
+func (ev *Evaluator) tick() error {
+	ev.ticks++
+	if ev.ticks%4096 == 0 && !ev.Deadline.IsZero() && time.Now().After(ev.Deadline) {
+		return ErrTimeout
+	}
+	return nil
+}

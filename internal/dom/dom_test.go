@@ -1,0 +1,108 @@
+package dom
+
+import (
+	"strings"
+	"testing"
+
+	"vxml/internal/xmlmodel"
+	"vxml/internal/xq"
+)
+
+const bibXML = `<bib>
+  <book><publisher>SBP</publisher><author>RH</author><title>Curation</title></book>
+  <book><publisher>SBP</publisher><author>RH</author><title>XML</title></book>
+  <book><publisher>AW</publisher><author>SB</author><title>AXML</title></book>
+  <article><author>BC</author><title>P2P</title></article>
+  <article><author>RH</author><author>BC</author><title>XStore</title></article>
+  <article><author>DD</author><author>RH</author><title>XPath</title></article>
+</bib>`
+
+func eval(t *testing.T, doc, src string) string {
+	t.Helper()
+	syms := xmlmodel.NewSymbols()
+	root, err := xmlmodel.ParseString(doc, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := xq.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := NewEvaluator(root, syms).Eval(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return xmlmodel.TreeString(out, syms)
+}
+
+// TestQ0 is the paper's Example 3.1 on the reference interpreter.
+func TestQ0(t *testing.T) {
+	got := eval(t, bibXML, `<result>
+for $d in doc("bib.xml")/bib, $b in $d/book, $a in $d/article
+where $b/author = $a/author and $b/publisher = 'SBP'
+return $b/title, $a/title
+</result>`)
+	want := "<result>" +
+		"<title>Curation</title><title>XStore</title>" +
+		"<title>Curation</title><title>XPath</title>" +
+		"<title>XML</title><title>XStore</title>" +
+		"<title>XML</title><title>XPath</title>" +
+		"</result>"
+	if got != want {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestDescendant(t *testing.T) {
+	got := eval(t, `<r><a><n>1</n></a><n>2</n></r>`, `for $n in /r//n return $n`)
+	if got != "<result><n>1</n><n>2</n></result>" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestDescendantIncludesRootMatch(t *testing.T) {
+	got := eval(t, `<n><n>1</n></n>`, `for $x in //n return <hit/>`)
+	if strings.Count(got, "<hit/>") != 2 {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestQualifiers(t *testing.T) {
+	got := eval(t, bibXML, `/bib/book[publisher='AW']/title`)
+	if got != "<result><title>AXML</title></result>" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestTemplate(t *testing.T) {
+	got := eval(t, bibXML, `for $b in /bib/book where $b/publisher='AW' return <e>t: {$b/title}</e>`)
+	if got != "<result><e>t: <title>AXML</title></e></result>" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestBudgetAborts(t *testing.T) {
+	syms := xmlmodel.NewSymbols()
+	root, _ := xmlmodel.ParseString(bibXML, syms)
+	q := xq.MustParse(`for $b in /bib/book return $b`)
+	ev := NewEvaluator(root, syms)
+	ev.Budget = 3
+	if _, err := ev.Eval(q); err != ErrBudget {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestUnboundVariableError(t *testing.T) {
+	syms := xmlmodel.NewSymbols()
+	root, _ := xmlmodel.ParseString(bibXML, syms)
+	// Build an AST by hand with a reference to an unbound variable in a
+	// condition (the parser/planner normally reject this).
+	q := &xq.Query{
+		ResultTag: "result",
+		Bindings:  []xq.Binding{{Var: "$x", Term: xq.PathTerm{Path: xq.Path{Steps: []xq.Step{{Name: "bib"}}}}}},
+		Return:    []xq.RetItem{xq.RetPath{Term: xq.PathTerm{Var: "$nope"}}},
+	}
+	if _, err := NewEvaluator(root, syms).Eval(q); err == nil {
+		t.Error("expected error for unbound variable")
+	}
+}

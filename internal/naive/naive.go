@@ -1,0 +1,38 @@
+// Package naive implements the §3.2 baseline for evaluating XQuery over
+// vectorized data: (1) decompress VEC(T) to restore T, (2) compute Q(T)
+// with a node-at-a-time interpreter, (3) vectorize Q(T). The benchmark
+// harness contrasts it with the graph-reduction engine, which avoids the
+// intermediate decompression entirely.
+package naive
+
+import (
+	"vxml/internal/dom"
+	"vxml/internal/skeleton"
+	"vxml/internal/vector"
+	"vxml/internal/vectorize"
+	"vxml/internal/xmlmodel"
+	"vxml/internal/xq"
+)
+
+// Eval evaluates q by decompress-evaluate-revectorize. Budget (node count,
+// 0 = unlimited) bounds both the restored document and the result, for
+// modeling main-memory failures.
+func Eval(skel *skeleton.Skeleton, cls *skeleton.Classes, vecs vector.Set, syms *xmlmodel.Symbols, q *xq.Query, budget int64) (*vectorize.MemRepository, error) {
+	// Step 1: decompress (linear in |T|).
+	tree, err := vectorize.ReconstructTree(skel, cls, vecs)
+	if err != nil {
+		return nil, err
+	}
+	if budget > 0 && int64(tree.CountNodes()) > budget {
+		return nil, dom.ErrBudget
+	}
+	// Step 2: evaluate over the restored tree.
+	ev := dom.NewEvaluator(tree, syms)
+	ev.Budget = budget
+	out, err := ev.Eval(q)
+	if err != nil {
+		return nil, err
+	}
+	// Step 3: vectorize the result.
+	return vectorize.FromTree(out, syms)
+}

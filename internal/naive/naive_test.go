@@ -1,0 +1,77 @@
+package naive
+
+import (
+	"strings"
+	"testing"
+
+	"vxml/internal/core"
+	"vxml/internal/dom"
+	"vxml/internal/qgraph"
+	"vxml/internal/vectorize"
+	"vxml/internal/xmlmodel"
+	"vxml/internal/xq"
+)
+
+const bibXML = `<bib>
+  <book><publisher>SBP</publisher><author>RH</author><title>Curation</title></book>
+  <book><publisher>SBP</publisher><author>RH</author><title>XML</title></book>
+  <book><publisher>AW</publisher><author>SB</author><title>AXML</title></book>
+  <article><author>BC</author><title>P2P</title></article>
+  <article><author>RH</author><author>BC</author><title>XStore</title></article>
+  <article><author>DD</author><author>RH</author><title>XPath</title></article>
+</bib>`
+
+// TestNaiveMatchesEngine: the decompress-evaluate-revectorize baseline and
+// the graph-reduction engine produce the same vectorized result.
+func TestNaiveMatchesEngine(t *testing.T) {
+	queries := []string{
+		`for $b in /bib/book where $b/publisher = 'SBP' return $b/title`,
+		`<result> for $d in doc("x")/bib, $b in $d/book, $a in $d/article
+		 where $b/author = $a/author and $b/publisher = 'SBP'
+		 return $b/title, $a/title </result>`,
+		`/bib/book[publisher='AW']`,
+	}
+	for _, src := range queries {
+		syms := xmlmodel.NewSymbols()
+		repo, err := vectorize.FromString(bibXML, syms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := xq.MustParse(src)
+		nres, err := Eval(repo.Skel, repo.Classes, repo.Vectors, syms, q, 0)
+		if err != nil {
+			t.Fatalf("%s: naive: %v", src, err)
+		}
+		plan, err := qgraph.Build(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := core.NewEngine(repo.Skel, repo.Classes, repo.Vectors, syms, core.Options{})
+		eres, err := eng.Eval(plan)
+		if err != nil {
+			t.Fatalf("%s: engine: %v", src, err)
+		}
+		var nb, eb strings.Builder
+		if err := vectorize.ReconstructXML(nres.Skel, nres.Classes, nres.Vectors, syms, &nb); err != nil {
+			t.Fatal(err)
+		}
+		if err := vectorize.ReconstructXML(eres.Skel, eres.Classes, eres.Vectors, syms, &eb); err != nil {
+			t.Fatal(err)
+		}
+		if nb.String() != eb.String() {
+			t.Errorf("%s:\nnaive:  %s\nengine: %s", src, nb.String(), eb.String())
+		}
+	}
+}
+
+func TestNaiveBudget(t *testing.T) {
+	syms := xmlmodel.NewSymbols()
+	repo, err := vectorize.FromString(bibXML, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := xq.MustParse(`for $b in /bib/book return $b`)
+	if _, err := Eval(repo.Skel, repo.Classes, repo.Vectors, syms, q, 5); err != dom.ErrBudget {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}

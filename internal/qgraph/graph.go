@@ -1,0 +1,72 @@
+package qgraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Graph is the paper's query-graph view (Fig. 3(c)) of a plan: a rooted
+// DAG with a doc node, variable nodes, constant nodes, tree edges labeled
+// with paths and dotted equality edges. It exists for explain output and
+// tests; the engine executes the Plan directly.
+type Graph struct {
+	TreeEdges []GraphEdge
+	EqEdges   []GraphEdge
+}
+
+// GraphEdge is one edge of the query-graph view.
+type GraphEdge struct {
+	From, To string
+	Label    string
+}
+
+// GraphOf derives the query-graph view from a plan.
+func GraphOf(p *Plan) *Graph {
+	g := &Graph{}
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case OpBind:
+			g.TreeEdges = append(g.TreeEdges, GraphEdge{From: "doc", To: op.Var, Label: pathString(op.Path)})
+		case OpProj:
+			g.TreeEdges = append(g.TreeEdges, GraphEdge{From: op.Src, To: op.Var, Label: pathString(op.Path)})
+		case OpSel:
+			g.TreeEdges = append(g.TreeEdges, GraphEdge{From: op.Var, To: fmt.Sprintf("'%s'", op.Value), Label: pathString(op.Path)})
+		case OpExists:
+			g.TreeEdges = append(g.TreeEdges, GraphEdge{From: op.Var, To: "_", Label: pathString(op.Path)})
+		case OpJoin:
+			g.EqEdges = append(g.EqEdges, GraphEdge{
+				From:  op.Var + pathString(op.Path),
+				To:    op.RVar + pathString(op.RPath),
+				Label: op.Cmp.String(),
+			})
+		}
+	}
+	return g
+}
+
+// String renders the graph in a compact text form.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, e := range g.TreeEdges {
+		fmt.Fprintf(&b, "%s --%s--> %s\n", e.From, e.Label, e.To)
+	}
+	for _, e := range g.EqEdges {
+		fmt.Fprintf(&b, "%s ..%s.. %s\n", e.From, e.Label, e.To)
+	}
+	return b.String()
+}
+
+// Dot renders the graph in Graphviz dot syntax (circle nodes for
+// variables, boxes for end points/constants, dotted equality edges).
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph query {\n  rankdir=TB;\n")
+	for _, e := range g.TreeEdges {
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", e.From, e.To, e.Label)
+	}
+	for _, e := range g.EqEdges {
+		fmt.Fprintf(&b, "  %q -> %q [style=dotted, dir=none, label=%q];\n", e.From, e.To, e.Label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

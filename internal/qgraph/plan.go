@@ -1,0 +1,462 @@
+// Package qgraph compiles a parsed XQ query into the paper's query-graph
+// form (§3.3) and orders its operations for graph reduction (§4.1).
+//
+// The query graph's tree edges become projection operations (instantiate a
+// variable from its parent), edges to constants become selections, and
+// equality edges become joins. Qualifiers are desugared into hidden
+// variables plus selection/existence operations (the paper's
+// "w.l.o.g. queries without XPath qualifiers"), and redundant intermediate
+// variables are shortcut at compile time by keeping multi-step paths as
+// single edges. Operations are topologically sorted respecting variable
+// dependencies with the relational heuristic of performing selections (and
+// existence filters) before joins; liveness annotations tell the engine
+// when a column can be dropped from an instantiation table.
+package qgraph
+
+import (
+	"fmt"
+	"strings"
+
+	"vxml/internal/xq"
+)
+
+// OpKind enumerates graph-reduction operations.
+type OpKind uint8
+
+const (
+	// OpBind instantiates a variable from the document root (a tree edge
+	// out of the doc node).
+	OpBind OpKind = iota
+	// OpProj instantiates a variable from another variable (projection).
+	OpProj
+	// OpSel filters a variable by comparing values under a path with a
+	// constant (selection).
+	OpSel
+	// OpExists filters a variable by existence of a path (the paper's
+	// author($b,_) with an unnamed end point).
+	OpExists
+	// OpJoin filters (and, across tables, pairs) two variables by
+	// comparing the values under their paths (equality edge).
+	OpJoin
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpBind:
+		return "bind"
+	case OpProj:
+		return "proj"
+	case OpSel:
+		return "sel"
+	case OpExists:
+		return "exists"
+	case OpJoin:
+		return "join"
+	}
+	return "?"
+}
+
+// Op is one graph-reduction operation.
+type Op struct {
+	Kind OpKind
+	// Var is the variable defined (Bind/Proj) or filtered (Sel/Exists) or
+	// the left side of a join.
+	Var string
+	// Src is the source variable of a projection.
+	Src string
+	// Path is the step sequence: Bind/Proj traverse it; Sel/Exists test it;
+	// for joins it is the left path.
+	Path []xq.Step
+	// Cmp/Value: Sel compares path values with Value; Join compares left
+	// and right path values (Value unused).
+	Cmp   xq.CmpOp
+	Value string
+	// RVar/RPath: the right side of a join.
+	RVar  string
+	RPath []xq.Step
+
+	// DropAfter lists variables whose last use is this operation and that
+	// are not output variables: the engine drops their columns afterwards.
+	DropAfter []string
+}
+
+func (o Op) String() string {
+	var b strings.Builder
+	switch o.Kind {
+	case OpBind:
+		fmt.Fprintf(&b, "bind %s := doc%s", o.Var, pathString(o.Path))
+	case OpProj:
+		fmt.Fprintf(&b, "proj %s := %s%s", o.Var, o.Src, pathString(o.Path))
+	case OpSel:
+		fmt.Fprintf(&b, "sel %s%s %s '%s'", o.Var, pathString(o.Path), o.Cmp, o.Value)
+	case OpExists:
+		fmt.Fprintf(&b, "exists %s%s", o.Var, pathString(o.Path))
+	case OpJoin:
+		fmt.Fprintf(&b, "join %s%s %s %s%s", o.Var, pathString(o.Path), o.Cmp, o.RVar, pathString(o.RPath))
+	}
+	if len(o.DropAfter) > 0 {
+		fmt.Fprintf(&b, " [drop %s]", strings.Join(o.DropAfter, ","))
+	}
+	return b.String()
+}
+
+func pathString(steps []xq.Step) string {
+	return xq.Path{Steps: steps}.String()
+}
+
+// Plan is the ordered operation list plus the result template.
+type Plan struct {
+	Ops []Op
+	// OutputVars are the variables the return expression references, in
+	// first-reference order.
+	OutputVars []string
+	// BoundVars are the for-variables plus hidden qualifier variables, in
+	// definition order (every Bind/Proj target).
+	BoundVars []string
+	ResultTag string
+	Return    []xq.RetItem
+}
+
+// String renders the plan for explain output and tests.
+func (p *Plan) String() string {
+	var b strings.Builder
+	for i, op := range p.Ops {
+		fmt.Fprintf(&b, "%2d. %s\n", i+1, op)
+	}
+	fmt.Fprintf(&b, "output: %s", strings.Join(p.OutputVars, ", "))
+	return b.String()
+}
+
+// builder accumulates operations before ordering.
+type builder struct {
+	ops    []Op
+	hidden int
+	// defined tracks variables with a defining op.
+	defined map[string]bool
+}
+
+func (b *builder) fresh() string {
+	b.hidden++
+	return fmt.Sprintf("$.h%d", b.hidden)
+}
+
+// Options tunes plan construction.
+type Options struct {
+	// SourceOrder disables the selection-first reordering heuristic:
+	// operations run in dependency-respecting source order (an ablation).
+	SourceOrder bool
+}
+
+// Build compiles a query into an ordered, liveness-annotated plan with
+// the default selection-first heuristics.
+func Build(q *xq.Query) (*Plan, error) { return BuildWithOptions(q, Options{}) }
+
+// BuildWithOptions compiles a query with explicit planner options.
+func BuildWithOptions(q *xq.Query, opts Options) (*Plan, error) {
+	b := &builder{defined: map[string]bool{}}
+	plan := &Plan{ResultTag: q.ResultTag, Return: q.Return}
+
+	// Bindings: tree edges (splitting at qualifier attachment points).
+	for _, bind := range q.Bindings {
+		if b.defined[bind.Var] {
+			return nil, fmt.Errorf("qgraph: duplicate variable %s", bind.Var)
+		}
+		if err := b.addPathTerm(bind.Var, bind.Term); err != nil {
+			return nil, err
+		}
+	}
+
+	// Where conditions: selections and joins.
+	for _, cond := range q.Conds {
+		if err := b.addCond(cond); err != nil {
+			return nil, err
+		}
+	}
+
+	// Output variables from the return expression.
+	seen := map[string]bool{}
+	var walkRet func(items []xq.RetItem) error
+	walkRet = func(items []xq.RetItem) error {
+		for _, it := range items {
+			switch it := it.(type) {
+			case xq.RetPath:
+				v := it.Term.Var
+				if v == "" {
+					return fmt.Errorf("qgraph: return item must be variable-rooted, got %s", it.Term)
+				}
+				if !b.defined[v] {
+					return fmt.Errorf("qgraph: return references undefined variable %s", v)
+				}
+				if hasQuals(it.Term.Path.Steps) {
+					return fmt.Errorf("qgraph: qualifiers in return paths are not supported (%s)", it.Term)
+				}
+				if !seen[v] {
+					seen[v] = true
+					plan.OutputVars = append(plan.OutputVars, v)
+				}
+			case xq.RetElem:
+				if err := walkRet(it.Kids); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walkRet(q.Return); err != nil {
+		return nil, err
+	}
+
+	ordered, err := order(b.ops, opts.SourceOrder)
+	if err != nil {
+		return nil, err
+	}
+	plan.Ops = ordered
+	for _, op := range plan.Ops {
+		if op.Kind == OpBind || op.Kind == OpProj {
+			plan.BoundVars = append(plan.BoundVars, op.Var)
+		}
+	}
+	annotateLiveness(plan)
+	return plan, nil
+}
+
+// addPathTerm defines target as term, splitting at qualifier points into
+// hidden variables with attached filter operations.
+func (b *builder) addPathTerm(target string, term xq.PathTerm) error {
+	src := term.Var // "" means document root
+	if src != "" && !b.defined[src] {
+		return fmt.Errorf("qgraph: %s references undefined variable %s", target, src)
+	}
+	steps := term.Path.Steps
+	if src == "" && len(steps) == 0 {
+		return fmt.Errorf("qgraph: %s bound to bare document root", target)
+	}
+	// Walk steps; each step carrying qualifiers ends a segment at a hidden
+	// variable that the qualifier ops filter.
+	cur := src
+	seg := []xq.Step{}
+	flush := func(v string) {
+		clean := make([]xq.Step, len(seg))
+		for i, s := range seg {
+			s.Quals = nil
+			clean[i] = s
+		}
+		if cur == "" {
+			b.ops = append(b.ops, Op{Kind: OpBind, Var: v, Path: clean})
+		} else {
+			b.ops = append(b.ops, Op{Kind: OpProj, Var: v, Src: cur, Path: clean})
+		}
+		b.defined[v] = true
+		cur, seg = v, nil
+	}
+	for i, s := range steps {
+		seg = append(seg, s)
+		last := i == len(steps)-1
+		if len(s.Quals) == 0 && !last {
+			continue
+		}
+		v := target
+		if !last {
+			v = b.fresh()
+		}
+		flush(v)
+		for _, qual := range s.Quals {
+			if err := b.addQual(v, qual); err != nil {
+				return err
+			}
+		}
+	}
+	if len(steps) == 0 {
+		// Alias: target is the same node set as src. Model as a
+		// zero-step projection.
+		b.ops = append(b.ops, Op{Kind: OpProj, Var: target, Src: src})
+		b.defined[target] = true
+	}
+	return nil
+}
+
+func (b *builder) addQual(v string, qual xq.Qual) error {
+	if hasQuals(qual.Path.Steps) {
+		return fmt.Errorf("qgraph: nested qualifiers are not supported")
+	}
+	if qual.Op == xq.OpNone {
+		b.ops = append(b.ops, Op{Kind: OpExists, Var: v, Path: qual.Path.Steps})
+		return nil
+	}
+	b.ops = append(b.ops, Op{Kind: OpSel, Var: v, Path: qual.Path.Steps, Cmp: qual.Op, Value: qual.Value})
+	return nil
+}
+
+func (b *builder) addCond(c xq.Cond) error {
+	// Normalize: constant on the right.
+	l, r, op := c.Left, c.Right, c.Op
+	if l.Term == nil && r.Term == nil {
+		return fmt.Errorf("qgraph: condition compares two constants")
+	}
+	if l.Term == nil {
+		l, r = r, l
+		op = flip(op)
+	}
+	lv, lpath, err := b.condSide(*l.Term)
+	if err != nil {
+		return err
+	}
+	if r.Term == nil {
+		b.ops = append(b.ops, Op{Kind: OpSel, Var: lv, Path: lpath, Cmp: op, Value: r.Const})
+		return nil
+	}
+	rv, rpath, err := b.condSide(*r.Term)
+	if err != nil {
+		return err
+	}
+	b.ops = append(b.ops, Op{Kind: OpJoin, Var: lv, Path: lpath, Cmp: op, RVar: rv, RPath: rpath})
+	return nil
+}
+
+// condSide resolves a condition operand to (variable, relative path),
+// introducing a hidden binding for document-rooted operands.
+func (b *builder) condSide(term xq.PathTerm) (string, []xq.Step, error) {
+	if hasQuals(term.Path.Steps) {
+		return "", nil, fmt.Errorf("qgraph: qualifiers inside conditions are not supported (%s)", term)
+	}
+	if term.Var != "" {
+		if !b.defined[term.Var] {
+			return "", nil, fmt.Errorf("qgraph: condition references undefined variable %s", term.Var)
+		}
+		return term.Var, term.Path.Steps, nil
+	}
+	v := b.fresh()
+	if err := b.addPathTerm(v, xq.PathTerm{Path: xq.Path{Steps: term.Path.Steps}}); err != nil {
+		return "", nil, err
+	}
+	return v, nil, nil
+}
+
+func hasQuals(steps []xq.Step) bool {
+	for _, s := range steps {
+		if len(s.Quals) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func flip(op xq.CmpOp) xq.CmpOp {
+	switch op {
+	case xq.OpLt:
+		return xq.OpGt
+	case xq.OpLe:
+		return xq.OpGe
+	case xq.OpGt:
+		return xq.OpLt
+	case xq.OpGe:
+		return xq.OpLe
+	}
+	return op
+}
+
+// order topologically sorts operations respecting variable dependencies,
+// preferring cheap filters early: ready selections and existence tests run
+// before projections, and joins run last (the paper's §4.1 heuristic,
+// cf. Example 4.1 where publisher($b,'SBP') is scheduled before the
+// author equality join).
+func order(ops []Op, sourceOrder bool) ([]Op, error) {
+	defined := map[string]bool{}
+	done := make([]bool, len(ops))
+	var out []Op
+	ready := func(op Op) bool {
+		switch op.Kind {
+		case OpBind:
+			return true
+		case OpProj:
+			return defined[op.Src]
+		case OpSel, OpExists:
+			return defined[op.Var]
+		case OpJoin:
+			return defined[op.Var] && defined[op.RVar]
+		}
+		return false
+	}
+	for len(out) < len(ops) {
+		pick := -1
+		bestRank := 99
+		for i, op := range ops {
+			if done[i] || !ready(op) {
+				continue
+			}
+			rank := opRank(op.Kind)
+			if sourceOrder {
+				rank = 0 // first ready op in source order wins
+			}
+			if rank < bestRank {
+				bestRank, pick = rank, i
+			}
+			if sourceOrder {
+				break
+			}
+		}
+		if pick == -1 {
+			return nil, fmt.Errorf("qgraph: cyclic or unsatisfiable dependencies")
+		}
+		done[pick] = true
+		op := ops[pick]
+		if op.Kind == OpBind || op.Kind == OpProj {
+			defined[op.Var] = true
+		}
+		out = append(out, op)
+	}
+	return out, nil
+}
+
+func opRank(k OpKind) int {
+	switch k {
+	case OpSel:
+		return 0
+	case OpExists:
+		return 1
+	case OpBind:
+		return 2
+	case OpProj:
+		return 3
+	case OpJoin:
+		return 4
+	}
+	return 9
+}
+
+// annotateLiveness records, per operation, the variables whose last use is
+// that operation and that the return expression does not need.
+func annotateLiveness(p *Plan) {
+	output := map[string]bool{}
+	for _, v := range p.OutputVars {
+		output[v] = true
+	}
+	lastUse := map[string]int{}
+	use := func(v string, i int) {
+		if v != "" {
+			lastUse[v] = i
+		}
+	}
+	for i, op := range p.Ops {
+		use(op.Var, i)
+		use(op.Src, i)
+		use(op.RVar, i)
+	}
+	for v, i := range lastUse {
+		if output[v] {
+			continue
+		}
+		p.Ops[i].DropAfter = append(p.Ops[i].DropAfter, v)
+	}
+	for i := range p.Ops {
+		sortStrings(p.Ops[i].DropAfter)
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

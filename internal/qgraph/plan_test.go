@@ -1,0 +1,214 @@
+package qgraph
+
+import (
+	"strings"
+	"testing"
+
+	"vxml/internal/xq"
+)
+
+func build(t *testing.T, src string) *Plan {
+	t.Helper()
+	q, err := xq.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := Build(q)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+// TestQ0Plan mirrors the paper's Example 4.1: the selection on publisher
+// is scheduled before the author join, and the plan's operations match
+// the reduction sequence.
+func TestQ0Plan(t *testing.T) {
+	p := build(t, `<result>
+for $d in doc("bib.xml")/bib, $b in $d/book, $a in $d/article
+where $b/author = $a/author and $b/publisher = 'SBP'
+return $b/title, $a/title
+</result>`)
+	var kinds []string
+	for _, op := range p.Ops {
+		kinds = append(kinds, op.Kind.String())
+	}
+	got := strings.Join(kinds, " ")
+	// bind $d, proj $b, sel publisher (ASAP after $b), proj $a, join.
+	want := "bind proj sel proj join"
+	if got != want {
+		t.Errorf("op order = %s, want %s\n%s", got, want, p)
+	}
+	if p.Ops[2].Kind != OpSel || p.Ops[2].Value != "SBP" || p.Ops[2].Var != "$b" {
+		t.Errorf("sel op = %+v", p.Ops[2])
+	}
+	if len(p.OutputVars) != 2 || p.OutputVars[0] != "$b" || p.OutputVars[1] != "$a" {
+		t.Errorf("output vars = %v", p.OutputVars)
+	}
+	// $d is not an output var: dropped at its last use (proj $a).
+	projA := p.Ops[3]
+	if projA.Var != "$a" || len(projA.DropAfter) != 1 || projA.DropAfter[0] != "$d" {
+		t.Errorf("proj $a = %+v", projA)
+	}
+}
+
+func TestQualifierDesugaring(t *testing.T) {
+	p := build(t, `/alltreebank/FILE/EMPTY/S/NP[JJ='Federal']`)
+	// bind $x := doc/alltreebank/FILE/EMPTY/S/NP, then sel $x/JJ = Federal.
+	if len(p.Ops) != 2 {
+		t.Fatalf("ops:\n%s", p)
+	}
+	if p.Ops[0].Kind != OpBind || len(p.Ops[0].Path) != 5 {
+		t.Errorf("op0 = %+v", p.Ops[0])
+	}
+	if p.Ops[1].Kind != OpSel || p.Ops[1].Var != "$x" || p.Ops[1].Value != "Federal" {
+		t.Errorf("op1 = %+v", p.Ops[1])
+	}
+}
+
+func TestMidPathQualifierCreatesHiddenVar(t *testing.T) {
+	p := build(t, `for $x in /a/b[c='v']/d return $x`)
+	// bind $.h1 := doc/a/b; sel $.h1/c = v; proj $x := $.h1/d.
+	if len(p.Ops) != 3 {
+		t.Fatalf("ops:\n%s", p)
+	}
+	if p.Ops[0].Kind != OpBind || !strings.HasPrefix(p.Ops[0].Var, "$.h") {
+		t.Errorf("op0 = %+v", p.Ops[0])
+	}
+	if p.Ops[1].Kind != OpSel || p.Ops[1].Var != p.Ops[0].Var {
+		t.Errorf("op1 = %+v", p.Ops[1])
+	}
+	if p.Ops[2].Kind != OpProj || p.Ops[2].Src != p.Ops[0].Var || p.Ops[2].Var != "$x" {
+		t.Errorf("op2 = %+v", p.Ops[2])
+	}
+	// Hidden var dies at the projection.
+	if len(p.Ops[2].DropAfter) != 1 {
+		t.Errorf("DropAfter = %v", p.Ops[2].DropAfter)
+	}
+}
+
+func TestExistenceQualifier(t *testing.T) {
+	p := build(t, `/site/people/person[profile]`)
+	if len(p.Ops) != 2 || p.Ops[1].Kind != OpExists {
+		t.Fatalf("ops:\n%s", p)
+	}
+}
+
+func TestDocRootedConditionOperand(t *testing.T) {
+	p := build(t, `for $x in /a/b where $x/v = /a/c/v return $x`)
+	// The doc-rooted operand becomes a hidden bind + join.
+	var hasJoin, hasHiddenBind bool
+	for _, op := range p.Ops {
+		if op.Kind == OpJoin {
+			hasJoin = true
+		}
+		if op.Kind == OpBind && strings.HasPrefix(op.Var, "$.h") {
+			hasHiddenBind = true
+		}
+	}
+	if !hasJoin || !hasHiddenBind {
+		t.Errorf("plan:\n%s", p)
+	}
+}
+
+func TestConstantOnLeftFlips(t *testing.T) {
+	p := build(t, `for $x in /a where 40 < $x/p return $x`)
+	var sel *Op
+	for i := range p.Ops {
+		if p.Ops[i].Kind == OpSel {
+			sel = &p.Ops[i]
+		}
+	}
+	if sel == nil {
+		t.Fatalf("no selection:\n%s", p)
+	}
+	if sel.Cmp != xq.OpGt || sel.Value != "40" {
+		t.Errorf("sel = %+v", sel)
+	}
+}
+
+func TestVariableAlias(t *testing.T) {
+	p := build(t, `for $x in /a/b, $y in $x return $y`)
+	var alias *Op
+	for i := range p.Ops {
+		op := &p.Ops[i]
+		if op.Kind == OpProj && op.Var == "$y" {
+			alias = op
+		}
+	}
+	if alias == nil || alias.Src != "$x" || len(alias.Path) != 0 {
+		t.Errorf("alias = %+v\n%s", alias, p)
+	}
+}
+
+func TestSelectionsBeforeJoins(t *testing.T) {
+	p := build(t, `for $a in /s/a, $b in /s/b
+where $a/k = $b/k and $a/t = 'x' and $b/u = 'y'
+return $a, $b`)
+	joinIdx, lastSel := -1, -1
+	for i, op := range p.Ops {
+		switch op.Kind {
+		case OpJoin:
+			joinIdx = i
+		case OpSel:
+			lastSel = i
+		}
+	}
+	if joinIdx < lastSel {
+		t.Errorf("join at %d before selection at %d:\n%s", joinIdx, lastSel, p)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	bad := []string{
+		`for $x in /a, $x in /b return $x`,             // duplicate var
+		`for $x in $y/p return $x`,                     // undefined source
+		`for $x in /a where $y/p = 'v' return $x`,      // undefined in cond
+		`for $x in /a where 'a' = 'b' return $x`,       // two constants
+		`for $x in /a return $y`,                       // undefined in return
+		`for $x in /a return $x/b[c='v']`,              // qualifier in return
+		`for $x in /a where $x/b[c='v'] = 1 return $x`, // qualifier in cond
+	}
+	for _, src := range bad {
+		q, err := xq.Parse(src)
+		if err != nil {
+			t.Errorf("parse(%q): %v", src, err)
+			continue
+		}
+		if _, err := Build(q); err == nil {
+			t.Errorf("Build(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestGraphView(t *testing.T) {
+	p := build(t, `<result>
+for $d in doc("bib.xml")/bib, $b in $d/book, $a in $d/article
+where $b/author = $a/author and $b/publisher = 'SBP'
+return $b/title, $a/title
+</result>`)
+	g := GraphOf(p)
+	s := g.String()
+	for _, want := range []string{
+		"doc --/bib--> $d",
+		"$d --/book--> $b",
+		"$d --/article--> $a",
+		"$b --/publisher--> 'SBP'",
+		"$b/author ..=.. $a/author",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("graph missing %q:\n%s", want, s)
+		}
+	}
+	dot := g.Dot()
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "style=dotted") {
+		t.Errorf("dot output:\n%s", dot)
+	}
+}
+
+func TestBoundVarsOrder(t *testing.T) {
+	p := build(t, `for $a in /s/a, $b in $a/b return $b`)
+	if len(p.BoundVars) != 2 || p.BoundVars[0] != "$a" || p.BoundVars[1] != "$b" {
+		t.Errorf("BoundVars = %v", p.BoundVars)
+	}
+}

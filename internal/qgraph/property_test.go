@@ -1,0 +1,131 @@
+package qgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vxml/internal/xq"
+)
+
+// genRandomQuery builds structurally valid random XQ text.
+func genRandomQuery(r *rand.Rand) string {
+	tags := []string{"a", "b", "c", "d"}
+	path := func() string {
+		n := 1 + r.Intn(3)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = tags[r.Intn(len(tags))]
+		}
+		return strings.Join(parts, "/")
+	}
+	var b strings.Builder
+	nvars := 1 + r.Intn(3)
+	fmt.Fprintf(&b, "for $v0 in /root/%s", path())
+	for i := 1; i < nvars; i++ {
+		if r.Intn(2) == 0 {
+			fmt.Fprintf(&b, ", $v%d in $v%d/%s", i, r.Intn(i), path())
+		} else {
+			fmt.Fprintf(&b, ", $v%d in /root/%s", i, path())
+		}
+	}
+	var conds []string
+	for i := 0; i < r.Intn(3); i++ {
+		l := r.Intn(nvars)
+		switch r.Intn(2) {
+		case 0:
+			conds = append(conds, fmt.Sprintf("$v%d/%s = 'k'", l, path()))
+		default:
+			conds = append(conds, fmt.Sprintf("$v%d/%s = $v%d/%s", l, path(), r.Intn(nvars), path()))
+		}
+	}
+	if len(conds) > 0 {
+		b.WriteString(" where " + strings.Join(conds, " and "))
+	}
+	fmt.Fprintf(&b, " return $v%d", r.Intn(nvars))
+	return b.String()
+}
+
+// TestPropertyPlanInvariants: for random queries, the plan (1) defines
+// every variable before use, (2) schedules ready selections before any
+// join, (3) annotates each non-output variable's drop exactly once, and
+// (4) never drops an output variable.
+func TestPropertyPlanInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := genRandomQuery(r)
+		q, err := xq.Parse(src)
+		if err != nil {
+			t.Logf("seed %d: parse %q: %v", seed, src, err)
+			return false
+		}
+		plan, err := Build(q)
+		if err != nil {
+			t.Logf("seed %d: build %q: %v", seed, src, err)
+			return false
+		}
+		output := map[string]bool{}
+		for _, v := range plan.OutputVars {
+			output[v] = true
+		}
+		defined := map[string]bool{}
+		dropped := map[string]int{}
+		seenJoin := false
+		for _, op := range plan.Ops {
+			switch op.Kind {
+			case OpBind:
+				defined[op.Var] = true
+			case OpProj:
+				if !defined[op.Src] {
+					t.Logf("seed %d: %s uses undefined %s", seed, op, op.Src)
+					return false
+				}
+				defined[op.Var] = true
+			case OpSel, OpExists:
+				if !defined[op.Var] {
+					return false
+				}
+				if seenJoin {
+					// A selection after a join must not have been ready
+					// before it: its variable must be defined only by a
+					// projection that itself follows the join. Our
+					// generator defines all variables up front, so any
+					// post-join selection is an ordering violation.
+					t.Logf("seed %d: selection after join in %q:\n%s", seed, src, plan)
+					return false
+				}
+			case OpJoin:
+				if !defined[op.Var] || !defined[op.RVar] {
+					return false
+				}
+				seenJoin = true
+			}
+			for _, v := range op.DropAfter {
+				dropped[v]++
+				if output[v] {
+					t.Logf("seed %d: output var %s dropped", seed, v)
+					return false
+				}
+			}
+		}
+		for v, n := range dropped {
+			if n != 1 {
+				t.Logf("seed %d: %s dropped %d times", seed, v, n)
+				return false
+			}
+		}
+		// Every defined non-output variable is dropped somewhere.
+		for v := range defined {
+			if !output[v] && dropped[v] == 0 {
+				t.Logf("seed %d: %s leaks (never dropped)\n%s", seed, v, plan)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+package relational
+
+import (
+	"fmt"
+
+	"vxml/internal/skeleton"
+	"vxml/internal/vector"
+	"vxml/internal/xmlmodel"
+)
+
+// Assoc is the MonetDB-style association-based XML mapping of [23] as used
+// in the XMark paper [24]: parent-child relationships are binary relations
+// (child oid -> parent oid), one per path ("dataguide" grouping), and text
+// values are (oid, value) relations — which here are exactly the data
+// vectors. A value filter is a single binary-table scan; retrieving a
+// whole subtree must re-join the associations per path, the reconstruction
+// penalty that the paper's KQ4 exposes.
+type Assoc struct {
+	Classes *skeleton.Classes
+	Syms    *xmlmodel.Symbols
+	Vecs    vector.Set
+
+	parents map[skeleton.ClassID][]int64 // occurrence -> parent occurrence
+}
+
+// BuildAssoc materializes the association tables of a vectorized document.
+// (In the experiments this is load-time work, not query-time work.)
+func BuildAssoc(cls *skeleton.Classes, vecs vector.Set, syms *xmlmodel.Symbols) *Assoc {
+	a := &Assoc{Classes: cls, Syms: syms, Vecs: vecs, parents: make(map[skeleton.ClassID][]int64)}
+	for id := skeleton.ClassID(0); int(id) < cls.NumClasses(); id++ {
+		if id == cls.Root() {
+			continue
+		}
+		rm := cls.Runs(id)
+		arr := make([]int64, 0, rm.TotalChildren())
+		var parent int64
+		for _, r := range rm {
+			for p := int64(0); p < r.Parents; p++ {
+				for k := int64(0); k < r.Fanout; k++ {
+					arr = append(arr, parent)
+				}
+				parent++
+			}
+		}
+		a.parents[id] = arr
+	}
+	return a
+}
+
+// Parent returns the parent occurrence of occurrence occ of class id.
+func (a *Assoc) Parent(id skeleton.ClassID, occ int64) int64 {
+	return a.parents[id][occ]
+}
+
+// SelectValues scans the single value table of path (e.g.
+// "/site/people/person/name") and returns the element oids (occurrences
+// of the path's class) whose value satisfies pred — the dataguide
+// shortcut: one table scan, no tree navigation.
+func (a *Assoc) SelectValues(path string, pred func(string) bool) ([]int64, error) {
+	elem := a.Classes.Resolve(path)
+	if elem == skeleton.NoClass {
+		return nil, nil
+	}
+	text := a.Classes.Child(elem, skeleton.TextStep)
+	if text == skeleton.NoClass {
+		return nil, nil
+	}
+	vec, err := a.Vecs.Vector(a.Classes.VectorName(text))
+	if err != nil {
+		return nil, err
+	}
+	tp := a.parents[text]
+	var out []int64
+	err = vec.Scan(0, vec.Len(), func(pos int64, val []byte) error {
+		if pred(string(val)) {
+			oid := tp[pos]
+			if n := len(out); n == 0 || out[n-1] != oid {
+				out = append(out, oid)
+			}
+		}
+		return nil
+	})
+	return out, err
+}
+
+// AncestorsAt maps oids of class id up to the ancestor class anc
+// (deduplicating consecutive repeats; inputs must be sorted, as
+// SelectValues produces).
+func (a *Assoc) AncestorsAt(id, anc skeleton.ClassID, oids []int64) []int64 {
+	cur := id
+	out := oids
+	for cur != anc {
+		parents := a.parents[cur]
+		mapped := make([]int64, 0, len(out))
+		for _, o := range out {
+			p := parents[o]
+			if n := len(mapped); n == 0 || mapped[n-1] != p {
+				mapped = append(mapped, p)
+			}
+		}
+		out = mapped
+		cur = a.Classes.Parent(cur)
+		if cur == skeleton.NoClass {
+			panic("relational: AncestorsAt past root")
+		}
+	}
+	return out
+}
+
+// Values fetches the text values of the given element oids of class elem
+// via point reads on the value table.
+func (a *Assoc) Values(elem skeleton.ClassID, oids []int64) ([]string, error) {
+	text := a.Classes.Child(elem, skeleton.TextStep)
+	if text == skeleton.NoClass {
+		return nil, fmt.Errorf("relational: class %s has no values", a.Classes.Path(elem))
+	}
+	vec, err := a.Vecs.Vector(a.Classes.VectorName(text))
+	if err != nil {
+		return nil, err
+	}
+	// Invert the (text -> parent) association per requested oid: collect
+	// the text positions belonging to each oid with a cursor over runs.
+	cur := skeleton.NewCursor(a.Classes.Runs(text))
+	var out []string
+	for _, oid := range oids {
+		start, count := cur.ChildSpan(oid, 1)
+		err := vec.Scan(start, count, func(_ int64, val []byte) error {
+			out = append(out, string(val))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// childCSR gives, for one child class, the oid range under each parent.
+func (a *Assoc) childSpan(child skeleton.ClassID, parentOid int64) (int64, int64) {
+	cur := skeleton.NewCursor(a.Classes.Runs(child))
+	return cur.ChildSpan(parentOid, 1)
+}
+
+// Reconstruct rebuilds the subtree of one element by joining the
+// association tables class by class — the reconstruction penalty. Sibling
+// interleaving across different child classes is not recorded by the
+// mapping (the known ordering loss of the colonial approach §6); children
+// are emitted grouped by class.
+func (a *Assoc) Reconstruct(elem skeleton.ClassID, oid int64) (*xmlmodel.Node, error) {
+	n := xmlmodel.NewElem(a.Classes.Tag(elem))
+	for _, kid := range a.Classes.Children(elem) {
+		start, count := a.childSpan(kid, oid)
+		if a.Classes.IsText(kid) {
+			vec, err := a.Vecs.Vector(a.Classes.VectorName(kid))
+			if err != nil {
+				return nil, err
+			}
+			err = vec.Scan(start, count, func(_ int64, val []byte) error {
+				n.Append(xmlmodel.NewText(string(val)))
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		for i := int64(0); i < count; i++ {
+			sub, err := a.Reconstruct(kid, start+i)
+			if err != nil {
+				return nil, err
+			}
+			n.Append(sub)
+		}
+	}
+	return n, nil
+}

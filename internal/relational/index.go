@@ -1,0 +1,115 @@
+package relational
+
+import (
+	"sort"
+
+	"vxml/internal/vector"
+	"vxml/internal/xq"
+)
+
+// SortedIndex is a (value, rowID) index over one column, the stand-in for
+// the tuned SQL Server index of the paper's SQ3. Built once at load time;
+// lookups are binary searches.
+type SortedIndex struct {
+	vals []string
+	rows []int64
+}
+
+// BuildIndex sorts the column's values.
+func BuildIndex(col vector.Vector) (*SortedIndex, error) {
+	idx := &SortedIndex{
+		vals: make([]string, 0, col.Len()),
+		rows: make([]int64, 0, col.Len()),
+	}
+	err := col.Scan(0, col.Len(), func(pos int64, val []byte) error {
+		idx.vals = append(idx.vals, string(val))
+		idx.rows = append(idx.rows, pos)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, len(idx.vals))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return xq.CompareValues(idx.vals[order[a]], idx.vals[order[b]]) < 0
+	})
+	vals := make([]string, len(order))
+	rows := make([]int64, len(order))
+	for i, o := range order {
+		vals[i], rows[i] = idx.vals[o], idx.rows[o]
+	}
+	idx.vals, idx.rows = vals, rows
+	return idx, nil
+}
+
+// Len returns the number of indexed rows.
+func (idx *SortedIndex) Len() int { return len(idx.vals) }
+
+// Lookup returns the rowIDs whose value equals v.
+func (idx *SortedIndex) Lookup(v string) []int64 {
+	lo := sort.Search(len(idx.vals), func(i int) bool { return xq.CompareValues(idx.vals[i], v) >= 0 })
+	var out []int64
+	for i := lo; i < len(idx.vals) && xq.CompareValues(idx.vals[i], v) == 0; i++ {
+		out = append(out, idx.rows[i])
+	}
+	return out
+}
+
+// Range returns the rowIDs with lo <= value <= hi (inclusive bounds; pass
+// "" to leave a side unbounded).
+func (idx *SortedIndex) Range(lo, hi string) []int64 {
+	start := 0
+	if lo != "" {
+		start = sort.Search(len(idx.vals), func(i int) bool { return xq.CompareValues(idx.vals[i], lo) >= 0 })
+	}
+	var out []int64
+	for i := start; i < len(idx.vals); i++ {
+		if hi != "" && xq.CompareValues(idx.vals[i], hi) > 0 {
+			break
+		}
+		out = append(out, idx.rows[i])
+	}
+	return out
+}
+
+// IndexNestedLoopJoin probes idx with each outer value, calling fn for
+// every (outerRow, innerRow) match — the plan that wins the paper's SQ3
+// when the outer predicate is highly selective.
+func IndexNestedLoopJoin(outer vector.Vector, outerRows []int64, idx *SortedIndex, fn func(outerRow, innerRow int64) error) error {
+	for _, or := range outerRows {
+		v, err := vector.Get(outer, or)
+		if err != nil {
+			return err
+		}
+		for _, ir := range idx.Lookup(v) {
+			if err := fn(or, ir); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// HashJoin joins two columns on equality, calling fn per matching row
+// pair (build on left, probe with right).
+func HashJoin(left, right vector.Vector, fn func(lrow, rrow int64) error) error {
+	build := make(map[string][]int64)
+	err := left.Scan(0, left.Len(), func(pos int64, val []byte) error {
+		build[string(val)] = append(build[string(val)], pos)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return right.Scan(0, right.Len(), func(rrow int64, val []byte) error {
+		for _, lrow := range build[string(val)] {
+			if err := fn(lrow, rrow); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

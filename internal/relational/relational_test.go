@@ -1,0 +1,349 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"vxml/internal/storage"
+	"vxml/internal/vector"
+	"vxml/internal/vectorize"
+	"vxml/internal/xmlmodel"
+)
+
+func newStore(t testing.TB) *storage.Store {
+	t.Helper()
+	st, err := storage.OpenStore(t.TempDir(), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func TestRowTableScan(t *testing.T) {
+	st := newStore(t)
+	tbl, w, err := CreateRowTable(st, "people", []string{"id", "name", "age"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := w.Append([]string{fmt.Sprint(i), "p" + fmt.Sprint(i), fmt.Sprint(i % 90)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 1000 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	count := 0
+	err = tbl.Scan(func(rowID int64, vals []string) error {
+		if vals[0] != fmt.Sprint(rowID) {
+			return fmt.Errorf("row %d id %s", rowID, vals[0])
+		}
+		if vals[2] == "42" {
+			count++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 11 { // 42 and 42+90*k < 1000: 42,132,...,972
+		t.Errorf("matches = %d, want 11", count)
+	}
+	if tbl.Col("age") != 2 || tbl.Col("missing") != -1 {
+		t.Error("Col lookup broken")
+	}
+}
+
+func TestRowWriterArity(t *testing.T) {
+	st := newStore(t)
+	_, w, _ := CreateRowTable(st, "t", []string{"a", "b"})
+	if err := w.Append([]string{"only-one"}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestColTableScanWhere(t *testing.T) {
+	st := newStore(t)
+	tbl, w, err := CreateColTable(st, "obj", []string{"ra", "dec", "mag", "class"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		class := "STAR"
+		if i%10 == 0 {
+			class = "GALAXY"
+		}
+		if err := w.Append([]string{fmt.Sprint(i), fmt.Sprint(-i), fmt.Sprint(i % 30), class}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	err = tbl.ScanWhere("class", func(v string) bool { return v == "GALAXY" },
+		[]string{"ra", "dec"},
+		func(rowID int64, vals []string) error {
+			got = append(got, vals[0]+"/"+vals[1])
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 || got[0] != "0/0" || got[1] != "10/-10" {
+		t.Errorf("got %d rows, first %v", len(got), got[:2])
+	}
+	if _, err := tbl.Column("missing"); err == nil {
+		t.Error("missing column lookup succeeded")
+	}
+}
+
+func TestSortedIndex(t *testing.T) {
+	m := &vector.Mem{Values: []string{"40", "7", "40", "100", "3"}}
+	idx, err := BuildIndex(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 5 {
+		t.Fatalf("len = %d", idx.Len())
+	}
+	rows := idx.Lookup("40")
+	if len(rows) != 2 || rows[0] != 0 || rows[1] != 2 {
+		t.Errorf("Lookup(40) = %v", rows)
+	}
+	if rows := idx.Lookup("999"); len(rows) != 0 {
+		t.Errorf("Lookup(999) = %v", rows)
+	}
+	// Numeric ordering: 3 < 7 < 40 < 100.
+	if got := idx.Range("7", "40"); len(got) != 3 {
+		t.Errorf("Range(7,40) = %v", got)
+	}
+	if got := idx.Range("", "7"); len(got) != 2 {
+		t.Errorf("Range(,7) = %v", got)
+	}
+	if got := idx.Range("41", ""); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Range(41,) = %v", got)
+	}
+}
+
+func TestIndexNestedLoopJoin(t *testing.T) {
+	outer := &vector.Mem{Values: []string{"a", "b", "zz"}}
+	inner := &vector.Mem{Values: []string{"b", "a", "b"}}
+	idx, _ := BuildIndex(inner)
+	var pairs []string
+	err := IndexNestedLoopJoin(outer, []int64{0, 1, 2}, idx, func(o, i int64) error {
+		pairs = append(pairs, fmt.Sprintf("%d-%d", o, i))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(pairs, " ") != "0-1 1-0 1-2" {
+		t.Errorf("pairs = %v", pairs)
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	left := &vector.Mem{Values: []string{"x", "y", "x"}}
+	right := &vector.Mem{Values: []string{"x", "z"}}
+	var n int
+	err := HashJoin(left, right, func(l, r int64) error { n++; return nil })
+	if err != nil || n != 2 {
+		t.Errorf("join pairs = %d (%v), want 2", n, err)
+	}
+}
+
+const bibXML = `<bib>
+  <book><publisher>SBP</publisher><author>RH</author><title>Curation</title></book>
+  <book><publisher>SBP</publisher><author>RH</author><title>XML</title></book>
+  <book><publisher>AW</publisher><author>SB</author><title>AXML</title></book>
+  <article><author>BC</author><title>P2P</title></article>
+  <article><author>RH</author><author>BC</author><title>XStore</title></article>
+  <article><author>DD</author><author>RH</author><title>XPath</title></article>
+</bib>`
+
+func TestAssocSelectAndValues(t *testing.T) {
+	syms := xmlmodel.NewSymbols()
+	repo, err := vectorize.FromString(bibXML, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := BuildAssoc(repo.Classes, repo.Vectors, syms)
+	oids, err := a.SelectValues("/bib/book/publisher", func(v string) bool { return v == "SBP" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// publisher oids 0 and 1.
+	if len(oids) != 2 || oids[0] != 0 || oids[1] != 1 {
+		t.Fatalf("oids = %v", oids)
+	}
+	pubCls := repo.Classes.Resolve("/bib/book/publisher")
+	bookCls := repo.Classes.Resolve("/bib/book")
+	books := a.AncestorsAt(pubCls, bookCls, oids)
+	if len(books) != 2 || books[0] != 0 || books[1] != 1 {
+		t.Fatalf("books = %v", books)
+	}
+	titleCls := repo.Classes.Resolve("/bib/book/title")
+	// Titles of the matching books via the title association.
+	vals, err := a.Values(titleCls, books)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(vals, ",") != "Curation,XML" {
+		t.Errorf("vals = %v", vals)
+	}
+}
+
+func TestAssocReconstruct(t *testing.T) {
+	syms := xmlmodel.NewSymbols()
+	repo, err := vectorize.FromString(bibXML, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := BuildAssoc(repo.Classes, repo.Vectors, syms)
+	bookCls := repo.Classes.Resolve("/bib/book")
+	n, err := a.Reconstruct(bookCls, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := xmlmodel.TreeString(n, syms)
+	// Children grouped by class: author, publisher, title sort order.
+	for _, want := range []string{"<publisher>AW</publisher>", "<author>SB</author>", "<title>AXML</title>"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("reconstruction %s missing %s", got, want)
+		}
+	}
+}
+
+func TestAssocParentMapping(t *testing.T) {
+	syms := xmlmodel.NewSymbols()
+	repo, _ := vectorize.FromString(bibXML, syms)
+	a := BuildAssoc(repo.Classes, repo.Vectors, syms)
+	authCls := repo.Classes.Resolve("/bib/article/author")
+	// 5 article authors map to articles 0,1,1,2,2.
+	want := []int64{0, 1, 1, 2, 2}
+	for i, w := range want {
+		if got := a.Parent(authCls, int64(i)); got != w {
+			t.Errorf("Parent(auth,%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestRowTableGet(t *testing.T) {
+	st := newStore(t)
+	tbl, w, err := CreateRowTable(st, "g", []string{"id", "val"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		if err := w.Append([]string{fmt.Sprint(i), strings.Repeat("x", 40)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, rid := range []int64{0, 1, 999, 1500, 2999} {
+		vals, err := tbl.Get(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vals[0] != fmt.Sprint(rid) {
+			t.Errorf("Get(%d) id = %s", rid, vals[0])
+		}
+	}
+	if _, err := tbl.Get(3000); err == nil {
+		t.Error("out-of-range Get succeeded")
+	}
+}
+
+// BenchmarkRowVsColumnScan shows the vertical-partitioning I/O asymmetry
+// the whole paper builds on: filtering on one of 24 columns costs a full
+// record decode in the row store but a single-column scan in the column
+// store.
+func BenchmarkRowVsColumnScan(b *testing.B) {
+	cols := make([]string, 24)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("c%d", i)
+	}
+	vals := make([]string, len(cols))
+	for i := range vals {
+		vals[i] = strings.Repeat("v", 12)
+	}
+	const rows = 20000
+
+	b.Run("rowstore", func(b *testing.B) {
+		st := newStore(b)
+		tbl, w, err := CreateRowTable(st, "t", cols)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < rows; i++ {
+			vals[0] = fmt.Sprint(i % 100)
+			if err := w.Append(vals); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			err := tbl.Scan(func(_ int64, v []string) error {
+				if v[0] == "42" {
+					n++
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != rows/100 {
+				b.Fatalf("matches = %d", n)
+			}
+		}
+	})
+
+	b.Run("colstore", func(b *testing.B) {
+		st := newStore(b)
+		tbl, w, err := CreateColTable(st, "t", cols)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < rows; i++ {
+			vals[0] = fmt.Sprint(i % 100)
+			if err := w.Append(vals); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		col, err := tbl.Column("c0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			err := col.Scan(0, col.Len(), func(_ int64, v []byte) error {
+				if string(v) == "42" {
+					n++
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != rows/100 {
+				b.Fatalf("matches = %d", n)
+			}
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package skeleton
+
+import (
+	"encoding/binary"
+
+	"vxml/internal/xmlmodel"
+)
+
+// Builder constructs skeletons bottom-up with hash-consing: Make returns
+// the existing node for a (tag, children) shape if one exists, so identical
+// subtrees are shared (the "folkloric hash-cons" of Prop. 2.1). It also
+// merges consecutive identical child edges into a single counted edge.
+//
+// A Builder can build several skeletons; nodes are shared across them,
+// which is what lets the query engine construct result skeletons that
+// reference subtrees of the input skeleton without copying (§4.1 stepwise
+// compression).
+type Builder struct {
+	cons  map[string]*Node
+	nodes []*Node
+	text  *Node
+	key   []byte // scratch
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{cons: make(map[string]*Node)}
+}
+
+// Text returns the unique '#' text marker node.
+func (b *Builder) Text() *Node {
+	if b.text == nil {
+		b.text = &Node{ID: NodeID(len(b.nodes)), IsText: true}
+		b.nodes = append(b.nodes, b.text)
+	}
+	return b.text
+}
+
+// Make returns the hash-consed node for an element with the given tag and
+// ordered child edges. Consecutive edges to the same child are merged.
+// The edges slice is never retained (it is copied when a new node is
+// created), so callers may reuse their buffers.
+func (b *Builder) Make(tag xmlmodel.Sym, edges []Edge) *Node {
+	edges = mergeRuns(edges)
+	b.key = b.key[:0]
+	b.key = binary.AppendVarint(b.key, int64(tag))
+	for _, e := range edges {
+		b.key = binary.AppendVarint(b.key, int64(e.Child.ID))
+		b.key = binary.AppendVarint(b.key, e.Count)
+	}
+	k := string(b.key)
+	if n, ok := b.cons[k]; ok {
+		return n
+	}
+	owned := make([]Edge, len(edges))
+	copy(owned, edges)
+	n := &Node{ID: NodeID(len(b.nodes)), Tag: tag, Edges: owned}
+	b.nodes = append(b.nodes, n)
+	b.cons[k] = n
+	return n
+}
+
+// Import re-hashes a node (typically from another builder's skeleton) into
+// this builder, sharing where shapes coincide. It is used when a result
+// skeleton embeds subtrees of the input document.
+func (b *Builder) Import(n *Node) *Node {
+	return b.importMemo(n, make(map[*Node]*Node))
+}
+
+func (b *Builder) importMemo(n *Node, memo map[*Node]*Node) *Node {
+	if m, ok := memo[n]; ok {
+		return m
+	}
+	var m *Node
+	if n.IsText {
+		m = b.Text()
+	} else {
+		edges := make([]Edge, len(n.Edges))
+		for i, e := range n.Edges {
+			edges[i] = Edge{Child: b.importMemo(e.Child, memo), Count: e.Count}
+		}
+		m = b.Make(n.Tag, edges)
+	}
+	memo[n] = m
+	return m
+}
+
+// Finish wraps a root node built with this builder into a Skeleton.
+// The builder remains usable; later skeletons share already-built nodes.
+func (b *Builder) Finish(root *Node) *Skeleton {
+	return &Skeleton{Root: root, nodes: b.nodes}
+}
+
+// NumNodes returns the number of unique nodes built so far.
+func (b *Builder) NumNodes() int { return len(b.nodes) }
+
+// mergeRuns merges consecutive edges to the same child node.
+func mergeRuns(edges []Edge) []Edge {
+	out := edges[:0]
+	for _, e := range edges {
+		if e.Count == 0 {
+			continue
+		}
+		if len(out) > 0 && out[len(out)-1].Child == e.Child {
+			out[len(out)-1].Count += e.Count
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// FromTree builds the compressed skeleton of an xmlmodel tree: text nodes
+// become the shared '#' marker and identical subtrees are shared. This is
+// the skeleton half of vectorization (the vector half lives in
+// internal/vectorize, which builds both in one pass).
+func FromTree(root *xmlmodel.Node, b *Builder) *Skeleton {
+	var rec func(n *xmlmodel.Node) *Node
+	rec = func(n *xmlmodel.Node) *Node {
+		if n.IsText() {
+			return b.Text()
+		}
+		edges := make([]Edge, 0, len(n.Kids))
+		for _, k := range n.Kids {
+			edges = append(edges, Edge{Child: rec(k), Count: 1})
+		}
+		return b.Make(n.Tag, edges)
+	}
+	return b.Finish(rec(root))
+}

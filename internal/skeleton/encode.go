@@ -1,0 +1,153 @@
+package skeleton
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"vxml/internal/xmlmodel"
+)
+
+// Binary skeleton file format: magic "VXS1", then the symbol table (count,
+// then length-prefixed names in Sym order), then the node table in NodeID
+// order (tag varint with -1 for the text marker, edge count, then per edge
+// child NodeID varint + run count varint; children always have smaller IDs
+// than their parents thanks to bottom-up construction), then the root ID.
+
+const skelMagic = "VXS1"
+
+// Encode writes the skeleton and its symbol table to w.
+func Encode(w io.Writer, s *Skeleton, syms *xmlmodel.Symbols) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(skelMagic); err != nil {
+		return err
+	}
+	var buf []byte
+	put := func(v int64) {
+		buf = binary.AppendVarint(buf[:0], v)
+		bw.Write(buf)
+	}
+	put(int64(syms.Len()))
+	for i := 1; i <= syms.Len(); i++ {
+		name := syms.Name(xmlmodel.Sym(i))
+		put(int64(len(name)))
+		bw.WriteString(name)
+	}
+	put(int64(len(s.nodes)))
+	for _, n := range s.nodes {
+		if n.IsText {
+			put(-1)
+			continue
+		}
+		put(int64(n.Tag))
+		put(int64(len(n.Edges)))
+		for _, e := range n.Edges {
+			if e.Child.ID >= n.ID {
+				return fmt.Errorf("skeleton: encode: node %d references non-prior child %d", n.ID, e.Child.ID)
+			}
+			put(int64(e.Child.ID))
+			put(e.Count)
+		}
+	}
+	put(int64(s.Root.ID))
+	return bw.Flush()
+}
+
+// Decode reads a skeleton written by Encode. Symbol names are re-interned
+// into syms; tags are remapped accordingly, so syms need not be empty.
+func Decode(r io.Reader, syms *xmlmodel.Symbols) (*Skeleton, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(skelMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("skeleton: decode: %w", err)
+	}
+	if string(magic) != skelMagic {
+		return nil, fmt.Errorf("skeleton: decode: bad magic %q", magic)
+	}
+	get := func() (int64, error) { return binary.ReadVarint(br) }
+	nsyms, err := get()
+	if err != nil {
+		return nil, err
+	}
+	remap := make([]xmlmodel.Sym, nsyms+1)
+	nameBuf := make([]byte, 0, 64)
+	for i := int64(1); i <= nsyms; i++ {
+		ln, err := get()
+		if err != nil {
+			return nil, err
+		}
+		if ln < 0 || ln > 1<<20 {
+			return nil, fmt.Errorf("skeleton: decode: bad name length %d", ln)
+		}
+		if int64(cap(nameBuf)) < ln {
+			nameBuf = make([]byte, ln)
+		}
+		nameBuf = nameBuf[:ln]
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return nil, err
+		}
+		remap[i] = syms.Intern(string(nameBuf))
+	}
+	nnodes, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if nnodes <= 0 || nnodes > 1<<31 {
+		return nil, fmt.Errorf("skeleton: decode: bad node count %d", nnodes)
+	}
+	nodes := make([]*Node, nnodes)
+	for i := int64(0); i < nnodes; i++ {
+		tag, err := get()
+		if err != nil {
+			return nil, err
+		}
+		n := &Node{ID: NodeID(i)}
+		if tag == -1 {
+			n.IsText = true
+		} else {
+			if tag <= 0 || tag > nsyms {
+				return nil, fmt.Errorf("skeleton: decode: node %d bad tag %d", i, tag)
+			}
+			n.Tag = remap[tag]
+			ne, err := get()
+			if err != nil {
+				return nil, err
+			}
+			// A node can have at most one run-length edge per prior unique
+			// node times the maximal interleaving, but arbitrary documents
+			// (e.g. a root with thousands of distinct children) make large
+			// edge lists legitimate; only reject clearly corrupt values.
+			if ne < 0 || ne > 1<<31 {
+				return nil, fmt.Errorf("skeleton: decode: node %d bad edge count %d", i, ne)
+			}
+			n.Edges = make([]Edge, ne)
+			for j := int64(0); j < ne; j++ {
+				child, err := get()
+				if err != nil {
+					return nil, err
+				}
+				count, err := get()
+				if err != nil {
+					return nil, err
+				}
+				if child < 0 || child >= i {
+					return nil, fmt.Errorf("skeleton: decode: node %d bad child %d", i, child)
+				}
+				if count <= 0 {
+					return nil, fmt.Errorf("skeleton: decode: node %d bad count %d", i, count)
+				}
+				n.Edges[j] = Edge{Child: nodes[child], Count: count}
+			}
+		}
+		nodes[i] = n
+	}
+	rootID, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if rootID < 0 || rootID >= nnodes {
+		return nil, fmt.Errorf("skeleton: decode: bad root %d", rootID)
+	}
+	return &Skeleton{Root: nodes[rootID], nodes: nodes}, nil
+}

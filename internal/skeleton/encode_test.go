@@ -1,0 +1,193 @@
+package skeleton
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vxml/internal/xmlmodel"
+)
+
+func TestEncodeDecodeBib(t *testing.T) {
+	skel, _, syms := buildBib(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, skel, syms); err != nil {
+		t.Fatal(err)
+	}
+	syms2 := xmlmodel.NewSymbols()
+	back, err := Decode(&buf, syms2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != skel.NumNodes() || back.NumEdges() != skel.NumEdges() {
+		t.Errorf("decoded %d/%d, want %d/%d", back.NumNodes(), back.NumEdges(), skel.NumNodes(), skel.NumEdges())
+	}
+	if back.ExpandedSize() != skel.ExpandedSize() {
+		t.Errorf("expanded %d, want %d", back.ExpandedSize(), skel.ExpandedSize())
+	}
+	if back.String(syms2) != skel.String(syms) {
+		t.Errorf("decoded skeleton renders differently:\n%s\nvs\n%s", back.String(syms2), skel.String(syms))
+	}
+}
+
+// TestDecodeIntoPopulatedSymbols: decoding remaps tags when the target
+// symbol table already holds different ids.
+func TestDecodeIntoPopulatedSymbols(t *testing.T) {
+	skel, _, syms := buildBib(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, skel, syms); err != nil {
+		t.Fatal(err)
+	}
+	syms2 := xmlmodel.NewSymbols()
+	// Pre-intern names in a different order.
+	syms2.Intern("zzz")
+	syms2.Intern("title")
+	syms2.Intern("bib")
+	back, err := Decode(&buf, syms2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := syms2.Name(back.Root.Tag); got != "bib" {
+		t.Errorf("root tag = %q", got)
+	}
+	if back.String(syms2) != skel.String(syms) {
+		t.Error("remapped skeleton renders differently")
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	skel, _, syms := buildBib(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, skel, syms); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	cases := [][]byte{
+		{},
+		[]byte("XXXX"),
+		good[:4],
+		good[:len(good)/2],
+	}
+	// Flip a byte in the node section.
+	bad := append([]byte{}, good...)
+	bad[len(bad)-1] ^= 0x7f
+	cases = append(cases, bad)
+	for i, data := range cases {
+		if _, err := Decode(bytes.NewReader(data), xmlmodel.NewSymbols()); err == nil {
+			t.Errorf("case %d: corrupt decode succeeded", i)
+		}
+	}
+}
+
+// TestPropertyEncodeDecodeIdentity: round trip for random trees.
+func TestPropertyEncodeDecodeIdentity(t *testing.T) {
+	syms := xmlmodel.NewSymbols()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tree := genTree(r, syms, 0)
+		skel := FromTree(tree, NewBuilder())
+		var buf bytes.Buffer
+		if err := Encode(&buf, skel, syms); err != nil {
+			return false
+		}
+		back, err := Decode(&buf, xmlmodel.NewSymbols())
+		if err != nil {
+			return false
+		}
+		return back.NumNodes() == skel.NumNodes() &&
+			back.NumEdges() == skel.NumEdges() &&
+			back.ExpandedSize() == skel.ExpandedSize()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeRunsBib(t *testing.T) {
+	_, cls, _ := buildBib(t)
+	art := cls.Resolve("/bib/article")
+	runs := cls.NodeRuns(art)
+	// Articles: one 1-author node then two 2-author nodes.
+	if len(runs) != 2 || runs[0].Count != 1 || runs[1].Count != 2 {
+		t.Fatalf("article NodeRuns = %+v", runs)
+	}
+	if runs[0].Node == runs[1].Node {
+		t.Error("distinct article shapes share a node")
+	}
+	// NodeAt addresses instances across runs.
+	if cls.NodeAt(art, 0) != runs[0].Node || cls.NodeAt(art, 2) != runs[1].Node {
+		t.Error("NodeAt mismatch")
+	}
+}
+
+func TestNodeCursorSeeks(t *testing.T) {
+	_, cls, _ := buildBib(t)
+	art := cls.Resolve("/bib/article")
+	nc := NewNodeCursor(cls.NodeRuns(art))
+	a2 := nc.At(2)
+	a0 := nc.At(0) // backwards
+	if a0 == a2 {
+		t.Error("cursor seek backwards broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range At did not panic")
+		}
+	}()
+	nc.At(99)
+}
+
+// TestPropertyNodeRunsMatchWalk: the node-run sequence agrees with a
+// direct expansion walk for every class.
+func TestPropertyNodeRunsMatchWalk(t *testing.T) {
+	syms := xmlmodel.NewSymbols()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tree := genTree(r, syms, 0)
+		skel := FromTree(tree, NewBuilder())
+		cls := NewClasses(skel, syms)
+
+		// Brute-force: walk the expanded tree recording, per class path,
+		// the node sequence.
+		byPath := map[string][]*Node{}
+		var stack []string
+		skel.Walk(func(n *Node) error {
+			label := "#"
+			if !n.IsText {
+				label = syms.Name(n.Tag)
+			}
+			stack = append(stack, label)
+			p := strings.Join(stack, "/")
+			byPath[p] = append(byPath[p], n)
+			return nil
+		}, func(n *Node) error {
+			stack = stack[:len(stack)-1]
+			return nil
+		})
+
+		for id := ClassID(0); int(id) < cls.NumClasses(); id++ {
+			want := byPath[strings.TrimPrefix(cls.Path(id), "/")]
+			var got []*Node
+			for _, nr := range cls.NodeRuns(id) {
+				for i := int64(0); i < nr.Count; i++ {
+					got = append(got, nr.Node)
+				}
+			}
+			if len(got) != len(want) {
+				t.Logf("seed %d class %s: %d vs %d instances", seed, cls.Path(id), len(got), len(want))
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,171 @@
+package skeleton
+
+import "sort"
+
+// Run describes Parents consecutive parent-class occurrences, each with
+// Fanout consecutive child-class occurrences. Because both numberings are
+// document order, the children of consecutive parents are consecutive, so
+// a RunMap fully determines the parent->child positional correspondence.
+type Run struct {
+	Parents int64
+	Fanout  int64
+}
+
+// RunMap is the run-length-encoded occurrence mapping from a class to one
+// of its child classes. For highly regular data it has O(1) runs no matter
+// how large the document (e.g. SkyServer: one run {rows, 1}).
+type RunMap []Run
+
+// TotalParents returns the number of parent occurrences covered.
+func (rm RunMap) TotalParents() int64 {
+	var n int64
+	for _, r := range rm {
+		n += r.Parents
+	}
+	return n
+}
+
+// TotalChildren returns the number of child occurrences covered.
+func (rm RunMap) TotalChildren() int64 {
+	var n int64
+	for _, r := range rm {
+		n += r.Parents * r.Fanout
+	}
+	return n
+}
+
+// normalized merges adjacent runs with equal fanout and drops empty runs.
+func (rm RunMap) normalized() RunMap {
+	out := rm[:0]
+	for _, r := range rm {
+		if r.Parents == 0 {
+			continue
+		}
+		if len(out) > 0 && out[len(out)-1].Fanout == r.Fanout {
+			out[len(out)-1].Parents += r.Parents
+			continue
+		}
+		out = append(out, r)
+	}
+	if out == nil {
+		out = RunMap{}
+	}
+	return out
+}
+
+// appendRepeated appends `times` copies of sub to rm, merging runs. A
+// single-run sub collapses to one run regardless of times, which is what
+// keeps regular data compact.
+func appendRepeated(rm RunMap, sub RunMap, times int64) RunMap {
+	if len(sub) == 0 || times == 0 {
+		return rm
+	}
+	if len(sub) == 1 {
+		r := Run{Parents: sub[0].Parents * times, Fanout: sub[0].Fanout}
+		if len(rm) > 0 && rm[len(rm)-1].Fanout == r.Fanout {
+			rm[len(rm)-1].Parents += r.Parents
+			return rm
+		}
+		return append(rm, r)
+	}
+	// If the whole of sub has uniform fanout it still collapses.
+	uniform := true
+	for _, r := range sub[1:] {
+		if r.Fanout != sub[0].Fanout {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return appendRepeated(rm, RunMap{{Parents: sub.TotalParents(), Fanout: sub[0].Fanout}}, times)
+	}
+	for i := int64(0); i < times; i++ {
+		for _, r := range sub {
+			if len(rm) > 0 && rm[len(rm)-1].Fanout == r.Fanout {
+				rm[len(rm)-1].Parents += r.Parents
+			} else {
+				rm = append(rm, r)
+			}
+		}
+	}
+	return rm
+}
+
+// Cursor answers positional queries over a RunMap via prefix-sum arrays
+// and binary search: O(log runs) per query, stateless after construction,
+// so one cursor per class can be shared by every operation of a query.
+type Cursor struct {
+	rm RunMap
+	pp []int64 // pp[i] = parents before run i; pp[len(rm)] = total
+	cp []int64 // cp[i] = children before run i
+}
+
+// NewCursor builds the prefix arrays for rm.
+func NewCursor(rm RunMap) *Cursor {
+	pp := make([]int64, len(rm)+1)
+	cp := make([]int64, len(rm)+1)
+	for i, r := range rm {
+		pp[i+1] = pp[i] + r.Parents
+		cp[i+1] = cp[i] + r.Parents*r.Fanout
+	}
+	return &Cursor{rm: rm, pp: pp, cp: cp}
+}
+
+// runOfParent returns the run index containing parent position p (or the
+// last run when p == total parents).
+func (c *Cursor) runOfParent(p int64) int {
+	i := sort.Search(len(c.rm), func(i int) bool { return c.pp[i+1] > p })
+	return i
+}
+
+// Prefix returns the number of child occurrences belonging to parents
+// strictly before parent position p.
+func (c *Cursor) Prefix(p int64) int64 {
+	if p >= c.pp[len(c.rm)] {
+		return c.cp[len(c.rm)]
+	}
+	i := c.runOfParent(p)
+	return c.cp[i] + (p-c.pp[i])*c.rm[i].Fanout
+}
+
+// ChildSpan returns the contiguous child occurrence span covering parents
+// [p, p+n): its start and total count.
+func (c *Cursor) ChildSpan(p, n int64) (start, count int64) {
+	start = c.Prefix(p)
+	count = c.Prefix(p+n) - start
+	return start, count
+}
+
+// Segments calls fn for maximal sub-ranges of parents [p, p+n) with
+// uniform fanout: fn(p0, parents, fanout, childStart). Parents with
+// fanout 0 are reported too (the caller decides whether to drop them —
+// the paper's filter step does).
+func (c *Cursor) Segments(p, n int64, fn func(p0, parents, fanout, childStart int64)) {
+	end := p + n
+	total := c.pp[len(c.rm)]
+	if end > total {
+		end = total
+	}
+	if p >= end {
+		return
+	}
+	for i := c.runOfParent(p); i < len(c.rm) && p < end; i++ {
+		segEnd := c.pp[i+1]
+		if end < segEnd {
+			segEnd = end
+		}
+		childStart := c.cp[i] + (p-c.pp[i])*c.rm[i].Fanout
+		fn(p, segEnd-p, c.rm[i].Fanout, childStart)
+		p = segEnd
+	}
+}
+
+// ParentOf returns the parent position owning child occurrence x. It
+// panics if x is out of range.
+func (c *Cursor) ParentOf(x int64) int64 {
+	i := sort.Search(len(c.rm), func(i int) bool { return c.cp[i+1] > x })
+	if i >= len(c.rm) || c.rm[i].Fanout == 0 {
+		panic("skeleton: ParentOf out of range")
+	}
+	return c.pp[i] + (x-c.cp[i])/c.rm[i].Fanout
+}

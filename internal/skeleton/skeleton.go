@@ -1,0 +1,138 @@
+// Package skeleton implements the compressed skeleton of §2.2 of the paper:
+// the tree structure of an XML document with text replaced by '#' markers,
+// compressed into a DAG by hash-consing (sharing identical subtrees) and by
+// run-length encoding consecutive identical child edges.
+//
+// It also provides the positional machinery the query engine builds on:
+// path classes (root-to-node tag paths, which name the data vectors) and
+// run mappings between the document-order occurrence numbering of a class
+// and that of a child class. Run mappings are computed by memoized
+// traversal of the DAG, so their cost is proportional to the size of the
+// compressed skeleton, not the document — the source of the exponential
+// savings of Prop. 3.2.
+package skeleton
+
+import (
+	"fmt"
+	"strings"
+
+	"vxml/internal/xmlmodel"
+)
+
+// NodeID identifies a unique DAG node within one Skeleton.
+type NodeID int32
+
+// Node is a hash-consed skeleton DAG node. Nodes are immutable once built
+// and are shared: two identical subtrees of the document are one Node.
+// A text marker ('#') is a Node with IsText true and no edges.
+type Node struct {
+	ID     NodeID
+	Tag    xmlmodel.Sym // element tag; NoSym for the text marker
+	IsText bool
+	Edges  []Edge
+}
+
+// Edge is a run-length-encoded child edge: Count consecutive occurrences
+// of Child among the parent's ordered children.
+type Edge struct {
+	Child *Node
+	Count int64
+}
+
+// Skeleton is a compressed skeleton: a DAG rooted at Root. Nodes and Edges
+// report the DAG size (the paper's "# Skel. Nodes" / "# Skel. Edges").
+type Skeleton struct {
+	Root  *Node
+	nodes []*Node // by NodeID; nodes[0] is the shared text marker if present
+}
+
+// NumNodes returns the number of unique DAG nodes.
+func (s *Skeleton) NumNodes() int { return len(s.nodes) }
+
+// NumEdges returns the number of DAG edges (each run-length edge counts
+// once, as in the paper's Table 1).
+func (s *Skeleton) NumEdges() int {
+	total := 0
+	for _, n := range s.nodes {
+		total += len(n.Edges)
+	}
+	return total
+}
+
+// Node returns the unique node with the given id.
+func (s *Skeleton) Node(id NodeID) *Node { return s.nodes[id] }
+
+// ExpandedSize returns the number of nodes of the original (uncompressed)
+// document tree, counting element nodes and text markers — |T| in the paper.
+func (s *Skeleton) ExpandedSize() int64 {
+	memo := make([]int64, len(s.nodes))
+	for i := range memo {
+		memo[i] = -1
+	}
+	var rec func(n *Node) int64
+	rec = func(n *Node) int64 {
+		if memo[n.ID] >= 0 {
+			return memo[n.ID]
+		}
+		total := int64(1)
+		for _, e := range n.Edges {
+			total += e.Count * rec(e.Child)
+		}
+		memo[n.ID] = total
+		return total
+	}
+	return rec(s.Root)
+}
+
+// String renders the DAG for debugging, one unique node per line.
+func (s *Skeleton) String(syms *xmlmodel.Symbols) string {
+	var b strings.Builder
+	seen := make([]bool, len(s.nodes))
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if seen[n.ID] {
+			return
+		}
+		seen[n.ID] = true
+		if n.IsText {
+			fmt.Fprintf(&b, "n%d: #\n", n.ID)
+			return
+		}
+		fmt.Fprintf(&b, "n%d: %s ->", n.ID, syms.Name(n.Tag))
+		for _, e := range n.Edges {
+			if e.Count == 1 {
+				fmt.Fprintf(&b, " n%d", e.Child.ID)
+			} else {
+				fmt.Fprintf(&b, " n%d(%d)", e.Child.ID, e.Count)
+			}
+		}
+		b.WriteByte('\n')
+		for _, e := range n.Edges {
+			rec(e.Child)
+		}
+	}
+	rec(s.Root)
+	return b.String()
+}
+
+// Walk expands the DAG back into the original tree shape, calling enter for
+// every node instance in document order and leave when its subtree is done.
+// Cost is linear in the expanded size (Prop. 2.2). Text markers get enter
+// and leave back to back.
+func (s *Skeleton) Walk(enter func(n *Node) error, leave func(n *Node) error) error {
+	var rec func(n *Node) error
+	rec = func(n *Node) error {
+		if err := enter(n); err != nil {
+			return err
+		}
+		for _, e := range n.Edges {
+			for i := int64(0); i < e.Count; i++ {
+				if err := rec(e.Child); err != nil {
+					return err
+				}
+			}
+		}
+		return leave(n)
+	}
+	return rec(s.Root)
+}

@@ -1,0 +1,95 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// fdGate bounds the number of simultaneously open OS file descriptors of a
+// Store. Paged files open their descriptor lazily on first I/O and may be
+// "parked" (descriptor closed, state kept) when the budget is exceeded —
+// necessary because irregular datasets such as TreeBank decompose into
+// hundreds of thousands of vectors, far beyond typical fd limits.
+// Recency is tracked with an O(1) LRU list.
+type fdGate struct {
+	mu    sync.Mutex
+	limit int
+	order *list.List // front = least recently used *File
+	elems map[*File]*list.Element
+}
+
+func newFDGate(limit int) *fdGate {
+	if limit < 8 {
+		limit = 8
+	}
+	return &fdGate{limit: limit, order: list.New(), elems: make(map[*File]*list.Element)}
+}
+
+// admit records use of f and returns files to park if over budget. The
+// caller must hold f.mu and must park the victims after this returns.
+func (g *fdGate) admit(f *File) []*File {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if el, ok := g.elems[f]; ok {
+		g.order.MoveToBack(el)
+	} else {
+		g.elems[f] = g.order.PushBack(f)
+	}
+	var victims []*File
+	for g.order.Len() > g.limit {
+		front := g.order.Front()
+		victim := front.Value.(*File)
+		if victim == f {
+			break
+		}
+		g.order.Remove(front)
+		delete(g.elems, victim)
+		victims = append(victims, victim)
+	}
+	return victims
+}
+
+// forget removes f from the gate's accounting (on explicit Close).
+func (g *fdGate) forget(f *File) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if el, ok := g.elems[f]; ok {
+		g.order.Remove(el)
+		delete(g.elems, f)
+	}
+}
+
+// ensureOpen makes sure f has an open descriptor, parking other files if
+// the budget is exceeded. The caller must hold f.mu.
+func (f *File) ensureOpen() error {
+	if f.f == nil {
+		osf, err := os.OpenFile(f.path, os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return fmt.Errorf("storage: reopen %s: %w", f.path, err)
+		}
+		f.f = osf
+	}
+	if f.gate == nil {
+		return nil
+	}
+	for _, victim := range f.gate.admit(f) {
+		victim.park()
+	}
+	return nil
+}
+
+// park closes f's descriptor if it is not busy. TryLock avoids a lock
+// cycle between two files parking each other; on contention the file is
+// simply left open (a transient budget overshoot).
+func (f *File) park() {
+	if !f.mu.TryLock() {
+		return
+	}
+	defer f.mu.Unlock()
+	if f.f != nil {
+		f.f.Close()
+		f.f = nil
+	}
+}

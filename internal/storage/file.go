@@ -1,0 +1,98 @@
+// Package storage is the Shore-like storage substrate of the system
+// (the paper stored each vector "as a separate clustered file" on top of
+// the Shore storage manager). It provides fixed-size paged files and a
+// shared buffer pool with pin/unpin semantics and LRU eviction, plus I/O
+// counters so experiments can report page traffic alongside wall time.
+//
+// OS file descriptors are opened lazily and bounded by a per-store budget
+// (see fdcache.go), so stores with very many files — one per vector, and
+// irregular documents have hundreds of thousands of vectors — stay within
+// system limits.
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// PageSize is the fixed page size, 8 KiB as in classic storage managers.
+const PageSize = 8192
+
+// FileID identifies an open file within one buffer pool.
+type FileID int32
+
+// File is a paged file: a sequence of PageSize pages addressed by page
+// number. Pages are read and written only through a BufferPool.
+type File struct {
+	id   FileID
+	path string
+	gate *fdGate
+
+	mu    sync.Mutex
+	f     *os.File // nil while parked
+	pages int64    // allocated page count
+}
+
+// Path returns the file's path on disk.
+func (f *File) Path() string { return f.path }
+
+// NumPages returns the number of allocated pages.
+func (f *File) NumPages() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pages
+}
+
+// Size returns the file size in bytes.
+func (f *File) Size() int64 { return f.NumPages() * PageSize }
+
+func (f *File) readPage(pageNo int64, buf []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.ensureOpen(); err != nil {
+		return err
+	}
+	if _, err := f.f.ReadAt(buf[:PageSize], pageNo*PageSize); err != nil {
+		return fmt.Errorf("storage: read %s page %d: %w", f.path, pageNo, err)
+	}
+	return nil
+}
+
+func (f *File) writePage(pageNo int64, buf []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.ensureOpen(); err != nil {
+		return err
+	}
+	if _, err := f.f.WriteAt(buf[:PageSize], pageNo*PageSize); err != nil {
+		return fmt.Errorf("storage: write %s page %d: %w", f.path, pageNo, err)
+	}
+	return nil
+}
+
+// Close closes the underlying OS file if open. The owner (Store or test)
+// must have flushed the buffer pool first.
+func (f *File) Close() error {
+	if f.gate != nil {
+		f.gate.forget(f)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.f == nil {
+		return nil
+	}
+	err := f.f.Close()
+	f.f = nil
+	return err
+}
+
+// Stats aggregates I/O counters for a buffer pool. All fields are
+// monotonic; read them with StatsSnapshot on BufferPool.
+type Stats struct {
+	Hits       int64 // page requests served from the pool
+	Misses     int64 // page requests that read from disk
+	PagesRead  int64
+	PagesWrite int64
+	Evictions  int64
+}

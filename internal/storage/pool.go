@@ -1,0 +1,237 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+type pageKey struct {
+	file FileID
+	page int64
+}
+
+// Frame is a pinned page in the buffer pool. Data is the page's bytes;
+// callers may read it, and may write it only if they Unpin with dirty=true.
+type Frame struct {
+	key   pageKey
+	file  *File
+	Data  []byte
+	pins  int32
+	dirty bool
+	elem  *list.Element // position in LRU list when unpinned
+}
+
+// BufferPool caches pages of many files with LRU eviction. Pinned frames
+// are never evicted. It is safe for concurrent use; pin/unpin pairs must
+// balance.
+type BufferPool struct {
+	mu       sync.Mutex
+	capacity int
+	frames   map[pageKey]*Frame
+	lru      *list.List // unpinned frames, front = least recently used
+	stats    Stats
+}
+
+// NewBufferPool returns a pool holding at most capacity pages.
+func NewBufferPool(capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		capacity: capacity,
+		frames:   make(map[pageKey]*Frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Capacity returns the pool capacity in pages.
+func (p *BufferPool) Capacity() int { return p.capacity }
+
+// Get pins the given page of file into the pool, reading it from disk on a
+// miss. The caller must Unpin the returned frame.
+func (p *BufferPool) Get(f *File, pageNo int64) (*Frame, error) {
+	key := pageKey{f.id, pageNo}
+	p.mu.Lock()
+	if fr, ok := p.frames[key]; ok {
+		fr.pins++
+		if fr.elem != nil {
+			p.lru.Remove(fr.elem)
+			fr.elem = nil
+		}
+		atomic.AddInt64(&p.stats.Hits, 1)
+		p.mu.Unlock()
+		return fr, nil
+	}
+	atomic.AddInt64(&p.stats.Misses, 1)
+	fr, err := p.newFrameLocked(key, f)
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	// Fill under the lock so a racing Get for the same page never observes
+	// an empty frame. I/O under a mutex is coarse, but eviction writes
+	// already happen here and the engine is sequential per query.
+	atomic.AddInt64(&p.stats.PagesRead, 1)
+	if err := f.readPage(pageNo, fr.Data); err != nil {
+		p.mu.Unlock()
+		p.release(fr, false)
+		p.drop(key)
+		return nil, err
+	}
+	p.mu.Unlock()
+	return fr, nil
+}
+
+// Alloc pins a new zeroed page appended to file, returning the frame and
+// the new page number. The frame is dirty by construction; Unpin it with
+// dirty=true.
+func (p *BufferPool) Alloc(f *File) (*Frame, int64, error) {
+	f.mu.Lock()
+	pageNo := f.pages
+	f.pages++
+	f.mu.Unlock()
+	key := pageKey{f.id, pageNo}
+	p.mu.Lock()
+	fr, err := p.newFrameLocked(key, f)
+	p.mu.Unlock()
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := range fr.Data {
+		fr.Data[i] = 0
+	}
+	fr.dirty = true
+	return fr, pageNo, nil
+}
+
+// newFrameLocked creates a pinned frame for key, evicting if needed.
+// Caller holds p.mu.
+func (p *BufferPool) newFrameLocked(key pageKey, f *File) (*Frame, error) {
+	// A racing Get may have created it meanwhile (we are under the lock the
+	// whole time in this implementation, so just check again).
+	if fr, ok := p.frames[key]; ok {
+		fr.pins++
+		if fr.elem != nil {
+			p.lru.Remove(fr.elem)
+			fr.elem = nil
+		}
+		return fr, nil
+	}
+	for len(p.frames) >= p.capacity {
+		victim := p.lru.Front()
+		if victim == nil {
+			return nil, fmt.Errorf("storage: buffer pool exhausted (%d pages, all pinned)", p.capacity)
+		}
+		vf := victim.Value.(*Frame)
+		p.lru.Remove(victim)
+		vf.elem = nil
+		delete(p.frames, vf.key)
+		atomic.AddInt64(&p.stats.Evictions, 1)
+		if vf.dirty {
+			atomic.AddInt64(&p.stats.PagesWrite, 1)
+			if err := vf.file.writePage(vf.key.page, vf.Data); err != nil {
+				return nil, err
+			}
+		}
+	}
+	fr := &Frame{key: key, file: f, Data: make([]byte, PageSize), pins: 1}
+	p.frames[key] = fr
+	return fr, nil
+}
+
+// Unpin releases a pin. If dirty, the page will be written back before
+// eviction or on Flush.
+func (p *BufferPool) Unpin(fr *Frame, dirty bool) {
+	p.release(fr, dirty)
+}
+
+func (p *BufferPool) release(fr *Frame, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if dirty {
+		fr.dirty = true
+	}
+	fr.pins--
+	if fr.pins < 0 {
+		panic("storage: unbalanced Unpin")
+	}
+	if fr.pins == 0 {
+		fr.elem = p.lru.PushBack(fr)
+	}
+}
+
+func (p *BufferPool) drop(key pageKey) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fr, ok := p.frames[key]; ok && fr.pins == 0 {
+		if fr.elem != nil {
+			p.lru.Remove(fr.elem)
+		}
+		delete(p.frames, key)
+	}
+}
+
+// Flush writes all dirty pages back to their files. Pinned frames are
+// flushed too (their content at this moment).
+func (p *BufferPool) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, fr := range p.frames {
+		if fr.dirty {
+			atomic.AddInt64(&p.stats.PagesWrite, 1)
+			if err := fr.file.writePage(fr.key.page, fr.Data); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	return nil
+}
+
+// DropFile flushes and forgets all frames of file f (used when closing a
+// single vector file). Pinned frames cause an error.
+func (p *BufferPool) DropFile(f *File) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for key, fr := range p.frames {
+		if key.file != f.id {
+			continue
+		}
+		if fr.pins > 0 {
+			return fmt.Errorf("storage: DropFile %s: page %d still pinned", f.path, key.page)
+		}
+		if fr.dirty {
+			atomic.AddInt64(&p.stats.PagesWrite, 1)
+			if err := fr.file.writePage(fr.key.page, fr.Data); err != nil {
+				return err
+			}
+		}
+		if fr.elem != nil {
+			p.lru.Remove(fr.elem)
+		}
+		delete(p.frames, key)
+	}
+	return nil
+}
+
+// StatsSnapshot returns a copy of the pool's I/O counters.
+func (p *BufferPool) StatsSnapshot() Stats {
+	return Stats{
+		Hits:       atomic.LoadInt64(&p.stats.Hits),
+		Misses:     atomic.LoadInt64(&p.stats.Misses),
+		PagesRead:  atomic.LoadInt64(&p.stats.PagesRead),
+		PagesWrite: atomic.LoadInt64(&p.stats.PagesWrite),
+		Evictions:  atomic.LoadInt64(&p.stats.Evictions),
+	}
+}
+
+// ResetStats zeroes the I/O counters (between benchmark runs).
+func (p *BufferPool) ResetStats() {
+	atomic.StoreInt64(&p.stats.Hits, 0)
+	atomic.StoreInt64(&p.stats.Misses, 0)
+	atomic.StoreInt64(&p.stats.PagesRead, 0)
+	atomic.StoreInt64(&p.stats.PagesWrite, 0)
+	atomic.StoreInt64(&p.stats.Evictions, 0)
+}

@@ -1,0 +1,356 @@
+package vector
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"vxml/internal/storage"
+)
+
+// Compressed vector files are the §6 extension ("we can incorporate
+// limited vector compression as suggested in [3] to further reduce I/O
+// costs"): values are packed into page-sized batches and each batch is
+// DEFLATE-compressed independently, so positional access still touches
+// O(log pages) pages and decompression happens one page at a time during
+// scans — the query processor never inflates more than it reads.
+//
+// Layout: page 0 is the meta page (magic "VXC1", u64 count, u64 raw value
+// bytes). Each data page holds one batch: u64 firstIdx, u16 record count,
+// u16 payload length, u8 flag (0 = stored raw when DEFLATE would not
+// shrink it, 1 = DEFLATE), then the payload — the same uvarint-length
+// record packing as the uncompressed format, compressed as a unit.
+
+const (
+	compMagic   = "VXC1"
+	compHeader  = 13
+	compPayload = storage.PageSize - compHeader
+	// compBatch is the uncompressed batch size target; recursive splitting
+	// at flush time right-sizes chunks to the data's compressibility.
+	compBatch = 4 * compPayload
+)
+
+// CompressedWriter appends values to a compressed vector file.
+type CompressedWriter struct {
+	pool    *storage.BufferPool
+	file    *storage.File
+	buf     bytes.Buffer // uncompressed batch being assembled
+	nrecs   int
+	first   int64 // index of first record in buf
+	count   int64
+	bytes   int64
+	scratch bytes.Buffer
+	err     error
+
+	// page header values for the chunk being written by emitChunk.
+	firstOut int64
+	nrecsOut int
+}
+
+// NewCompressedWriter starts a fresh compressed vector in file.
+func NewCompressedWriter(pool *storage.BufferPool, file *storage.File) (*CompressedWriter, error) {
+	if file.NumPages() != 0 {
+		return nil, fmt.Errorf("vector: NewCompressedWriter on non-empty file %s", file.Path())
+	}
+	fr, _, err := pool.Alloc(file)
+	if err != nil {
+		return nil, err
+	}
+	pool.Unpin(fr, true)
+	return &CompressedWriter{pool: pool, file: file}, nil
+}
+
+// Append adds one value at the next position.
+func (w *CompressedWriter) Append(val []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(val) > MaxValue {
+		w.err = fmt.Errorf("vector: value of %d bytes exceeds max %d", len(val), MaxValue)
+		return w.err
+	}
+	var lenBuf [binary.MaxVarintLen32]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(val)))
+	w.buf.Write(lenBuf[:n])
+	w.buf.Write(val)
+	w.nrecs++
+	w.count++
+	w.bytes += int64(len(val))
+	if w.buf.Len() >= compBatch {
+		return w.flushBatch()
+	}
+	return nil
+}
+
+// AppendString adds one string value.
+func (w *CompressedWriter) AppendString(val string) error { return w.Append([]byte(val)) }
+
+// flushBatch emits the buffered records as one or more pages: a chunk is
+// DEFLATE-compressed and written whole when the result fits a page;
+// otherwise it is split at a record boundary near the middle and each
+// half handled recursively, so pages pack as much raw data as the data's
+// actual compressibility allows (raw storage is the final fallback for
+// incompressible page-sized chunks).
+func (w *CompressedWriter) flushBatch() error {
+	if w.nrecs == 0 {
+		return nil
+	}
+	data := w.buf.Bytes()
+	if err := w.emitChunk(data, w.nrecs, w.first); err != nil {
+		return err
+	}
+	w.first = w.count
+	w.nrecs = 0
+	w.buf.Reset()
+	return nil
+}
+
+func (w *CompressedWriter) emitChunk(data []byte, recs int, first int64) error {
+	w.scratch.Reset()
+	fw, err := flate.NewWriter(&w.scratch, flate.BestSpeed)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := fw.Write(data); err != nil {
+		w.err = err
+		return err
+	}
+	if err := fw.Close(); err != nil {
+		w.err = err
+		return err
+	}
+	payload, flag := w.scratch.Bytes(), byte(1)
+	if len(payload) >= len(data) && len(data) <= compPayload {
+		payload, flag = data, 0 // incompressible but fits raw
+	}
+	if len(payload) <= compPayload {
+		w.firstOut, w.nrecsOut = first, recs
+		return w.writePage(payload, flag)
+	}
+	if recs == 1 {
+		w.err = fmt.Errorf("vector: single record of %d bytes does not fit a page", len(data))
+		return w.err
+	}
+	// Split near the middle at a record boundary.
+	half := recs / 2
+	off := 0
+	for i := 0; i < half; i++ {
+		ln, n := binary.Uvarint(data[off:])
+		off += n + int(ln)
+	}
+	if err := w.emitChunk(data[:off], half, first); err != nil {
+		return err
+	}
+	return w.emitChunk(data[off:], recs-half, first+int64(half))
+}
+
+func (w *CompressedWriter) writePage(payload []byte, flag byte) error {
+	fr, _, err := w.pool.Alloc(w.file)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	binary.LittleEndian.PutUint64(fr.Data[0:8], uint64(w.firstOut))
+	binary.LittleEndian.PutUint16(fr.Data[8:10], uint16(w.nrecsOut))
+	binary.LittleEndian.PutUint16(fr.Data[10:12], uint16(len(payload)))
+	fr.Data[12] = flag
+	copy(fr.Data[compHeader:], payload)
+	w.pool.Unpin(fr, true)
+	return nil
+}
+
+// Count returns the number of values appended so far.
+func (w *CompressedWriter) Count() int64 { return w.count }
+
+// ValueBytes returns the raw byte size of all appended values.
+func (w *CompressedWriter) ValueBytes() int64 { return w.bytes }
+
+// Close flushes the final batch and writes the meta page.
+func (w *CompressedWriter) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.flushBatch(); err != nil {
+		return err
+	}
+	fr, err := w.pool.Get(w.file, 0)
+	if err != nil {
+		return err
+	}
+	copy(fr.Data[0:4], compMagic)
+	binary.LittleEndian.PutUint64(fr.Data[4:12], uint64(w.count))
+	binary.LittleEndian.PutUint64(fr.Data[12:20], uint64(w.bytes))
+	w.pool.Unpin(fr, true)
+	w.err = fmt.Errorf("vector: writer closed")
+	return nil
+}
+
+// CompressedPaged reads a compressed vector file.
+type CompressedPaged struct {
+	pool  *storage.BufferPool
+	file  *storage.File
+	count int64
+	bytes int64
+
+	// one-page inflate cache: repeated scans of nearby positions reuse it
+	cachePage int64
+	cache     []byte
+	cacheIdx  int64
+	cacheN    int
+}
+
+// OpenCompressed opens a finalized compressed vector file.
+func OpenCompressed(pool *storage.BufferPool, file *storage.File) (*CompressedPaged, error) {
+	fr, err := pool.Get(file, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Unpin(fr, false)
+	if string(fr.Data[0:4]) != compMagic {
+		return nil, fmt.Errorf("vector: %s: bad compressed magic", file.Path())
+	}
+	return &CompressedPaged{
+		pool:      pool,
+		file:      file,
+		count:     int64(binary.LittleEndian.Uint64(fr.Data[4:12])),
+		bytes:     int64(binary.LittleEndian.Uint64(fr.Data[12:20])),
+		cachePage: -1,
+	}, nil
+}
+
+// Len implements Vector.
+func (p *CompressedPaged) Len() int64 { return p.count }
+
+// ValueBytes returns the raw value bytes (before compression).
+func (p *CompressedPaged) ValueBytes() int64 { return p.bytes }
+
+// Scan implements Vector.
+func (p *CompressedPaged) Scan(start, n int64, fn func(pos int64, val []byte) error) error {
+	if n == 0 {
+		return nil
+	}
+	if start < 0 || start+n > p.count {
+		return fmt.Errorf("vector: scan [%d,%d) out of range 0..%d", start, start+n, p.count)
+	}
+	pageNo, err := p.findPage(start)
+	if err != nil {
+		return err
+	}
+	end := start + n
+	pos := int64(-1)
+	for pageNo < p.file.NumPages() {
+		if err := p.loadPage(pageNo); err != nil {
+			return err
+		}
+		pos = p.cacheIdx
+		off := 0
+		for r := 0; r < p.cacheN; r++ {
+			ln, sz := binary.Uvarint(p.cache[off:])
+			if sz <= 0 {
+				return fmt.Errorf("vector: %s: corrupt batch on page %d", p.file.Path(), pageNo)
+			}
+			off += sz
+			if pos >= start {
+				if pos >= end {
+					return nil
+				}
+				if err := fn(pos, p.cache[off:off+int(ln)]); err != nil {
+					return err
+				}
+			}
+			off += int(ln)
+			pos++
+		}
+		if pos >= end {
+			return nil
+		}
+		pageNo++
+	}
+	return fmt.Errorf("vector: %s: scan ran past last page (pos %d, want %d)", p.file.Path(), pos, end)
+}
+
+// loadPage inflates one page into the cache.
+func (p *CompressedPaged) loadPage(pageNo int64) error {
+	if p.cachePage == pageNo {
+		return nil
+	}
+	fr, err := p.pool.Get(p.file, pageNo)
+	if err != nil {
+		return err
+	}
+	firstIdx := int64(binary.LittleEndian.Uint64(fr.Data[0:8]))
+	nrecs := int(binary.LittleEndian.Uint16(fr.Data[8:10]))
+	plen := int(binary.LittleEndian.Uint16(fr.Data[10:12]))
+	flag := fr.Data[12]
+	payload := fr.Data[compHeader : compHeader+plen]
+	if flag == 0 {
+		p.cache = append(p.cache[:0], payload...)
+	} else {
+		rd := flate.NewReader(bytes.NewReader(payload))
+		p.cache = p.cache[:0]
+		buf := make([]byte, 16<<10)
+		for {
+			n, err := rd.Read(buf)
+			p.cache = append(p.cache, buf[:n]...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				p.pool.Unpin(fr, false)
+				return fmt.Errorf("vector: %s: inflate page %d: %w", p.file.Path(), pageNo, err)
+			}
+		}
+		rd.Close()
+	}
+	p.pool.Unpin(fr, false)
+	p.cachePage, p.cacheIdx, p.cacheN = pageNo, firstIdx, nrecs
+	return nil
+}
+
+// findPage binary-searches data pages for the one covering pos.
+func (p *CompressedPaged) findPage(pos int64) (int64, error) {
+	lo, hi := int64(1), p.file.NumPages()-1
+	var ioErr error
+	firstIdxOf := func(pg int64) int64 {
+		fr, err := p.pool.Get(p.file, pg)
+		if err != nil {
+			ioErr = err
+			return 0
+		}
+		defer p.pool.Unpin(fr, false)
+		return int64(binary.LittleEndian.Uint64(fr.Data[0:8]))
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		fi := firstIdxOf(mid)
+		if ioErr != nil {
+			return 0, ioErr
+		}
+		if fi <= pos {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, nil
+}
+
+// OpenAppendCompressed resumes appending to a finalized compressed vector
+// file. Existing pages are untouched; new batches go to fresh pages (the
+// page headers' firstIdx keeps positional access consistent).
+func OpenAppendCompressed(pool *storage.BufferPool, file *storage.File) (*CompressedWriter, error) {
+	fr, err := pool.Get(file, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Unpin(fr, false)
+	if string(fr.Data[0:4]) != compMagic {
+		return nil, fmt.Errorf("vector: %s: bad compressed magic", file.Path())
+	}
+	count := int64(binary.LittleEndian.Uint64(fr.Data[4:12]))
+	bytes := int64(binary.LittleEndian.Uint64(fr.Data[12:20]))
+	return &CompressedWriter{pool: pool, file: file, count: count, bytes: bytes, first: count}, nil
+}

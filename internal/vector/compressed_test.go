@@ -1,0 +1,196 @@
+package vector
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vxml/internal/storage"
+)
+
+func writeCompressed(t testing.TB, store *storage.Store, name string, vals []string) *CompressedPaged {
+	t.Helper()
+	f, err := store.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewCompressedWriter(store.Pool(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		if err := w.AppendString(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := OpenCompressed(store.Pool(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompressedRoundTrip(t *testing.T) {
+	store, _ := newPool(t, 64)
+	var vals []string
+	for i := 0; i < 20000; i++ {
+		vals = append(vals, fmt.Sprintf("value-%06d-%s", i, strings.Repeat("pad", i%5)))
+	}
+	p := writeCompressed(t, store, "cv", vals)
+	if p.Len() != int64(len(vals)) {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	got, err := All(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("val[%d] = %q, want %q", i, got[i], vals[i])
+		}
+	}
+	// Compression must actually shrink redundant text.
+	f, _ := store.Open("cv")
+	if f.Size() >= p.ValueBytes() {
+		t.Errorf("compressed file %d >= raw %d", f.Size(), p.ValueBytes())
+	}
+}
+
+func TestCompressedPositionalScan(t *testing.T) {
+	store, _ := newPool(t, 64)
+	var vals []string
+	for i := 0; i < 9000; i++ {
+		vals = append(vals, fmt.Sprintf("row %d lorem ipsum dolor", i))
+	}
+	p := writeCompressed(t, store, "cv", vals)
+	for _, start := range []int64{0, 1, 4321, 8999} {
+		var got string
+		if err := p.Scan(start, 1, func(pos int64, val []byte) error {
+			got = string(val)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got != vals[start] {
+			t.Errorf("val[%d] = %q", start, got)
+		}
+	}
+	if err := p.Scan(8000, 2000, func(int64, []byte) error { return nil }); err == nil {
+		t.Error("out-of-range scan succeeded")
+	}
+}
+
+func TestCompressedIncompressibleData(t *testing.T) {
+	store, _ := newPool(t, 256)
+	r := rand.New(rand.NewSource(1))
+	var vals []string
+	for i := 0; i < 4000; i++ {
+		b := make([]byte, 40)
+		for j := range b {
+			b[j] = byte(33 + r.Intn(90))
+		}
+		vals = append(vals, string(b))
+	}
+	p := writeCompressed(t, store, "cv", vals)
+	got, err := All(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("val[%d] mismatch", i)
+		}
+	}
+}
+
+func TestDiskSetCompressedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	store, err := storage.OpenStore(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := CreateDiskSet(store)
+	set.SetCompression(true)
+	w, err := set.NewWriter("/doc/field")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if err := w.AppendString(fmt.Sprintf("shared prefix %d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := set.CloseVector("/doc/field", w); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Save(); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+
+	store2, err := storage.OpenStore(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	set2, err := OpenDiskSet(store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := set2.Vector("/doc/field")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v.(*CompressedPaged); !ok {
+		t.Fatalf("reopened vector has type %T, want *CompressedPaged", v)
+	}
+	if v.Len() != 5000 {
+		t.Errorf("len = %d", v.Len())
+	}
+	val, err := Get(v, 4999)
+	if err != nil || val != "shared prefix 4999" {
+		t.Errorf("Get = %q, %v", val, err)
+	}
+}
+
+// TestPropertyCompressedMatchesMem mirrors the uncompressed property test.
+func TestPropertyCompressedMatchesMem(t *testing.T) {
+	store, _ := newPool(t, 64)
+	seq := 0
+	f := func(seed int64) bool {
+		seq++
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(2000)
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = strings.Repeat("x", r.Intn(60)) + fmt.Sprint(i)
+		}
+		p := writeCompressed(t, store, fmt.Sprintf("pcv%d", seq), vals)
+		m := &Mem{Values: vals}
+		for trial := 0; trial < 8; trial++ {
+			start := int64(0)
+			if n > 0 {
+				start = int64(r.Intn(n))
+			}
+			cnt := int64(0)
+			if rem := int64(n) - start; rem > 0 {
+				cnt = int64(r.Int63n(rem))
+			}
+			var a, b []string
+			p.Scan(start, cnt, func(_ int64, v []byte) error { a = append(a, string(v)); return nil })
+			m.Scan(start, cnt, func(_ int64, v []byte) error { b = append(b, string(v)); return nil })
+			if strings.Join(a, "\x00") != strings.Join(b, "\x00") {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,184 @@
+package vector
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"vxml/internal/storage"
+)
+
+// DiskSet is a Set backed by a storage.Store: one paged file per vector
+// plus a catalog mapping vector names (which contain '/') to file names.
+// Vectors are opened lazily — a query pays I/O only for the vectors it
+// scans, which is the paper's central claim.
+type DiskSet struct {
+	store    *storage.Store
+	catalog  map[string]catalogEntry
+	open     map[string]Vector
+	compress bool
+}
+
+type catalogEntry struct {
+	File       string `json:"file"`
+	Count      int64  `json:"count"`
+	Bytes      int64  `json:"bytes"`
+	Compressed bool   `json:"compressed,omitempty"`
+}
+
+// SetCompression makes subsequently created vectors DEFLATE-compressed
+// per page (the §6 extension); existing vectors keep their format, which
+// the catalog records per vector.
+func (s *DiskSet) SetCompression(on bool) { s.compress = on }
+
+// SetWriter appends values to one vector of a DiskSet; both the plain and
+// the compressed writers satisfy it.
+type SetWriter interface {
+	Append(val []byte) error
+	AppendString(val string) error
+	Count() int64
+	ValueBytes() int64
+	Close() error
+}
+
+const catalogName = "vectors.json"
+
+// CreateDiskSet starts an empty disk set in store. Call Save after all
+// writers are closed.
+func CreateDiskSet(store *storage.Store) *DiskSet {
+	return &DiskSet{
+		store:   store,
+		catalog: make(map[string]catalogEntry),
+		open:    make(map[string]Vector),
+	}
+}
+
+// OpenDiskSet opens an existing disk set from store's directory.
+func OpenDiskSet(store *storage.Store) (*DiskSet, error) {
+	data, err := os.ReadFile(filepath.Join(store.Dir(), catalogName))
+	if err != nil {
+		return nil, fmt.Errorf("vector: open disk set: %w", err)
+	}
+	s := CreateDiskSet(store)
+	if err := json.Unmarshal(data, &s.catalog); err != nil {
+		return nil, fmt.Errorf("vector: parse catalog: %w", err)
+	}
+	return s, nil
+}
+
+// NewWriter creates the named vector and returns a writer for it. The name
+// must be new. The caller must Close the writer (via CloseVector), then
+// call Save once all vectors are written.
+func (s *DiskSet) NewWriter(name string) (SetWriter, error) {
+	if _, ok := s.catalog[name]; ok {
+		return nil, fmt.Errorf("vector: vector %q already exists", name)
+	}
+	fileName := fmt.Sprintf("v%06d.vec", len(s.catalog))
+	f, err := s.store.Open(fileName)
+	if err != nil {
+		return nil, err
+	}
+	s.catalog[name] = catalogEntry{File: fileName, Compressed: s.compress}
+	if s.compress {
+		return NewCompressedWriter(s.store.Pool(), f)
+	}
+	return NewWriter(s.store.Pool(), f)
+}
+
+// CloseVector finalizes a vector written via NewWriter and records its
+// stats in the catalog.
+func (s *DiskSet) CloseVector(name string, w SetWriter) error {
+	count, bytes := w.Count(), w.ValueBytes()
+	if err := w.Close(); err != nil {
+		return err
+	}
+	e := s.catalog[name]
+	e.Count, e.Bytes = count, bytes
+	s.catalog[name] = e
+	return nil
+}
+
+// Save writes the catalog. Call it after all writers are closed.
+func (s *DiskSet) Save() error {
+	data, err := json.MarshalIndent(s.catalog, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(s.store.Dir(), catalogName), data, 0o644); err != nil {
+		return fmt.Errorf("vector: save catalog: %w", err)
+	}
+	return s.store.Pool().Flush()
+}
+
+// Names implements Set.
+func (s *DiskSet) Names() []string {
+	out := make([]string, 0, len(s.catalog))
+	for n := range s.catalog {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Vector implements Set, opening the paged file on first use.
+func (s *DiskSet) Vector(name string) (Vector, error) {
+	if v, ok := s.open[name]; ok {
+		return v, nil
+	}
+	e, ok := s.catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("vector: no vector %q", name)
+	}
+	f, err := s.store.Open(e.File)
+	if err != nil {
+		return nil, err
+	}
+	var v Vector
+	if e.Compressed {
+		v, err = OpenCompressed(s.store.Pool(), f)
+	} else {
+		v, err = OpenPaged(s.store.Pool(), f)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.open[name] = v
+	return v, nil
+}
+
+// Count returns the catalog's record count for a vector without opening it.
+func (s *DiskSet) Count(name string) (int64, bool) {
+	e, ok := s.catalog[name]
+	return e.Count, ok
+}
+
+// CatalogBytes returns the summed raw value bytes across all vectors, from
+// the catalog alone (no I/O).
+func (s *DiskSet) CatalogBytes() int64 {
+	var total int64
+	for _, e := range s.catalog {
+		total += e.Bytes
+	}
+	return total
+}
+
+// AppendWriter returns a writer positioned at the end of the named vector,
+// creating the vector if it does not exist yet (a newly appearing path).
+// Finalize with CloseVector, then Save.
+func (s *DiskSet) AppendWriter(name string) (SetWriter, error) {
+	e, ok := s.catalog[name]
+	if !ok {
+		return s.NewWriter(name)
+	}
+	delete(s.open, name) // invalidate any cached reader
+	f, err := s.store.Open(e.File)
+	if err != nil {
+		return nil, err
+	}
+	if e.Compressed {
+		return OpenAppendCompressed(s.store.Pool(), f)
+	}
+	return OpenAppendWriter(s.store.Pool(), f)
+}

@@ -1,0 +1,276 @@
+package vector
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vxml/internal/storage"
+)
+
+// On-disk vector file layout.
+//
+// Page 0 is the meta page: magic "VXV1", then u64 record count and u64
+// total value bytes. Data pages follow, each with a 12-byte header —
+// u64 firstIdx (position of the first record starting in the page),
+// u16 record count, u16 used payload bytes — and records packed as
+// uvarint(length) + bytes. Records never span pages, so one value must fit
+// a page payload (MaxValue); the datasets this system targets (scientific
+// and synthetic repositories of short fields) satisfy this comfortably.
+// Positional seeks binary-search page headers via firstIdx, touching
+// O(log pages) pages.
+
+const (
+	metaMagic  = "VXV1"
+	headerSize = 12
+	payload    = storage.PageSize - headerSize
+	// MaxValue is the largest storable value, bounded by one page payload
+	// minus the worst-case length prefix.
+	MaxValue = payload - binary.MaxVarintLen32
+)
+
+// Writer appends values to a paged vector file. Call Close to finalize the
+// meta page. A Writer must be the only user of its file until closed.
+//
+// The writer does not keep its current page pinned between appends (it
+// re-pins per append and patches the page header each time), so thousands
+// of concurrent writers — one per vector of an irregular document — share
+// a bounded buffer pool.
+type Writer struct {
+	pool  *storage.BufferPool
+	file  *storage.File
+	page  int64 // current data page, -1 before the first
+	used  int
+	nrecs int
+	count int64
+	bytes int64
+	err   error
+}
+
+// NewWriter starts writing a fresh vector into file, which must be empty.
+func NewWriter(pool *storage.BufferPool, file *storage.File) (*Writer, error) {
+	if file.NumPages() != 0 {
+		return nil, fmt.Errorf("vector: NewWriter on non-empty file %s", file.Path())
+	}
+	// Reserve the meta page.
+	fr, _, err := pool.Alloc(file)
+	if err != nil {
+		return nil, err
+	}
+	pool.Unpin(fr, true)
+	return &Writer{pool: pool, file: file, page: -1}, nil
+}
+
+// Append adds one value at the next position.
+func (w *Writer) Append(val []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(val) > MaxValue {
+		w.err = fmt.Errorf("vector: value of %d bytes exceeds max %d", len(val), MaxValue)
+		return w.err
+	}
+	var lenBuf [binary.MaxVarintLen32]byte
+	ln := binary.PutUvarint(lenBuf[:], uint64(len(val)))
+	need := ln + len(val)
+	var fr *storage.Frame
+	if w.page < 0 || w.used+need > payload {
+		var err error
+		fr, w.page, err = w.pool.Alloc(w.file)
+		if err != nil {
+			w.err = err
+			return err
+		}
+		w.used, w.nrecs = 0, 0
+		binary.LittleEndian.PutUint64(fr.Data[0:8], uint64(w.count))
+	} else {
+		var err error
+		fr, err = w.pool.Get(w.file, w.page)
+		if err != nil {
+			w.err = err
+			return err
+		}
+	}
+	off := headerSize + w.used
+	copy(fr.Data[off:], lenBuf[:ln])
+	copy(fr.Data[off+ln:], val)
+	w.used += need
+	w.nrecs++
+	w.count++
+	w.bytes += int64(len(val))
+	// Keep the header current so the page is valid even if evicted.
+	binary.LittleEndian.PutUint16(fr.Data[8:10], uint16(w.nrecs))
+	binary.LittleEndian.PutUint16(fr.Data[10:12], uint16(w.used))
+	w.pool.Unpin(fr, true)
+	return nil
+}
+
+// AppendString adds one string value.
+func (w *Writer) AppendString(val string) error { return w.Append([]byte(val)) }
+
+// Count returns the number of values appended so far.
+func (w *Writer) Count() int64 { return w.count }
+
+// ValueBytes returns the raw byte size of all appended values.
+func (w *Writer) ValueBytes() int64 { return w.bytes }
+
+// Close finalizes the vector by writing the meta page (data page headers
+// are kept current on every append). The Writer must not be used
+// afterwards.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	fr, err := w.pool.Get(w.file, 0)
+	if err != nil {
+		return err
+	}
+	copy(fr.Data[0:4], metaMagic)
+	binary.LittleEndian.PutUint64(fr.Data[4:12], uint64(w.count))
+	binary.LittleEndian.PutUint64(fr.Data[12:20], uint64(w.bytes))
+	w.pool.Unpin(fr, true)
+	w.err = fmt.Errorf("vector: writer closed")
+	return nil
+}
+
+// Paged is a Vector reading from a paged vector file through a buffer pool.
+type Paged struct {
+	pool  *storage.BufferPool
+	file  *storage.File
+	count int64
+	bytes int64
+}
+
+// OpenPaged opens a finalized vector file.
+func OpenPaged(pool *storage.BufferPool, file *storage.File) (*Paged, error) {
+	fr, err := pool.Get(file, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Unpin(fr, false)
+	if string(fr.Data[0:4]) != metaMagic {
+		return nil, fmt.Errorf("vector: %s: bad magic", file.Path())
+	}
+	return &Paged{
+		pool:  pool,
+		file:  file,
+		count: int64(binary.LittleEndian.Uint64(fr.Data[4:12])),
+		bytes: int64(binary.LittleEndian.Uint64(fr.Data[12:20])),
+	}, nil
+}
+
+// Len implements Vector.
+func (p *Paged) Len() int64 { return p.count }
+
+// ValueBytes returns the total byte size of all values.
+func (p *Paged) ValueBytes() int64 { return p.bytes }
+
+// Scan implements Vector: it seeks to the page containing start with a
+// binary search over page headers, then streams pages sequentially.
+func (p *Paged) Scan(start, n int64, fn func(pos int64, val []byte) error) error {
+	if n == 0 {
+		return nil
+	}
+	if start < 0 || start+n > p.count {
+		return fmt.Errorf("vector: scan [%d,%d) out of range 0..%d", start, start+n, p.count)
+	}
+	pageNo, err := p.findPage(start)
+	if err != nil {
+		return err
+	}
+	pos := int64(-1)
+	end := start + n
+	for pageNo < p.file.NumPages() {
+		fr, err := p.pool.Get(p.file, pageNo)
+		if err != nil {
+			return err
+		}
+		firstIdx := int64(binary.LittleEndian.Uint64(fr.Data[0:8]))
+		nrecs := int(binary.LittleEndian.Uint16(fr.Data[8:10]))
+		pos = firstIdx
+		off := headerSize
+		for r := 0; r < nrecs; r++ {
+			ln, sz := binary.Uvarint(fr.Data[off:])
+			if sz <= 0 {
+				p.pool.Unpin(fr, false)
+				return fmt.Errorf("vector: %s: corrupt record on page %d", p.file.Path(), pageNo)
+			}
+			off += sz
+			if pos >= start {
+				if pos >= end {
+					p.pool.Unpin(fr, false)
+					return nil
+				}
+				if err := fn(pos, fr.Data[off:off+int(ln)]); err != nil {
+					p.pool.Unpin(fr, false)
+					return err
+				}
+			}
+			off += int(ln)
+			pos++
+		}
+		p.pool.Unpin(fr, false)
+		if pos >= end {
+			return nil
+		}
+		pageNo++
+	}
+	return fmt.Errorf("vector: %s: scan ran past last page (pos %d, want %d)", p.file.Path(), pos, end)
+}
+
+// findPage binary-searches data pages for the one whose records cover pos.
+func (p *Paged) findPage(pos int64) (int64, error) {
+	lo, hi := int64(1), p.file.NumPages()-1
+	var scanErr error
+	firstIdxOf := func(pg int64) int64 {
+		fr, err := p.pool.Get(p.file, pg)
+		if err != nil {
+			scanErr = err
+			return 0
+		}
+		defer p.pool.Unpin(fr, false)
+		return int64(binary.LittleEndian.Uint64(fr.Data[0:8]))
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		fi := firstIdxOf(mid)
+		if scanErr != nil {
+			return 0, scanErr
+		}
+		if fi <= pos {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, nil
+}
+
+// OpenAppendWriter resumes appending to a finalized vector file: the meta
+// page supplies the running count, and the last data page's header tells
+// where to continue — the write half of the paper's §6 incremental
+// maintenance. The caller must Close again to refresh the meta page.
+func OpenAppendWriter(pool *storage.BufferPool, file *storage.File) (*Writer, error) {
+	fr, err := pool.Get(file, 0)
+	if err != nil {
+		return nil, err
+	}
+	if string(fr.Data[0:4]) != metaMagic {
+		pool.Unpin(fr, false)
+		return nil, fmt.Errorf("vector: %s: bad magic", file.Path())
+	}
+	count := int64(binary.LittleEndian.Uint64(fr.Data[4:12]))
+	bytes := int64(binary.LittleEndian.Uint64(fr.Data[12:20]))
+	pool.Unpin(fr, false)
+	w := &Writer{pool: pool, file: file, page: -1, count: count, bytes: bytes}
+	if last := file.NumPages() - 1; last >= 1 {
+		fr, err := pool.Get(file, last)
+		if err != nil {
+			return nil, err
+		}
+		w.page = last
+		w.nrecs = int(binary.LittleEndian.Uint16(fr.Data[8:10]))
+		w.used = int(binary.LittleEndian.Uint16(fr.Data[10:12]))
+		pool.Unpin(fr, false)
+	}
+	return w, nil
+}

@@ -1,0 +1,336 @@
+package vector
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vxml/internal/storage"
+)
+
+func newPool(t testing.TB, pages int) (*storage.Store, *storage.BufferPool) {
+	t.Helper()
+	s, err := storage.OpenStore(t.TempDir(), pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, s.Pool()
+}
+
+func writeVector(t testing.TB, store *storage.Store, name string, vals []string) *Paged {
+	t.Helper()
+	f, err := store.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(store.Pool(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		if err := w.AppendString(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := OpenPaged(store.Pool(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMemVector(t *testing.T) {
+	m := &Mem{}
+	m.Append("a")
+	m.Append("b")
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	got, err := All(m)
+	if err != nil || strings.Join(got, ",") != "a,b" {
+		t.Errorf("All = %v, %v", got, err)
+	}
+	if err := m.Scan(1, 2, func(int64, []byte) error { return nil }); err == nil {
+		t.Error("out-of-range scan succeeded")
+	}
+}
+
+func TestPagedRoundTrip(t *testing.T) {
+	store, _ := newPool(t, 16)
+	vals := []string{"SBP", "SBP", "AW", "", "a longer value with spaces", "ünïcode"}
+	p := writeVector(t, store, "v", vals)
+	if p.Len() != int64(len(vals)) {
+		t.Fatalf("Len = %d, want %d", p.Len(), len(vals))
+	}
+	got, err := All(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Errorf("val[%d] = %q, want %q", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestPagedMultiPage(t *testing.T) {
+	store, _ := newPool(t, 4) // smaller than the file: forces eviction + re-read
+	var vals []string
+	for i := 0; i < 5000; i++ {
+		vals = append(vals, fmt.Sprintf("value-%06d", i))
+	}
+	p := writeVector(t, store, "v", vals)
+	if p.file.NumPages() < 5 {
+		t.Fatalf("expected multiple pages, got %d", p.file.NumPages())
+	}
+	// Positional scans from arbitrary offsets.
+	for _, start := range []int64{0, 1, 499, 2500, 4999} {
+		var got string
+		if err := p.Scan(start, 1, func(pos int64, val []byte) error {
+			if pos != start {
+				t.Errorf("pos = %d, want %d", pos, start)
+			}
+			got = string(val)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got != vals[start] {
+			t.Errorf("val[%d] = %q, want %q", start, got, vals[start])
+		}
+	}
+	// Range spanning pages.
+	n := 0
+	if err := p.Scan(1000, 2000, func(pos int64, val []byte) error {
+		if string(val) != vals[pos] {
+			return fmt.Errorf("val[%d] = %q", pos, val)
+		}
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2000 {
+		t.Errorf("scanned %d values, want 2000", n)
+	}
+}
+
+func TestPagedScanBounds(t *testing.T) {
+	store, _ := newPool(t, 8)
+	p := writeVector(t, store, "v", []string{"a", "b"})
+	if err := p.Scan(1, 2, func(int64, []byte) error { return nil }); err == nil {
+		t.Error("out-of-range scan succeeded")
+	}
+	if err := p.Scan(2, 0, func(int64, []byte) error { return nil }); err != nil {
+		t.Errorf("empty scan at end failed: %v", err)
+	}
+}
+
+func TestWriterRejectsOversize(t *testing.T) {
+	store, _ := newPool(t, 8)
+	f, _ := store.Open("v")
+	w, err := NewWriter(store.Pool(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(make([]byte, MaxValue+1)); err == nil {
+		t.Error("oversize append succeeded")
+	}
+}
+
+func TestWriterRequiresEmptyFile(t *testing.T) {
+	store, _ := newPool(t, 8)
+	writeVector(t, store, "v", []string{"a"})
+	f, _ := store.Open("v")
+	if _, err := NewWriter(store.Pool(), f); err == nil {
+		t.Error("NewWriter on non-empty file succeeded")
+	}
+}
+
+func TestOpenPagedBadMagic(t *testing.T) {
+	store, pool := newPool(t, 8)
+	f, _ := store.Open("junk")
+	fr, _, err := pool.Alloc(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(fr.Data, []byte("XXXX"))
+	pool.Unpin(fr, true)
+	if _, err := OpenPaged(pool, f); err == nil {
+		t.Error("OpenPaged with bad magic succeeded")
+	}
+}
+
+func TestDiskSetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	store, err := storage.OpenStore(dir, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := CreateDiskSet(store)
+	data := map[string][]string{
+		"/bib/book/title":     {"Curation", "XML", "AXML"},
+		"/bib/article/author": {"BC", "RH", "BC", "DD", "RH"},
+	}
+	for name, vals := range data {
+		w, err := set.NewWriter(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range vals {
+			if err := w.AppendString(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := set.CloseVector(name, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := set.Save(); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+
+	store2, err := storage.OpenStore(dir, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	set2, err := OpenDiskSet(store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := set2.Names(); len(got) != 2 || got[0] != "/bib/article/author" {
+		t.Fatalf("Names = %v", got)
+	}
+	for name, vals := range data {
+		v, err := set2.Vector(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := All(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(got, ",") != strings.Join(vals, ",") {
+			t.Errorf("%s = %v, want %v", name, got, vals)
+		}
+		if c, ok := set2.Count(name); !ok || c != int64(len(vals)) {
+			t.Errorf("Count(%s) = %d,%v", name, c, ok)
+		}
+	}
+	if set2.CatalogBytes() == 0 {
+		t.Error("CatalogBytes = 0")
+	}
+	if _, err := set2.Vector("/missing"); err == nil {
+		t.Error("missing vector open succeeded")
+	}
+}
+
+func TestDiskSetDuplicateName(t *testing.T) {
+	store, _ := newPool(t, 8)
+	set := CreateDiskSet(store)
+	if _, err := set.NewWriter("/v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := set.NewWriter("/v"); err == nil {
+		t.Error("duplicate NewWriter succeeded")
+	}
+}
+
+func TestTotalValuesAndBytes(t *testing.T) {
+	s := NewMemSet()
+	s.Add("/a").Append("xy")
+	s.Add("/a").Append("z")
+	s.Add("/b").Append("1234")
+	n, err := TotalValues(s)
+	if err != nil || n != 3 {
+		t.Errorf("TotalValues = %d, %v", n, err)
+	}
+	b, err := TotalBytes(s)
+	if err != nil || b != 7 {
+		t.Errorf("TotalBytes = %d, %v", b, err)
+	}
+}
+
+// TestPropertyPagedMatchesMem: a paged vector behaves exactly like the
+// in-memory reference for random values and random range scans.
+func TestPropertyPagedMatchesMem(t *testing.T) {
+	store, _ := newPool(t, 8)
+	seq := 0
+	f := func(seed int64) bool {
+		seq++
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(500)
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = strings.Repeat("x", r.Intn(100)) + fmt.Sprint(i)
+		}
+		p := writeVector(t, store, fmt.Sprintf("pv%d", seq), vals)
+		m := &Mem{Values: vals}
+		for trial := 0; trial < 10; trial++ {
+			start := int64(0)
+			if n > 0 {
+				start = int64(r.Intn(n))
+			}
+			cnt := int64(0)
+			if rem := int64(n) - start; rem > 0 {
+				cnt = int64(r.Int63n(rem))
+			}
+			var a, b []string
+			p.Scan(start, cnt, func(_ int64, v []byte) error { a = append(a, string(v)); return nil })
+			m.Scan(start, cnt, func(_ int64, v []byte) error { b = append(b, string(v)); return nil })
+			if strings.Join(a, "\x00") != strings.Join(b, "\x00") {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPagedSequentialScan(b *testing.B) {
+	store, _ := newPool(b, 256)
+	var vals []string
+	for i := 0; i < 100000; i++ {
+		vals = append(vals, fmt.Sprintf("v%08d", i))
+	}
+	p := writeVector(b, store, "bench", vals)
+	b.SetBytes(int64(p.ValueBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var total int
+		err := p.Scan(0, p.Len(), func(_ int64, val []byte) error {
+			total += len(val)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPagedPointReads(b *testing.B) {
+	store, _ := newPool(b, 256)
+	var vals []string
+	for i := 0; i < 100000; i++ {
+		vals = append(vals, fmt.Sprintf("v%08d", i))
+	}
+	p := writeVector(b, store, "bench", vals)
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pos := int64(r.Intn(100000))
+		if _, err := Get(p, pos); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package vectorize
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Failure injection: a damaged repository must fail loudly with a useful
+// error, never panic or return wrong data silently.
+
+func corruptRepo(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	repo, err := Create(strings.NewReader(
+		`<bib><book><title>A</title></book><book><title>B</title></book></bib>`),
+		dir, Options{PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestOpenCorruptSkeleton(t *testing.T) {
+	dir := corruptRepo(t)
+	path := filepath.Join(dir, "skeleton.bin")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-file.
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{PoolPages: 64}); err == nil {
+		t.Error("Open with truncated skeleton succeeded")
+	}
+	// Garbage magic.
+	if err := os.WriteFile(path, []byte("GARBAGE!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{PoolPages: 64}); err == nil {
+		t.Error("Open with garbage skeleton succeeded")
+	}
+}
+
+func TestOpenMissingCatalog(t *testing.T) {
+	dir := corruptRepo(t)
+	if err := os.Remove(filepath.Join(dir, "vectors.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{PoolPages: 64}); err == nil {
+		t.Error("Open without catalog succeeded")
+	}
+}
+
+func TestOpenCorruptCatalog(t *testing.T) {
+	dir := corruptRepo(t)
+	if err := os.WriteFile(filepath.Join(dir, "vectors.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{PoolPages: 64}); err == nil {
+		t.Error("Open with corrupt catalog succeeded")
+	}
+}
+
+func TestVectorFileMissing(t *testing.T) {
+	dir := corruptRepo(t)
+	repo, err := Open(dir, Options{PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+	// Remove a vector file out from under the catalog: opening the vector
+	// must fail (bad magic on the zero pages a lazy create would yield, or
+	// a read error).
+	matches, _ := filepath.Glob(filepath.Join(dir, "v*.vec"))
+	if len(matches) == 0 {
+		t.Fatal("no vector files found")
+	}
+	if err := os.Remove(matches[0]); err != nil {
+		t.Fatal(err)
+	}
+	var sawErr bool
+	for _, name := range repo.Vectors.Names() {
+		if _, err := repo.Vectors.Vector(name); err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Error("no error opening vectors after deleting a file")
+	}
+}
+
+func TestVectorFileTruncated(t *testing.T) {
+	dir := t.TempDir()
+	var doc strings.Builder
+	doc.WriteString("<d>")
+	for i := 0; i < 5000; i++ {
+		doc.WriteString("<v>some value text here</v>")
+	}
+	doc.WriteString("</d>")
+	repo, err := Create(strings.NewReader(doc.String()), dir, Options{PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo.Close()
+	matches, _ := filepath.Glob(filepath.Join(dir, "v*.vec"))
+	st, err := os.Stat(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the file to a page boundary shorter than the data.
+	if err := os.Truncate(matches[0], st.Size()/2/8192*8192); err != nil {
+		t.Fatal(err)
+	}
+	repo2, err := Open(dir, Options{PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo2.Close()
+	v, err := repo2.Vectors.Vector("/d/v")
+	if err != nil {
+		t.Fatal(err) // meta page intact; the damage is further in
+	}
+	if err := v.Scan(0, v.Len(), func(int64, []byte) error { return nil }); err == nil {
+		t.Error("full scan of truncated vector succeeded")
+	}
+}

@@ -1,0 +1,169 @@
+package vectorize
+
+import (
+	"strings"
+	"testing"
+
+	"vxml/internal/vector"
+	"vxml/internal/xmlmodel"
+)
+
+const evolveDoc = `<table>
+<row><a>1</a><b>x</b><c>p</c></row>
+<row><a>2</a><b>y</b><c>q</c></row>
+<row><a>3</a><b>z</b><c>r</c></row>
+</table>`
+
+func evolveRepo(t *testing.T) (*MemRepository, *xmlmodel.Symbols) {
+	t.Helper()
+	syms := xmlmodel.NewSymbols()
+	repo, err := FromString(evolveDoc, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo, syms
+}
+
+func reconstructed(t *testing.T, r *MemRepository) string {
+	t.Helper()
+	var b strings.Builder
+	if err := ReconstructXML(r.Skel, r.Classes, r.Vectors, r.Syms, &b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestDropPath(t *testing.T) {
+	repo, _ := evolveRepo(t)
+	out, err := DropPath(repo.View(), "/table/row/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := reconstructed(t, out)
+	want := "<table><row><a>1</a><c>p</c></row><row><a>2</a><c>q</c></row><row><a>3</a><c>r</c></row></table>"
+	if got != want {
+		t.Errorf("dropped doc = %s", got)
+	}
+	// The b vector is gone; a and c are shared with the original.
+	names := out.Vectors.Names()
+	if len(names) != 2 {
+		t.Errorf("vectors = %v", names)
+	}
+	if _, err := out.Vectors.Vector("/table/row/b"); err == nil {
+		t.Error("dropped vector still accessible")
+	}
+	origA, _ := repo.Vectors.Vector("/table/row/a")
+	newA, _ := out.Vectors.Vector("/table/row/a")
+	if origA != newA {
+		t.Error("surviving vector not shared with the original")
+	}
+}
+
+func TestDropSubtree(t *testing.T) {
+	syms := xmlmodel.NewSymbols()
+	repo, err := FromString(`<d><k><x>1</x><y>2</y></k><t>T</t><k><x>3</x></k></d>`, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DropPath(repo.View(), "/d/k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reconstructed(t, out); got != "<d><t>T</t></d>" {
+		t.Errorf("doc = %s", got)
+	}
+	if n := len(out.Vectors.Names()); n != 1 {
+		t.Errorf("vectors = %v", out.Vectors.Names())
+	}
+}
+
+func TestDropPathErrors(t *testing.T) {
+	repo, _ := evolveRepo(t)
+	if _, err := DropPath(repo.View(), "/table/row/zzz"); err == nil {
+		t.Error("dropping a missing path succeeded")
+	}
+	if _, err := DropPath(repo.View(), "/table"); err == nil {
+		t.Error("dropping the root succeeded")
+	}
+}
+
+func TestAddColumn(t *testing.T) {
+	repo, _ := evolveRepo(t)
+	out, err := AddColumn(repo.View(), "/table/row", "d", "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := reconstructed(t, out)
+	want := "<table><row><a>1</a><b>x</b><c>p</c><d>0</d></row>" +
+		"<row><a>2</a><b>y</b><c>q</c><d>0</d></row>" +
+		"<row><a>3</a><b>z</b><c>r</c><d>0</d></row></table>"
+	if got != want {
+		t.Errorf("extended doc = %s", got)
+	}
+	v, err := out.Vectors.Vector("/table/row/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 3 {
+		t.Errorf("new vector len = %d", v.Len())
+	}
+	vals, _ := vector.All(v)
+	if strings.Join(vals, ",") != "0,0,0" {
+		t.Errorf("new vector = %v", vals)
+	}
+	// Skeleton stays compact: the three rows still share one node.
+	if out.Skel.NumNodes() != repo.Skel.NumNodes()+1 {
+		t.Errorf("skeleton nodes = %d, want %d", out.Skel.NumNodes(), repo.Skel.NumNodes()+1)
+	}
+}
+
+func TestAddColumnErrors(t *testing.T) {
+	repo, _ := evolveRepo(t)
+	if _, err := AddColumn(repo.View(), "/table/zzz", "d", "0"); err == nil {
+		t.Error("extending a missing path succeeded")
+	}
+	if _, err := AddColumn(repo.View(), "/table/row", "a", "0"); err == nil {
+		t.Error("duplicate column add succeeded")
+	}
+}
+
+// TestEvolveComposition: drop then add then drop again round-trips sanely.
+func TestEvolveComposition(t *testing.T) {
+	repo, _ := evolveRepo(t)
+	v1, err := DropPath(repo.View(), "/table/row/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := AddColumn(v1.View(), "/table/row", "n", "new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3, err := DropPath(v2.View(), "/table/row/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := reconstructed(t, v3)
+	want := "<table><row><b>x</b><n>new</n></row><row><b>y</b><n>new</n></row><row><b>z</b><n>new</n></row></table>"
+	if got != want {
+		t.Errorf("composed doc = %s", got)
+	}
+}
+
+// TestDropSharedShape: dropping a path must not disturb subtrees that
+// share DAG nodes but live at other paths.
+func TestDropSharedShape(t *testing.T) {
+	// The <p><q>v</q></p> shape appears under both /d/a and /d/b; dropping
+	// /d/a/p must keep /d/b/p intact despite node sharing.
+	syms := xmlmodel.NewSymbols()
+	repo, err := FromString(`<d><a><p><q>v</q></p></a><b><p><q>v</q></p></b></d>`, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DropPath(repo.View(), "/d/a/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reconstructed(t, out); got != "<d><a/><b><p><q>v</q></p></b></d>" {
+		t.Errorf("doc = %s", got)
+	}
+}

@@ -1,0 +1,229 @@
+package vectorize
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"vxml/internal/skeleton"
+	"vxml/internal/storage"
+	"vxml/internal/vector"
+	"vxml/internal/xmlmodel"
+)
+
+// Repository is an opened vectorized XML store: the skeleton (in memory —
+// the paper's central assumption is that compressed skeletons fit in main
+// memory), the class registry, and the lazily-loaded data vectors.
+type Repository struct {
+	Dir     string
+	Store   *storage.Store
+	Syms    *xmlmodel.Symbols
+	Skel    *skeleton.Skeleton
+	Classes *skeleton.Classes
+	Vectors vector.Set
+}
+
+const skeletonFile = "skeleton.bin"
+
+// Options configures repository creation and opening.
+type Options struct {
+	// PoolPages is the buffer pool capacity in 8 KiB pages (default 4096,
+	// i.e. 32 MiB — the paper used a 1 GB pool for gigabyte datasets).
+	PoolPages int
+	// Compress stores data vectors DEFLATE-compressed per page (the §6
+	// extension: less I/O for more CPU). Applies to Create only; Open
+	// detects the format from the catalog.
+	Compress bool
+}
+
+func (o Options) poolPages() int {
+	if o.PoolPages <= 0 {
+		return 4096
+	}
+	return o.PoolPages
+}
+
+// Create vectorizes the XML document read from r into a new repository at
+// dir. The directory must not already contain a repository.
+func Create(r io.Reader, dir string, opts Options) (*Repository, error) {
+	if _, err := os.Stat(filepath.Join(dir, skeletonFile)); err == nil {
+		return nil, fmt.Errorf("vectorize: repository already exists at %s", dir)
+	}
+	store, err := storage.OpenStore(dir, opts.poolPages())
+	if err != nil {
+		return nil, err
+	}
+	syms := xmlmodel.NewSymbols()
+	set := vector.CreateDiskSet(store)
+	set.SetCompression(opts.Compress)
+	sink := NewDiskSink(set)
+	skel, err := VectorizeStream(r, syms, sink)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	if err := sink.Close(); err != nil {
+		store.Close()
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, skeletonFile))
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	if err := skeleton.Encode(f, skel, syms); err != nil {
+		f.Close()
+		store.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		store.Close()
+		return nil, err
+	}
+	return &Repository{
+		Dir:     dir,
+		Store:   store,
+		Syms:    syms,
+		Skel:    skel,
+		Classes: skeleton.NewClasses(skel, syms),
+		Vectors: sink.Set,
+	}, nil
+}
+
+// Open opens an existing repository: the skeleton loads into memory, the
+// vectors stay on disk until a query touches them.
+func Open(dir string, opts Options) (*Repository, error) {
+	f, err := os.Open(filepath.Join(dir, skeletonFile))
+	if err != nil {
+		return nil, fmt.Errorf("vectorize: open repository: %w", err)
+	}
+	syms := xmlmodel.NewSymbols()
+	skel, err := skeleton.Decode(f, syms)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	store, err := storage.OpenStore(dir, opts.poolPages())
+	if err != nil {
+		return nil, err
+	}
+	set, err := vector.OpenDiskSet(store)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	return &Repository{
+		Dir:     dir,
+		Store:   store,
+		Syms:    syms,
+		Skel:    skel,
+		Classes: skeleton.NewClasses(skel, syms),
+		Vectors: set,
+	}, nil
+}
+
+// Close flushes and closes the underlying store.
+func (r *Repository) Close() error { return r.Store.Close() }
+
+// WriteXML reconstructs the stored document as XML text.
+func (r *Repository) WriteXML(w io.Writer) error {
+	return ReconstructXML(r.Skel, r.Classes, r.Vectors, r.Syms, w)
+}
+
+// MemRepository bundles an in-memory vectorized document for tests, small
+// workloads and query results.
+type MemRepository struct {
+	Syms    *xmlmodel.Symbols
+	Skel    *skeleton.Skeleton
+	Classes *skeleton.Classes
+	Vectors vector.Set
+}
+
+// FromTree vectorizes an in-memory tree into a MemRepository.
+func FromTree(root *xmlmodel.Node, syms *xmlmodel.Symbols) (*MemRepository, error) {
+	skel, set, err := VectorizeTree(root, syms)
+	if err != nil {
+		return nil, err
+	}
+	return &MemRepository{
+		Syms:    syms,
+		Skel:    skel,
+		Classes: skeleton.NewClasses(skel, syms),
+		Vectors: set,
+	}, nil
+}
+
+// FromString vectorizes an XML string into a MemRepository.
+func FromString(doc string, syms *xmlmodel.Symbols) (*MemRepository, error) {
+	root, err := xmlmodel.ParseString(doc, syms)
+	if err != nil {
+		return nil, err
+	}
+	return FromTree(root, syms)
+}
+
+// Append adds the children of a document fragment to the end of the
+// stored document — the incremental-maintenance direction of §6 ("XML
+// documents are typically static, and if not, there may be promising
+// techniques for updating vectorized XML data"). The fragment's root tag
+// must equal the repository's root tag; its children become the last
+// children of the stored root. Data vectors are extended in place (their
+// positions stay aligned with the grown classes), and the skeleton file
+// is rewritten, which is cheap because skeletons are small.
+func (r *Repository) Append(frag io.Reader) error {
+	set, ok := r.Vectors.(*vector.DiskSet)
+	if !ok {
+		return fmt.Errorf("vectorize: Append requires a disk-backed repository")
+	}
+	b := skeleton.NewBuilder()
+	oldRoot := b.Import(r.Skel.Root)
+
+	sink := NewAppendSink(set)
+	vz := NewVectorizer(r.Syms, sink)
+	vz.UseBuilder(b)
+	if err := xmlmodel.NewParser(frag, r.Syms).Run(vz); err != nil {
+		return err
+	}
+	fragSkel, err := vz.Skeleton()
+	if err != nil {
+		return err
+	}
+	if fragSkel.Root.Tag != r.Skel.Root.Tag {
+		return fmt.Errorf("vectorize: fragment root %q does not match document root %q",
+			r.Syms.Name(fragSkel.Root.Tag), r.Syms.Name(r.Skel.Root.Tag))
+	}
+	if err := sink.Close(); err != nil {
+		return err
+	}
+
+	edges := make([]skeleton.Edge, 0, len(oldRoot.Edges)+len(fragSkel.Root.Edges))
+	edges = append(edges, oldRoot.Edges...)
+	edges = append(edges, fragSkel.Root.Edges...)
+	newRoot := b.Make(r.Skel.Root.Tag, edges)
+	// Compact: the scratch builder holds the now-dead old and fragment
+	// roots; re-import into a fresh builder so the skeleton contains only
+	// reachable nodes.
+	final := skeleton.NewBuilder()
+	newSkel := final.Finish(final.Import(newRoot))
+
+	// Rewrite the skeleton file atomically.
+	tmp := filepath.Join(r.Dir, skeletonFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := skeleton.Encode(f, newSkel, r.Syms); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(r.Dir, skeletonFile)); err != nil {
+		return err
+	}
+	r.Skel = newSkel
+	r.Classes = skeleton.NewClasses(newSkel, r.Syms)
+	return nil
+}

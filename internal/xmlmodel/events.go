@@ -1,0 +1,77 @@
+package xmlmodel
+
+// EventKind is the kind of a streaming parse event.
+type EventKind uint8
+
+const (
+	// StartElement opens an element (Tag is set).
+	StartElement EventKind = iota
+	// EndElement closes the most recently opened element.
+	EndElement
+	// Text carries character data (Text is set).
+	Text
+)
+
+// Event is one SAX-like event. Attributes are delivered by the parser as a
+// StartElement('@name') / Text(value) / EndElement triple immediately after
+// the owning element's StartElement, so consumers see one uniform shape.
+type Event struct {
+	Kind EventKind
+	Tag  Sym
+	Text string
+}
+
+// Handler consumes a stream of events. Returning an error aborts the parse.
+type Handler interface {
+	Event(ev Event) error
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ev Event) error
+
+// Event implements Handler.
+func (f HandlerFunc) Event(ev Event) error { return f(ev) }
+
+// TreeBuilder is a Handler that assembles events into a tree. After a
+// balanced event stream, Root holds the document tree.
+type TreeBuilder struct {
+	Root  *Node
+	stack []*Node
+}
+
+// Event implements Handler.
+func (b *TreeBuilder) Event(ev Event) error {
+	switch ev.Kind {
+	case StartElement:
+		n := NewElem(ev.Tag)
+		if len(b.stack) == 0 {
+			b.Root = n
+		} else {
+			top := b.stack[len(b.stack)-1]
+			top.Kids = append(top.Kids, n)
+		}
+		b.stack = append(b.stack, n)
+	case EndElement:
+		b.stack = b.stack[:len(b.stack)-1]
+	case Text:
+		top := b.stack[len(b.stack)-1]
+		top.Kids = append(top.Kids, NewText(ev.Text))
+	}
+	return nil
+}
+
+// EmitTree replays the tree rooted at n as a stream of events to h.
+func EmitTree(n *Node, h Handler) error {
+	if n.IsText() {
+		return h.Event(Event{Kind: Text, Text: n.Text})
+	}
+	if err := h.Event(Event{Kind: StartElement, Tag: n.Tag}); err != nil {
+		return err
+	}
+	for _, k := range n.Kids {
+		if err := EmitTree(k, h); err != nil {
+			return err
+		}
+	}
+	return h.Event(Event{Kind: EndElement, Tag: n.Tag})
+}

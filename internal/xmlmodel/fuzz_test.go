@@ -1,0 +1,35 @@
+package xmlmodel
+
+import "testing"
+
+// FuzzParseSerialize checks that parsing never panics and that anything
+// parsed serializes to a document that re-parses to an equal tree.
+func FuzzParseSerialize(f *testing.F) {
+	seeds := []string{
+		`<a/>`,
+		`<a x="1">t<b>u</b>v</a>`,
+		`<bib><book><title>X &amp; Y</title></book></bib>`,
+		`<a><b/><b/><b/></a>`,
+		`<p>mixed <i>content</i> here</p>`,
+		`<a`, `</a>`, `<a><b></a></b>`, `text`, `<a>&bad;</a>`,
+		`<a xmlns:x="u"><x:b/></a>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		syms := NewSymbols()
+		root, err := ParseString(doc, syms)
+		if err != nil {
+			return
+		}
+		out := TreeString(root, syms)
+		back, err := ParseString(out, syms)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its serialization %q: %v", doc, out, err)
+		}
+		if !root.Equal(back) {
+			t.Fatalf("round trip changed tree:\nin:  %q\nout: %q", doc, out)
+		}
+	})
+}

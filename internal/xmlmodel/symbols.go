@@ -1,0 +1,81 @@
+// Package xmlmodel provides the basic XML data model shared by the rest of
+// the system: an interned symbol table for tag names, an in-memory
+// node-labeled tree (DOM), a streaming event interface (SAX-like), a parser
+// built on encoding/xml, and a serializer.
+//
+// Attributes are modeled as child elements whose tag begins with '@', and
+// text content is modeled as explicit text nodes, so that a single uniform
+// tree shape feeds the vectorizer (see internal/vectorize).
+package xmlmodel
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sym is an interned tag name. Symbols are small dense integers so they can
+// index slices and be compared cheaply. Sym 0 is reserved and invalid.
+type Sym int32
+
+// NoSym is the zero, invalid symbol.
+const NoSym Sym = 0
+
+// Symbols interns tag names. It is safe for concurrent use.
+//
+// The zero value is not ready to use; call NewSymbols.
+type Symbols struct {
+	mu    sync.RWMutex
+	ids   map[string]Sym
+	names []string // names[0] == "" (reserved)
+}
+
+// NewSymbols returns an empty symbol table.
+func NewSymbols() *Symbols {
+	return &Symbols{
+		ids:   make(map[string]Sym),
+		names: []string{""},
+	}
+}
+
+// Intern returns the symbol for name, creating one if needed.
+func (s *Symbols) Intern(name string) Sym {
+	s.mu.RLock()
+	id, ok := s.ids[name]
+	s.mu.RUnlock()
+	if ok {
+		return id
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.ids[name]; ok {
+		return id
+	}
+	id = Sym(len(s.names))
+	s.names = append(s.names, name)
+	s.ids[name] = id
+	return id
+}
+
+// Lookup returns the symbol for name, or NoSym if it was never interned.
+func (s *Symbols) Lookup(name string) Sym {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ids[name]
+}
+
+// Name returns the string for a symbol. It panics on an invalid symbol.
+func (s *Symbols) Name(id Sym) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id <= 0 || int(id) >= len(s.names) {
+		panic(fmt.Sprintf("xmlmodel: invalid symbol %d", id))
+	}
+	return s.names[id]
+}
+
+// Len returns the number of interned symbols (excluding the reserved slot).
+func (s *Symbols) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.names) - 1
+}

@@ -1,0 +1,159 @@
+package xmlmodel
+
+import (
+	"sort"
+	"strings"
+)
+
+// NodeKind distinguishes element nodes from text nodes.
+type NodeKind uint8
+
+const (
+	// ElementNode is an XML element (or an attribute modeled as '@name').
+	ElementNode NodeKind = iota
+	// TextNode carries character data; its Text field is the value.
+	TextNode
+)
+
+// Node is one node of an in-memory XML tree. Element nodes have a Tag and
+// Kids; text nodes have Text. The tree is node-labeled as in the paper's
+// Fig. 1: attributes appear as '@'-prefixed element children holding a
+// single text child, preserving a uniform shape.
+type Node struct {
+	Kind NodeKind
+	Tag  Sym    // valid when Kind == ElementNode
+	Text string // valid when Kind == TextNode
+	Kids []*Node
+}
+
+// NewElem returns a new element node with the given tag and children.
+func NewElem(tag Sym, kids ...*Node) *Node {
+	return &Node{Kind: ElementNode, Tag: tag, Kids: kids}
+}
+
+// NewText returns a new text node with the given value.
+func NewText(text string) *Node {
+	return &Node{Kind: TextNode, Text: text}
+}
+
+// Append adds children to an element node and returns it.
+func (n *Node) Append(kids ...*Node) *Node {
+	n.Kids = append(n.Kids, kids...)
+	return n
+}
+
+// IsText reports whether n is a text node.
+func (n *Node) IsText() bool { return n.Kind == TextNode }
+
+// CountNodes returns the number of nodes in the tree rooted at n,
+// counting both element and text nodes (the paper's "# Nodes" of Table 1).
+func (n *Node) CountNodes() int {
+	total := 1
+	for _, k := range n.Kids {
+		total += k.CountNodes()
+	}
+	return total
+}
+
+// Depth returns the height of the tree rooted at n (a leaf has depth 1).
+func (n *Node) Depth() int {
+	max := 0
+	for _, k := range n.Kids {
+		if d := k.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// Equal reports deep structural equality of two trees, including text
+// values and child order.
+func (n *Node) Equal(m *Node) bool {
+	if n == nil || m == nil {
+		return n == m
+	}
+	if n.Kind != m.Kind || n.Tag != m.Tag || n.Text != m.Text || len(n.Kids) != len(m.Kids) {
+		return false
+	}
+	for i := range n.Kids {
+		if !n.Kids[i].Equal(m.Kids[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the tree rooted at n.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	c := &Node{Kind: n.Kind, Tag: n.Tag, Text: n.Text}
+	if len(n.Kids) > 0 {
+		c.Kids = make([]*Node, len(n.Kids))
+		for i, k := range n.Kids {
+			c.Kids[i] = k.Clone()
+		}
+	}
+	return c
+}
+
+// TextContent concatenates the text of all text descendants in document
+// order, as XPath's string value does for elements.
+func (n *Node) TextContent() string {
+	if n.IsText() {
+		return n.Text
+	}
+	var b strings.Builder
+	n.appendText(&b)
+	return b.String()
+}
+
+func (n *Node) appendText(b *strings.Builder) {
+	if n.IsText() {
+		b.WriteString(n.Text)
+		return
+	}
+	for _, k := range n.Kids {
+		k.appendText(b)
+	}
+}
+
+// Walk calls fn for every node in document order, passing the node and its
+// depth (root depth 0). If fn returns false the node's subtree is skipped.
+func (n *Node) Walk(fn func(n *Node, depth int) bool) {
+	n.walk(fn, 0)
+}
+
+func (n *Node) walk(fn func(n *Node, depth int) bool, depth int) {
+	if !fn(n, depth) {
+		return
+	}
+	for _, k := range n.Kids {
+		k.walk(fn, depth+1)
+	}
+}
+
+// Paths returns the distinct root-to-text tag paths of the tree (the names
+// of its data vectors), sorted, using '/'-joined tag names.
+func (n *Node) Paths(syms *Symbols) []string {
+	set := make(map[string]struct{})
+	var rec func(n *Node, prefix string)
+	rec = func(n *Node, prefix string) {
+		if n.IsText() {
+			set[prefix] = struct{}{}
+			return
+		}
+		p := prefix + "/" + syms.Name(n.Tag)
+		for _, k := range n.Kids {
+			rec(k, p)
+		}
+	}
+	rec(n, "")
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,310 @@
+package xmlmodel
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymbolsInternStable(t *testing.T) {
+	s := NewSymbols()
+	a := s.Intern("book")
+	b := s.Intern("author")
+	if a == b {
+		t.Fatalf("distinct names got same symbol %d", a)
+	}
+	if got := s.Intern("book"); got != a {
+		t.Errorf("re-intern book = %d, want %d", got, a)
+	}
+	if got := s.Name(a); got != "book" {
+		t.Errorf("Name(%d) = %q, want book", a, got)
+	}
+	if got := s.Lookup("missing"); got != NoSym {
+		t.Errorf("Lookup(missing) = %d, want NoSym", got)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestSymbolsConcurrent(t *testing.T) {
+	s := NewSymbols()
+	done := make(chan Sym, 64)
+	for i := 0; i < 64; i++ {
+		go func() { done <- s.Intern("shared") }()
+	}
+	first := <-done
+	for i := 1; i < 64; i++ {
+		if got := <-done; got != first {
+			t.Fatalf("concurrent interns disagree: %d vs %d", got, first)
+		}
+	}
+}
+
+func TestSymbolsNamePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Name(NoSym) did not panic")
+		}
+	}()
+	NewSymbols().Name(NoSym)
+}
+
+const bibXML = `<bib>
+  <book><publisher>SBP</publisher><author>RH</author><title>Curation</title></book>
+  <book><publisher>SBP</publisher><author>RH</author><title>XML</title></book>
+  <book><publisher>AW</publisher><author>SB</author><title>AXML</title></book>
+  <article><author>BC</author><title>P2P</title></article>
+  <article><author>RH</author><author>BC</author><title>XStore</title></article>
+  <article><author>DD</author><author>RH</author><title>XPath</title></article>
+</bib>`
+
+func mustParse(t *testing.T, doc string) (*Node, *Symbols) {
+	t.Helper()
+	syms := NewSymbols()
+	root, err := ParseString(doc, syms)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return root, syms
+}
+
+func TestParseBibliography(t *testing.T) {
+	root, syms := mustParse(t, bibXML)
+	if syms.Name(root.Tag) != "bib" {
+		t.Fatalf("root tag = %q", syms.Name(root.Tag))
+	}
+	if len(root.Kids) != 6 {
+		t.Fatalf("root has %d kids, want 6", len(root.Kids))
+	}
+	// 1 bib + 3 book + 3 article + 9 book fields + 8 article fields
+	// + 9 + 8 text nodes.
+	want := 1 + 3 + 3 + 9 + 8 + 9 + 8
+	if got := root.CountNodes(); got != want {
+		t.Errorf("CountNodes = %d, want %d", got, want)
+	}
+	paths := root.Paths(syms)
+	wantPaths := []string{
+		"/bib/article/author",
+		"/bib/article/title",
+		"/bib/book/author",
+		"/bib/book/publisher",
+		"/bib/book/title",
+	}
+	if len(paths) != len(wantPaths) {
+		t.Fatalf("paths = %v", paths)
+	}
+	for i := range paths {
+		if paths[i] != wantPaths[i] {
+			t.Errorf("paths[%d] = %q, want %q", i, paths[i], wantPaths[i])
+		}
+	}
+}
+
+func TestParseAttributesBecomeChildren(t *testing.T) {
+	root, syms := mustParse(t, `<person id="p1" name="Ann"><age>3</age></person>`)
+	if len(root.Kids) != 3 {
+		t.Fatalf("kids = %d, want 3 (2 attrs + age)", len(root.Kids))
+	}
+	if got := syms.Name(root.Kids[0].Tag); got != "@id" {
+		t.Errorf("first kid tag = %q, want @id", got)
+	}
+	if got := root.Kids[0].TextContent(); got != "p1" {
+		t.Errorf("@id content = %q, want p1", got)
+	}
+	if got := syms.Name(root.Kids[1].Tag); got != "@name" {
+		t.Errorf("second kid tag = %q, want @name", got)
+	}
+}
+
+func TestParseMixedContent(t *testing.T) {
+	root, _ := mustParse(t, `<p>hello <b>bold</b> world</p>`)
+	if len(root.Kids) != 3 {
+		t.Fatalf("kids = %d, want 3", len(root.Kids))
+	}
+	if !root.Kids[0].IsText() || root.Kids[0].Text != "hello " {
+		t.Errorf("kid0 = %+v", root.Kids[0])
+	}
+	if root.Kids[1].IsText() {
+		t.Errorf("kid1 should be element")
+	}
+	if got := root.TextContent(); got != "hello bold world" {
+		t.Errorf("TextContent = %q", got)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	syms := NewSymbols()
+	for _, doc := range []string{"", "<a><b></a>", "<a>", "text only", "<a></a><b></b>"} {
+		if _, err := ParseString(doc, syms); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", doc)
+		}
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	docs := []string{
+		bibXML,
+		`<a x="1"><b/>text<c>v</c>tail</a>`,
+		`<r><e>&lt;escaped&gt; &amp; "quoted"</e></r>`,
+		`<deep><a><b><c><d>leaf</d></c></b></a></deep>`,
+	}
+	for _, doc := range docs {
+		root, syms := mustParse(t, doc)
+		out := TreeString(root, syms)
+		root2, err := ParseString(out, syms)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", out, err)
+		}
+		if !root.Equal(root2) {
+			t.Errorf("round trip changed tree:\n in: %s\nout: %s", doc, out)
+		}
+	}
+}
+
+func TestSerializeSelfClosing(t *testing.T) {
+	root, syms := mustParse(t, `<a><empty/></a>`)
+	got := TreeString(root, syms)
+	if got != `<a><empty/></a>` {
+		t.Errorf("serialize = %q", got)
+	}
+}
+
+func TestTreeEqualAndClone(t *testing.T) {
+	root, _ := mustParse(t, bibXML)
+	clone := root.Clone()
+	if !root.Equal(clone) {
+		t.Fatal("clone not equal")
+	}
+	clone.Kids[0].Kids[0].Kids[0].Text = "changed"
+	if root.Equal(clone) {
+		t.Fatal("mutating clone affected original equality")
+	}
+	if root.Kids[0].Kids[0].Kids[0].Text == "changed" {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestWalkOrderAndPrune(t *testing.T) {
+	root, syms := mustParse(t, `<a><b><c>x</c></b><d>y</d></a>`)
+	var visited []string
+	root.Walk(func(n *Node, depth int) bool {
+		if n.IsText() {
+			visited = append(visited, "#"+n.Text)
+			return true
+		}
+		visited = append(visited, syms.Name(n.Tag))
+		return syms.Name(n.Tag) != "b" // prune below b
+	})
+	want := []string{"a", "b", "d", "#y"}
+	if strings.Join(visited, ",") != strings.Join(want, ",") {
+		t.Errorf("visited %v, want %v", visited, want)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	root, _ := mustParse(t, `<a><b><c>x</c></b></a>`)
+	if got := root.Depth(); got != 4 { // a,b,c,#text
+		t.Errorf("Depth = %d, want 4", got)
+	}
+}
+
+// genTree builds a random small tree for property testing.
+func genTree(r *rand.Rand, syms *Symbols, depth int) *Node {
+	tags := []string{"a", "b", "c", "d"}
+	n := NewElem(syms.Intern(tags[r.Intn(len(tags))]))
+	kids := r.Intn(4)
+	for i := 0; i < kids; i++ {
+		if depth >= 4 || r.Intn(3) == 0 {
+			n.Append(NewText(randText(r)))
+		} else {
+			n.Append(genTree(r, syms, depth+1))
+		}
+	}
+	return n
+}
+
+func randText(r *rand.Rand) string {
+	alphabet := "abcXYZ <>&\"'123"
+	n := 1 + r.Intn(8)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(alphabet[r.Intn(len(alphabet))])
+	}
+	return b.String()
+}
+
+// TestPropertySerializeParseIdentity: parse(serialize(t)) == t for random
+// trees, modulo text-node coalescing (adjacent text nodes merge on reparse),
+// so we generate trees without adjacent text children.
+func TestPropertySerializeParseIdentity(t *testing.T) {
+	syms := NewSymbols()
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tree := genTree(r, syms, 0)
+		coalesceText(tree)
+		out := TreeString(tree, syms)
+		back, err := ParseString(out, syms)
+		if err != nil {
+			t.Logf("seed %d: reparse error %v for %q", seed, err, out)
+			return false
+		}
+		trimWS(back)
+		trimWS(tree)
+		if !tree.Equal(back) {
+			t.Logf("seed %d: mismatch\nxml: %s", seed, out)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// coalesceText merges adjacent text children so the tree is in the normal
+// form that parsing produces.
+func coalesceText(n *Node) {
+	out := n.Kids[:0]
+	for _, k := range n.Kids {
+		if k.IsText() && len(out) > 0 && out[len(out)-1].IsText() {
+			out[len(out)-1] = NewText(out[len(out)-1].Text + k.Text)
+			continue
+		}
+		if !k.IsText() {
+			coalesceText(k)
+		}
+		out = append(out, k)
+	}
+	n.Kids = out
+}
+
+// trimWS drops whitespace-only text nodes, matching parser behaviour.
+func trimWS(n *Node) {
+	out := n.Kids[:0]
+	for _, k := range n.Kids {
+		if k.IsText() && strings.TrimSpace(k.Text) == "" {
+			continue
+		}
+		if !k.IsText() {
+			trimWS(k)
+		}
+		out = append(out, k)
+	}
+	n.Kids = out
+}
+
+func BenchmarkParse(b *testing.B) {
+	doc := strings.Repeat(`<book><publisher>SBP</publisher><author>RH</author><title>Curation</title></book>`, 1000)
+	doc = "<bib>" + doc + "</bib>"
+	syms := NewSymbols()
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseString(doc, syms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

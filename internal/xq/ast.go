@@ -1,0 +1,248 @@
+// Package xq implements the paper's XQuery fragment XQ (and its extension
+// XQ[*,//]): queries of the form
+//
+//	<result>
+//	for $x1 in ρ1, ..., $xn in ρn
+//	where ρ'1 = ρ''1 and ... and ρ'k = ρ''k
+//	return exp(%1, ..., %m)
+//	</result>
+//
+// where each ρ is a path term (doc("...")/p or $x/p) over simple XPath
+// expressions p ::= l | p/p | p[q], q ::= p | p = c, extended with '*' and
+// '//'. Beyond the paper we accept the comparison operators
+// !=, <, <=, >, >= wherever '=' is allowed (the XMark workload needs
+// numeric comparisons); equality and comparisons keep the paper's
+// existential semantics ("the sets of reachable values are not disjoint").
+//
+// A bare absolute path with qualifiers is accepted as sugar for
+// "for $x in doc()/p return $x" (the workload's TQ1/MQ1 are written that
+// way in the paper's appendix), and "let $y := term" clauses are accepted
+// and desugared at parse time: a let binds the reachable sequence, so
+// every "$y/q" reference expands to the underlying path term.
+package xq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Axis distinguishes the child axis '/' from the descendant axis '//'.
+type Axis uint8
+
+const (
+	// Child is the '/' axis.
+	Child Axis = iota
+	// Descendant is the '//' axis (descendant-or-self followed by child,
+	// i.e. all descendants with the given name).
+	Descendant
+)
+
+// CmpOp is a comparison operator in qualifiers and where-conditions.
+type CmpOp uint8
+
+// Comparison operators. OpNone marks a pure existence qualifier [p].
+const (
+	OpNone CmpOp = iota
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// Step is one path step: an axis plus a name ("*" is the wildcard), with
+// optional qualifiers.
+type Step struct {
+	Axis  Axis
+	Name  string // tag name, "@attr", or "*"
+	Quals []Qual
+}
+
+// Qual is a qualifier [p] or [p op c].
+type Qual struct {
+	Path  Path
+	Op    CmpOp  // OpNone for existence
+	Value string // constant when Op != OpNone
+}
+
+// Path is a (possibly empty) sequence of steps.
+type Path struct {
+	Steps []Step
+}
+
+// PathTerm is v/p where v is a document root or a variable. Exactly one of
+// Doc (which may be "" for "the" document) and Var is meaningful: if Var is
+// empty the term is rooted at the document.
+type PathTerm struct {
+	Var  string // "$x", or "" when document-rooted
+	Path Path
+}
+
+// Binding is "for $x in term".
+type Binding struct {
+	Var  string
+	Term PathTerm
+}
+
+// Operand is a path term or a constant in a where-condition.
+type Operand struct {
+	Term  *PathTerm
+	Const string
+}
+
+// Cond is one conjunct of the where clause.
+type Cond struct {
+	Left  Operand
+	Op    CmpOp
+	Right Operand
+}
+
+// RetItem is one item of the return expression.
+type RetItem interface{ retItem() }
+
+// RetPath returns the nodes/values reachable via a path term (copies of
+// whole subtrees for element results).
+type RetPath struct {
+	Term PathTerm
+}
+
+// RetElem is an element template with nested content; holes are RetPath
+// items.
+type RetElem struct {
+	Tag  string
+	Kids []RetItem
+}
+
+// RetText is literal text inside a template.
+type RetText struct {
+	Text string
+}
+
+func (RetPath) retItem() {}
+func (RetElem) retItem() {}
+func (RetText) retItem() {}
+
+// Query is a parsed XQ query.
+type Query struct {
+	// ResultTag is the root tag of the output tree ("result" by default).
+	ResultTag string
+	Bindings  []Binding
+	Conds     []Cond
+	Return    []RetItem
+}
+
+// Vars returns the for-variable names in binding order.
+func (q *Query) Vars() []string {
+	out := make([]string, len(q.Bindings))
+	for i, b := range q.Bindings {
+		out[i] = b.Var
+	}
+	return out
+}
+
+// String renders the query in XQ surface syntax.
+func (q *Query) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<%s>\nfor ", q.ResultTag)
+	for i, bind := range q.Bindings {
+		if i > 0 {
+			b.WriteString(",\n    ")
+		}
+		fmt.Fprintf(&b, "%s in %s", bind.Var, bind.Term)
+	}
+	if len(q.Conds) > 0 {
+		b.WriteString("\nwhere ")
+		for i, c := range q.Conds {
+			if i > 0 {
+				b.WriteString(" and ")
+			}
+			fmt.Fprintf(&b, "%s %s %s", c.Left, c.Op, c.Right)
+		}
+	}
+	b.WriteString("\nreturn ")
+	for i, r := range q.Return {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		writeRet(&b, r)
+	}
+	fmt.Fprintf(&b, "\n</%s>", q.ResultTag)
+	return b.String()
+}
+
+func writeRet(b *strings.Builder, r RetItem) {
+	switch r := r.(type) {
+	case RetPath:
+		b.WriteString(r.Term.String())
+	case RetText:
+		b.WriteString(r.Text)
+	case RetElem:
+		fmt.Fprintf(b, "<%s>", r.Tag)
+		for _, k := range r.Kids {
+			if p, ok := k.(RetPath); ok {
+				fmt.Fprintf(b, "{%s}", p.Term)
+			} else {
+				writeRet(b, k)
+			}
+		}
+		fmt.Fprintf(b, "</%s>", r.Tag)
+	}
+}
+
+func (t PathTerm) String() string {
+	var b strings.Builder
+	if t.Var != "" {
+		b.WriteString(t.Var)
+	} else {
+		b.WriteString(`doc("")`)
+	}
+	b.WriteString(t.Path.String())
+	return b.String()
+}
+
+func (p Path) String() string {
+	var b strings.Builder
+	for _, s := range p.Steps {
+		if s.Axis == Descendant {
+			b.WriteString("//")
+		} else {
+			b.WriteString("/")
+		}
+		b.WriteString(s.Name)
+		for _, q := range s.Quals {
+			b.WriteString("[")
+			b.WriteString(strings.TrimPrefix(q.Path.String(), "/"))
+			if q.Op != OpNone {
+				fmt.Fprintf(&b, " %s '%s'", q.Op, q.Value)
+			}
+			b.WriteString("]")
+		}
+	}
+	return b.String()
+}
+
+func (o Operand) String() string {
+	if o.Term != nil {
+		return o.Term.String()
+	}
+	return "'" + o.Const + "'"
+}

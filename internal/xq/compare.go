@@ -1,0 +1,45 @@
+package xq
+
+import (
+	"strconv"
+	"strings"
+)
+
+// CompareValues compares two text values, numerically when both parse as
+// numbers (scientific data compares magnitudes: "9" < "40"), otherwise
+// lexicographically. It returns -1, 0 or 1.
+func CompareValues(a, b string) int {
+	fa, errA := strconv.ParseFloat(strings.TrimSpace(a), 64)
+	fb, errB := strconv.ParseFloat(strings.TrimSpace(b), 64)
+	if errA == nil && errB == nil {
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		}
+		return 0
+	}
+	return strings.Compare(a, b)
+}
+
+// Satisfies reports whether "a op b" holds under CompareValues semantics.
+// Equality accepts exact string equality or numeric equality ("40" =
+// "40.0" for numeric data).
+func Satisfies(a string, op CmpOp, b string) bool {
+	switch op {
+	case OpEq:
+		return a == b || CompareValues(a, b) == 0
+	case OpNe:
+		return a != b && CompareValues(a, b) != 0
+	case OpLt:
+		return CompareValues(a, b) < 0
+	case OpLe:
+		return CompareValues(a, b) <= 0
+	case OpGt:
+		return CompareValues(a, b) > 0
+	case OpGe:
+		return CompareValues(a, b) >= 0
+	}
+	return false
+}

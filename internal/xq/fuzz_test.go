@@ -1,0 +1,37 @@
+package xq
+
+import "testing"
+
+// FuzzParse checks the parser never panics and that anything it accepts
+// re-renders to something it accepts again (String is a fixed point after
+// one round).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`for $x in /a/b return $x`,
+		`<result> for $d in doc("b")/bib, $b in $d/book where $b/a = $a/a and $b/p = 'S' return $b/t </result>`,
+		`/alltreebank/FILE/EMPTY/S/NP[JJ='Federal']`,
+		`for $s in /a, $n in $s//NN where $n != 40 return <e>{$n}</e>`,
+		`for $x in /a where $x/p >= 40 return $x/b, $x/c`,
+		`for $x in /a/*[q] return $x`,
+		`for $x in /a return <t>text<u/></t>`,
+		"for $x in /a \n where 'c' = $x return $x",
+		`for`, `<<>>`, `/`, `$`, `for $x in`, `[[]]`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", src, rendered, err)
+		}
+		if q2.String() != rendered {
+			t.Fatalf("rendering not stable:\n1: %s\n2: %s", rendered, q2.String())
+		}
+	})
+}

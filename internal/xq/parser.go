@@ -1,0 +1,580 @@
+package xq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Parse parses an XQ / XQ[*,//] query. Accepted forms:
+//
+//   - <result> for ... where ... return ... </result>
+//   - for ... where ... return ...            (implicit <result> wrapper)
+//   - /absolute/path[with='qualifiers']       (sugar: return the matches)
+func Parse(src string) (*Query, error) {
+	p := &parser{src: src}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	if !p.eof() {
+		return nil, p.errf("trailing input")
+	}
+	return q, nil
+}
+
+// MustParse parses a query or panics; for tests and embedded workloads.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src string
+	pos int
+	// substitute rewrites path terms through active let bindings; set
+	// while parsing a FLWR body.
+	substitute func(PathTerm) PathTerm
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	line := 1 + strings.Count(p.src[:p.pos], "\n")
+	return fmt.Errorf("xq: parse error at offset %d (line %d): %s", p.pos, line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) skipWS() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		break
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+// lit consumes the literal s if it is next (after whitespace).
+func (p *parser) lit(s string) bool {
+	p.skipWS()
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+// keyword consumes an identifier-like literal only when not followed by an
+// identifier character (so "format" is not "for" + "mat").
+func (p *parser) keyword(s string) bool {
+	p.skipWS()
+	if !strings.HasPrefix(p.src[p.pos:], s) {
+		return false
+	}
+	rest := p.src[p.pos+len(s):]
+	if rest != "" {
+		r, _ := utf8.DecodeRuneInString(rest)
+		if isIdent(r) {
+			return false
+		}
+	}
+	p.pos += len(s)
+	return true
+}
+
+func isIdent(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipWS()
+	start := p.pos
+	for p.pos < len(p.src) {
+		r, sz := utf8.DecodeRuneInString(p.src[p.pos:])
+		if !isIdent(r) {
+			break
+		}
+		p.pos += sz
+	}
+	if p.pos == start {
+		return "", p.errf("expected identifier")
+	}
+	name := p.src[start:p.pos]
+	if name[0] >= '0' && name[0] <= '9' {
+		return "", p.errf("identifier %q starts with a digit", name)
+	}
+	return name, nil
+}
+
+func (p *parser) variable() (string, error) {
+	p.skipWS()
+	if p.peek() != '$' {
+		return "", p.errf("expected variable")
+	}
+	p.pos++
+	name, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	return "$" + name, nil
+}
+
+// constant parses 'string', "string", or a number, returning its text.
+func (p *parser) constant() (string, error) {
+	p.skipWS()
+	switch c := p.peek(); {
+	case c == '\'' || c == '"':
+		quote := c
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != quote {
+			p.pos++
+		}
+		if p.eof() {
+			return "", p.errf("unterminated string")
+		}
+		val := p.src[start:p.pos]
+		p.pos++
+		return val, nil
+	case c >= '0' && c <= '9' || c == '-':
+		start := p.pos
+		p.pos++
+		for p.pos < len(p.src) {
+			c := p.src[p.pos]
+			if (c >= '0' && c <= '9') || c == '.' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		return p.src[start:p.pos], nil
+	}
+	return "", p.errf("expected constant")
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	p.skipWS()
+	if p.peek() == '<' {
+		// <result> wrapper (but not "</" which would be malformed here).
+		save := p.pos
+		p.pos++
+		tag, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if !p.lit(">") {
+			p.pos = save
+			return nil, p.errf("expected '>' after <%s", tag)
+		}
+		q, err := p.parseInner()
+		if err != nil {
+			return nil, err
+		}
+		if !p.lit("</") {
+			return nil, p.errf("expected </%s>", tag)
+		}
+		closeTag, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if closeTag != tag || !p.lit(">") {
+			return nil, p.errf("mismatched close tag </%s> for <%s>", closeTag, tag)
+		}
+		q.ResultTag = tag
+		return q, nil
+	}
+	q, err := p.parseInner()
+	if err != nil {
+		return nil, err
+	}
+	q.ResultTag = "result"
+	return q, nil
+}
+
+func (p *parser) parseInner() (*Query, error) {
+	p.skipWS()
+	if p.peek() == '/' {
+		// Bare path sugar.
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		if len(path.Steps) == 0 {
+			return nil, p.errf("empty path")
+		}
+		return &Query{
+			Bindings: []Binding{{Var: "$x", Term: PathTerm{Path: path}}},
+			Return:   []RetItem{RetPath{Term: PathTerm{Var: "$x"}}},
+		}, nil
+	}
+	if !p.keyword("for") {
+		return nil, p.errf("expected 'for' or absolute path")
+	}
+	var q Query
+	// lets maps let-variables to their definitions; references are
+	// substituted immediately (a let binds the reachable sequence, so
+	// "$y := $x/p" makes any "$y/q" mean "$x/p/q").
+	lets := map[string]PathTerm{}
+	substitute := func(t PathTerm) PathTerm {
+		if def, ok := lets[t.Var]; ok {
+			steps := make([]Step, 0, len(def.Path.Steps)+len(t.Path.Steps))
+			steps = append(steps, def.Path.Steps...)
+			steps = append(steps, t.Path.Steps...)
+			return PathTerm{Var: def.Var, Path: Path{Steps: steps}}
+		}
+		return t
+	}
+	p.substitute = substitute
+	defer func() { p.substitute = nil }()
+	inFor := true
+	for {
+		if p.keyword("let") {
+			inFor = false
+		} else if p.keyword("for") {
+			inFor = true
+		}
+		v, err := p.variable()
+		if err != nil {
+			return nil, err
+		}
+		if inFor {
+			if !p.keyword("in") {
+				return nil, p.errf("expected 'in' after %s", v)
+			}
+			if _, ok := lets[v]; ok {
+				return nil, p.errf("for variable %s shadows a let variable", v)
+			}
+			term, err := p.parsePathTerm()
+			if err != nil {
+				return nil, err
+			}
+			q.Bindings = append(q.Bindings, Binding{Var: v, Term: term})
+		} else {
+			if !p.lit(":=") {
+				return nil, p.errf("expected ':=' after %s", v)
+			}
+			term, err := p.parsePathTerm()
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := lets[v]; ok {
+				return nil, p.errf("duplicate let variable %s", v)
+			}
+			for _, b := range q.Bindings {
+				if b.Var == v {
+					return nil, p.errf("let variable %s shadows a for variable", v)
+				}
+			}
+			lets[v] = term
+		}
+		if !p.lit(",") {
+			break
+		}
+	}
+	if p.keyword("where") {
+		for {
+			cond, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			q.Conds = append(q.Conds, cond)
+			if !p.keyword("and") {
+				break
+			}
+		}
+	}
+	if !p.keyword("return") {
+		return nil, p.errf("expected 'return'")
+	}
+	items, err := p.parseReturn()
+	if err != nil {
+		return nil, err
+	}
+	q.Return = items
+	return &q, nil
+}
+
+func (p *parser) parsePathTerm() (PathTerm, error) {
+	p.skipWS()
+	var t PathTerm
+	switch {
+	case p.peek() == '$':
+		v, err := p.variable()
+		if err != nil {
+			return t, err
+		}
+		t.Var = v
+	case p.keyword("doc"):
+		if !p.lit("(") {
+			return t, p.errf("expected '(' after doc")
+		}
+		p.skipWS()
+		if p.peek() == '"' || p.peek() == '\'' {
+			if _, err := p.constant(); err != nil {
+				return t, err
+			}
+		}
+		if !p.lit(")") {
+			return t, p.errf("expected ')' after doc(")
+		}
+	case p.peek() == '/':
+		// Absolute path: document-rooted.
+	default:
+		return t, p.errf("expected path term")
+	}
+	path, err := p.parsePath()
+	if err != nil {
+		return t, err
+	}
+	t.Path = path
+	if p.substitute != nil {
+		t = p.substitute(t)
+	}
+	return t, nil
+}
+
+// parsePath parses zero or more /step or //step.
+func (p *parser) parsePath() (Path, error) {
+	var path Path
+	for {
+		p.skipWS()
+		axis := Child
+		if strings.HasPrefix(p.src[p.pos:], "//") {
+			axis = Descendant
+			p.pos += 2
+		} else if p.peek() == '/' {
+			p.pos++
+		} else {
+			break
+		}
+		step, err := p.parseStep(axis)
+		if err != nil {
+			return path, err
+		}
+		path.Steps = append(path.Steps, step)
+	}
+	return path, nil
+}
+
+func (p *parser) parseStep(axis Axis) (Step, error) {
+	p.skipWS()
+	step := Step{Axis: axis}
+	switch {
+	case p.peek() == '*':
+		p.pos++
+		step.Name = "*"
+	case p.peek() == '@':
+		p.pos++
+		name, err := p.ident()
+		if err != nil {
+			return step, err
+		}
+		step.Name = "@" + name
+	default:
+		name, err := p.ident()
+		if err != nil {
+			return step, err
+		}
+		step.Name = name
+	}
+	for p.lit("[") {
+		qual, err := p.parseQual()
+		if err != nil {
+			return step, err
+		}
+		step.Quals = append(step.Quals, qual)
+		if !p.lit("]") {
+			return step, p.errf("expected ']'")
+		}
+	}
+	return step, nil
+}
+
+// parseQual parses the inside of [...]: a relative path with an optional
+// comparison to a constant.
+func (p *parser) parseQual() (Qual, error) {
+	var q Qual
+	p.skipWS()
+	// Relative path: first step has no leading '/', later ones do.
+	axis := Child
+	if strings.HasPrefix(p.src[p.pos:], "//") {
+		axis = Descendant
+		p.pos += 2
+	} else if p.peek() == '/' {
+		p.pos++
+	}
+	first, err := p.parseStep(axis)
+	if err != nil {
+		return q, err
+	}
+	rest, err := p.parsePath()
+	if err != nil {
+		return q, err
+	}
+	q.Path = Path{Steps: append([]Step{first}, rest.Steps...)}
+	if op := p.parseCmpOp(); op != OpNone {
+		q.Op = op
+		val, err := p.constant()
+		if err != nil {
+			return q, err
+		}
+		q.Value = val
+	}
+	return q, nil
+}
+
+func (p *parser) parseCmpOp() CmpOp {
+	p.skipWS()
+	switch {
+	case p.lit("!="):
+		return OpNe
+	case p.lit("<="):
+		return OpLe
+	case p.lit(">="):
+		return OpGe
+	case p.lit("="):
+		return OpEq
+	case p.lit("<"):
+		return OpLt
+	case p.lit(">"):
+		return OpGt
+	}
+	return OpNone
+}
+
+func (p *parser) parseCond() (Cond, error) {
+	var c Cond
+	left, err := p.parseOperand()
+	if err != nil {
+		return c, err
+	}
+	c.Left = left
+	op := p.parseCmpOp()
+	if op == OpNone {
+		return c, p.errf("expected comparison operator")
+	}
+	c.Op = op
+	right, err := p.parseOperand()
+	if err != nil {
+		return c, err
+	}
+	c.Right = right
+	return c, nil
+}
+
+func (p *parser) parseOperand() (Operand, error) {
+	p.skipWS()
+	c := p.peek()
+	if c == '\'' || c == '"' || (c >= '0' && c <= '9') || c == '-' {
+		val, err := p.constant()
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Const: val}, nil
+	}
+	term, err := p.parsePathTerm()
+	if err != nil {
+		return Operand{}, err
+	}
+	return Operand{Term: &term}, nil
+}
+
+func (p *parser) parseReturn() ([]RetItem, error) {
+	var items []RetItem
+	for {
+		item, err := p.parseRetItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+		if !p.lit(",") {
+			break
+		}
+	}
+	return items, nil
+}
+
+func (p *parser) parseRetItem() (RetItem, error) {
+	p.skipWS()
+	if p.peek() == '<' && !strings.HasPrefix(p.src[p.pos:], "</") {
+		return p.parseTemplate()
+	}
+	term, err := p.parsePathTerm()
+	if err != nil {
+		return nil, err
+	}
+	return RetPath{Term: term}, nil
+}
+
+// parseTemplate parses an element template: <t>text{$x/p}<u/>...</t>.
+func (p *parser) parseTemplate() (RetItem, error) {
+	if !p.lit("<") {
+		return nil, p.errf("expected '<'")
+	}
+	tag, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if p.lit("/>") {
+		return RetElem{Tag: tag}, nil
+	}
+	if !p.lit(">") {
+		return nil, p.errf("expected '>' in template <%s", tag)
+	}
+	elem := RetElem{Tag: tag}
+	for {
+		// Raw text run up to '<' or '{'.
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != '<' && p.src[p.pos] != '{' {
+			p.pos++
+		}
+		if text := p.src[start:p.pos]; strings.TrimSpace(text) != "" {
+			elem.Kids = append(elem.Kids, RetText{Text: text})
+		}
+		if p.eof() {
+			return nil, p.errf("unterminated template <%s>", tag)
+		}
+		if p.src[p.pos] == '{' {
+			p.pos++
+			term, err := p.parsePathTerm()
+			if err != nil {
+				return nil, err
+			}
+			if !p.lit("}") {
+				return nil, p.errf("expected '}'")
+			}
+			elem.Kids = append(elem.Kids, RetPath{Term: term})
+			continue
+		}
+		// '<': close tag or nested element.
+		if strings.HasPrefix(p.src[p.pos:], "</") {
+			p.pos += 2
+			closeTag, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if closeTag != tag || !p.lit(">") {
+				return nil, p.errf("mismatched </%s> for <%s>", closeTag, tag)
+			}
+			return elem, nil
+		}
+		kid, err := p.parseTemplate()
+		if err != nil {
+			return nil, err
+		}
+		elem.Kids = append(elem.Kids, kid)
+	}
+}

@@ -1,0 +1,325 @@
+package xq
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseQ0 parses the paper's Example 3.1 query verbatim.
+func TestParseQ0(t *testing.T) {
+	q, err := Parse(`<result>
+for $d in doc("bib.xml")/bib,
+    $b in $d/book,
+    $a in $d/article
+where $b/author = $a/author and
+      $b/publisher = 'SBP'
+return $b/title, $a/title
+</result>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ResultTag != "result" {
+		t.Errorf("ResultTag = %q", q.ResultTag)
+	}
+	if len(q.Bindings) != 3 {
+		t.Fatalf("bindings = %d", len(q.Bindings))
+	}
+	if q.Bindings[0].Var != "$d" || q.Bindings[0].Term.Var != "" {
+		t.Errorf("binding 0 = %+v", q.Bindings[0])
+	}
+	if got := q.Bindings[0].Term.Path.Steps[0].Name; got != "bib" {
+		t.Errorf("first step = %q", got)
+	}
+	if q.Bindings[1].Term.Var != "$d" {
+		t.Errorf("binding 1 rooted at %q", q.Bindings[1].Term.Var)
+	}
+	if len(q.Conds) != 2 {
+		t.Fatalf("conds = %d", len(q.Conds))
+	}
+	if q.Conds[0].Op != OpEq || q.Conds[0].Left.Term.Var != "$b" || q.Conds[0].Right.Term.Var != "$a" {
+		t.Errorf("cond 0 = %+v", q.Conds[0])
+	}
+	if q.Conds[1].Right.Const != "SBP" {
+		t.Errorf("cond 1 right = %+v", q.Conds[1].Right)
+	}
+	if len(q.Return) != 2 {
+		t.Fatalf("return items = %d", len(q.Return))
+	}
+	rp, ok := q.Return[0].(RetPath)
+	if !ok || rp.Term.Var != "$b" || rp.Term.Path.Steps[0].Name != "title" {
+		t.Errorf("return 0 = %+v", q.Return[0])
+	}
+}
+
+func TestParseImplicitWrapper(t *testing.T) {
+	q, err := Parse(`for $x in /a/b return $x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ResultTag != "result" {
+		t.Errorf("ResultTag = %q", q.ResultTag)
+	}
+	rp := q.Return[0].(RetPath)
+	if rp.Term.Var != "$x" || len(rp.Term.Path.Steps) != 0 {
+		t.Errorf("return = %+v", rp)
+	}
+}
+
+// TestParseBarePathSugar covers the appendix queries written as raw paths.
+func TestParseBarePathSugar(t *testing.T) {
+	q, err := Parse(`/alltreebank/FILE/EMPTY/S/NP[JJ='Federal']`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Bindings) != 1 {
+		t.Fatalf("bindings = %d", len(q.Bindings))
+	}
+	steps := q.Bindings[0].Term.Path.Steps
+	if len(steps) != 5 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	np := steps[4]
+	if np.Name != "NP" || len(np.Quals) != 1 {
+		t.Fatalf("NP step = %+v", np)
+	}
+	qual := np.Quals[0]
+	if qual.Op != OpEq || qual.Value != "Federal" || qual.Path.Steps[0].Name != "JJ" {
+		t.Errorf("qual = %+v", qual)
+	}
+}
+
+func TestParseMultipleQualifiers(t *testing.T) {
+	q, err := Parse(`/MedlineCitationSet/MedlineCitation[Language = "dut"][PubData/Year = 1999]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := q.Bindings[0].Term.Path.Steps[1]
+	if len(mc.Quals) != 2 {
+		t.Fatalf("quals = %+v", mc.Quals)
+	}
+	if mc.Quals[1].Value != "1999" {
+		t.Errorf("qual 1 value = %q", mc.Quals[1].Value)
+	}
+	if len(mc.Quals[1].Path.Steps) != 2 {
+		t.Errorf("qual 1 path = %+v", mc.Quals[1].Path)
+	}
+}
+
+func TestParseExistenceQualifier(t *testing.T) {
+	q, err := Parse(`/site/people/person[profile]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qual := q.Bindings[0].Term.Path.Steps[2].Quals[0]
+	if qual.Op != OpNone || qual.Value != "" {
+		t.Errorf("qual = %+v", qual)
+	}
+}
+
+func TestParseDescendantAndWildcard(t *testing.T) {
+	q, err := Parse(`for $s in /a/b, $nn in $s//NN, $w in $s/* where $nn = $w return $s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn := q.Bindings[1].Term.Path.Steps[0]
+	if nn.Axis != Descendant || nn.Name != "NN" {
+		t.Errorf("NN step = %+v", nn)
+	}
+	w := q.Bindings[2].Term.Path.Steps[0]
+	if w.Axis != Child || w.Name != "*" {
+		t.Errorf("wildcard step = %+v", w)
+	}
+	// Variable-to-variable condition.
+	c := q.Conds[0]
+	if c.Left.Term.Var != "$nn" || len(c.Left.Term.Path.Steps) != 0 {
+		t.Errorf("cond left = %+v", c.Left)
+	}
+}
+
+func TestParseComparisons(t *testing.T) {
+	for _, tc := range []struct {
+		src string
+		op  CmpOp
+	}{
+		{`for $i in /a where $i/p >= 40 return $i`, OpGe},
+		{`for $i in /a where $i/p <= 40 return $i`, OpLe},
+		{`for $i in /a where $i/p != 'x' return $i`, OpNe},
+		{`for $i in /a where $i/p < 40 return $i`, OpLt},
+		{`for $i in /a where $i/p > 40 return $i`, OpGt},
+		{`for $i in /a where $i/p = 40 return $i`, OpEq},
+	} {
+		q, err := Parse(tc.src)
+		if err != nil {
+			t.Errorf("%s: %v", tc.src, err)
+			continue
+		}
+		if q.Conds[0].Op != tc.op {
+			t.Errorf("%s: op = %v, want %v", tc.src, q.Conds[0].Op, tc.op)
+		}
+		if q.Conds[0].Right.Const == "" {
+			t.Errorf("%s: right const empty", tc.src)
+		}
+	}
+}
+
+func TestParseAttributeStep(t *testing.T) {
+	q, err := Parse(`for $p in /site/people/person where $p/profile/@income > 50000 return $p/name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := q.Conds[0].Left.Term.Path.Steps
+	if steps[1].Name != "@income" {
+		t.Errorf("attr step = %+v", steps[1])
+	}
+}
+
+func TestParseTemplates(t *testing.T) {
+	q, err := Parse(`for $b in /bib/book return <entry>Title: {$b/title}<sep/><who>{$b/author}</who></entry>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, ok := q.Return[0].(RetElem)
+	if !ok || el.Tag != "entry" {
+		t.Fatalf("return = %+v", q.Return[0])
+	}
+	if len(el.Kids) != 4 {
+		t.Fatalf("kids = %+v", el.Kids)
+	}
+	if txt, ok := el.Kids[0].(RetText); !ok || !strings.Contains(txt.Text, "Title:") {
+		t.Errorf("kid 0 = %+v", el.Kids[0])
+	}
+	if hole, ok := el.Kids[1].(RetPath); !ok || hole.Term.Var != "$b" {
+		t.Errorf("kid 1 = %+v", el.Kids[1])
+	}
+	if empty, ok := el.Kids[2].(RetElem); !ok || empty.Tag != "sep" || len(empty.Kids) != 0 {
+		t.Errorf("kid 2 = %+v", el.Kids[2])
+	}
+	if who, ok := el.Kids[3].(RetElem); !ok || who.Tag != "who" || len(who.Kids) != 1 {
+		t.Errorf("kid 3 = %+v", el.Kids[3])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`for`,
+		`for $x return $x`,
+		`for $x in /a where return $x`,
+		`for $x in /a where $x = return $x`,
+		`for $x in /a return <t>{$x}</u>`,
+		`<result> for $x in /a return $x </wrong>`,
+		`for $x in /a return $x trailing`,
+		`for $x in /a[ return $x`,
+		`for 3x in /a return $x`,
+		`/a/b[p='unclosed]`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestKeywordBoundary(t *testing.T) {
+	// 'information' starts with 'in'; 'format' contains 'for'.
+	q, err := Parse(`for $x in /information/format return $x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := q.Bindings[0].Term.Path.Steps
+	if steps[0].Name != "information" || steps[1].Name != "format" {
+		t.Errorf("steps = %+v", steps)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		`<result> for $d in doc("x")/bib, $b in $d/book where $b/publisher = 'SBP' and $b/author = $d/article/author return $b/title </result>`,
+		`for $s in /a//S[NP='x'] return $s`,
+		`for $i in /t/row where $i/c >= 40 return $i/a, $i/b`,
+	}
+	for _, src := range srcs {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		q2, err := Parse(q1.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", q1.String(), err)
+		}
+		if q1.String() != q2.String() {
+			t.Errorf("not stable:\n1: %s\n2: %s", q1.String(), q2.String())
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	src := `<result> for $d in doc("bib.xml")/bib, $b in $d/book, $a in $d/article where $b/author = $a/author and $b/publisher = 'SBP' return $b/title, $a/title </result>`
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestLetDesugaring: let binds the reachable sequence; references expand
+// to the underlying path term everywhere they appear.
+func TestLetDesugaring(t *testing.T) {
+	q, err := Parse(`for $b in /bib/book,
+	    let $auth := $b/author,
+	    let $pub := $b/publisher
+	where $auth = 'RH' and $pub = 'SBP'
+	return $auth, $b/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No let variables survive: conditions and returns reference $b.
+	if len(q.Bindings) != 1 || q.Bindings[0].Var != "$b" {
+		t.Fatalf("bindings = %+v", q.Bindings)
+	}
+	if got := q.Conds[0].Left.Term.String(); got != "$b/author" {
+		t.Errorf("cond 0 left = %s", got)
+	}
+	if got := q.Conds[1].Left.Term.String(); got != "$b/publisher" {
+		t.Errorf("cond 1 left = %s", got)
+	}
+	if got := q.Return[0].(RetPath).Term.String(); got != "$b/author" {
+		t.Errorf("return 0 = %s", got)
+	}
+}
+
+func TestLetChainsAndForOverLet(t *testing.T) {
+	q, err := Parse(`for $r in /db/rec,
+	    let $x := $r/a,
+	    let $y := $x/b,
+	    for $z in $y/c
+	return $z`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Bindings) != 2 {
+		t.Fatalf("bindings = %+v", q.Bindings)
+	}
+	// $z iterates over the fully expanded path $r/a/b/c.
+	if got := q.Bindings[1].Term.String(); got != "$r/a/b/c" {
+		t.Errorf("for-over-let source = %s", got)
+	}
+}
+
+func TestLetErrors(t *testing.T) {
+	bad := []string{
+		`for $b in /a, let $x := $b/p, let $x := $b/q return $x`, // duplicate let
+		`for $b in /a, let $b := /c return $b`,                   // collides later at plan... shadow check below
+		`let $x := /a return $x`,                                 // let without for keyword start
+		`for $b in /a, let $x $b/p return $x`,                    // missing :=
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+	// A for variable shadowing an earlier let is rejected.
+	if _, err := Parse(`for $a in /r, let $x := $a/p, for $x in /r/s return $x`); err == nil {
+		t.Error("for shadowing let succeeded")
+	}
+}
