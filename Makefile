@@ -1,9 +1,14 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test vet bench bench-full fuzz examples clean
+.PHONY: test race vet bench bench-full fuzz examples clean
 
 test:
 	go test ./...
+
+# The full suite under the race detector — required before merging
+# anything that touches the query engine, the buffer pool or the fd gate.
+race:
+	go test -race ./...
 
 vet:
 	gofmt -l . && go vet ./...

@@ -10,12 +10,16 @@
 //	vxstore stats -repo DIR                  skeleton/vector statistics
 //	vxstore query -repo DIR [-explain] 'for $x in ... return ...'
 //	vxstore query -repo DIR -f query.xq
+//	vxstore query -repo DIR -parallel 8 -workers 4 -f query.xq
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"sync"
+	"time"
 
 	"vxml/internal/core"
 	"vxml/internal/qgraph"
@@ -57,7 +61,7 @@ func usage() {
   vxstore append -repo DIR fragment.xml
   vxstore reconstruct -repo DIR
   vxstore stats -repo DIR
-  vxstore query -repo DIR [-explain] [-f query.xq | 'query text']`)
+  vxstore query -repo DIR [-explain] [-parallel N] [-workers N] [-f query.xq | 'query text']`)
 }
 
 func cmdVectorize(args []string) error {
@@ -149,6 +153,8 @@ func cmdQuery(args []string) error {
 	file := fs.String("f", "", "read the query from a file")
 	explain := fs.Bool("explain", false, "print the query graph and plan instead of running")
 	stats := fs.Bool("stats", false, "print evaluation statistics to stderr")
+	parallel := fs.Int("parallel", 1, "serve the query N times from concurrent goroutines (per-query engines)")
+	workers := fs.Int("workers", 0, "intra-query scan worker pool size (0 = GOMAXPROCS)")
 	fs.Parse(args)
 
 	var src string
@@ -186,7 +192,11 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	defer repo.Close()
-	eng := core.NewEngine(repo.Skel, repo.Classes, repo.Vectors, repo.Syms, core.Options{})
+	opts := core.Options{Workers: *workers}
+	if *parallel > 1 {
+		return queryParallel(repo, plan, opts, *parallel, *stats)
+	}
+	eng := core.NewRepoEngine(repo, opts)
 	res, err := eng.Eval(plan)
 	if err != nil {
 		return err
@@ -199,6 +209,54 @@ func cmdQuery(args []string) error {
 		s := eng.Stats()
 		fmt.Fprintf(os.Stderr, "tuples=%d vectors-opened=%d values-scanned=%d rows=%d\n",
 			s.Tuples, s.VectorsOpened, s.ValuesScanned, s.RowsProduced)
+	}
+	return nil
+}
+
+// queryParallel serves the same plan from n concurrent goroutines, each
+// through its own engine against the shared repository — the concurrent
+// serving pattern. All serialized results must agree byte for byte; one
+// copy is printed.
+func queryParallel(repo *vectorize.Repository, plan *qgraph.Plan, opts core.Options, n int, stats bool) error {
+	outs := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eng := core.NewRepoEngine(repo, opts)
+			res, err := eng.Eval(plan)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var buf bytes.Buffer
+			if err := vectorize.ReconstructXML(res.Skel, res.Classes, res.Vectors, res.Syms, &buf); err != nil {
+				errs[i] = err
+				return
+			}
+			outs[i] = buf.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("parallel query %d: %w", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(outs[i], outs[0]) {
+			return fmt.Errorf("parallel query %d produced a different result than query 0", i)
+		}
+	}
+	os.Stdout.Write(outs[0])
+	fmt.Println()
+	if stats {
+		fmt.Fprintf(os.Stderr, "parallel=%d elapsed=%s qps=%.1f\n",
+			n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
 	}
 	return nil
 }

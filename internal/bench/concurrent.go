@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vxml/internal/core"
+	"vxml/internal/qgraph"
+	"vxml/internal/vectorize"
+	"vxml/internal/xq"
+)
+
+// ThroughputPoint is one concurrent-serving measurement: how many
+// evaluations of a query completed per second with the given number of
+// client goroutines sharing one opened repository.
+type ThroughputPoint struct {
+	Query      QueryID
+	Goroutines int
+	Queries    int64
+	Results    int64 // result items per query (sanity: identical across levels)
+	Elapsed    time.Duration
+}
+
+// QPS returns the measured queries per second.
+func (p ThroughputPoint) QPS() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.Queries) / p.Elapsed.Seconds()
+}
+
+// ConcurrentThroughput opens the dataset's repository once and serves
+// `queries` evaluations of q from `goroutines` concurrent clients. Each
+// client draws work from a shared counter and evaluates through its own
+// engine (core.NewRepoEngine), the per-query-engine serving pattern: the
+// repository and its buffer pool are shared, engine state is not.
+func (d *Dataset) ConcurrentThroughput(q QueryID, goroutines, queries int) (ThroughputPoint, error) {
+	pt := ThroughputPoint{Query: q, Goroutines: goroutines, Queries: int64(queries)}
+	repo, err := vectorize.Open(d.RepoDir, vectorize.Options{PoolPages: d.h.Cfg.PoolPages})
+	if err != nil {
+		return pt, err
+	}
+	defer repo.Close()
+	query, err := xq.Parse(QuerySources[q])
+	if err != nil {
+		return pt, err
+	}
+	plan, err := qgraph.Build(query)
+	if err != nil {
+		return pt, err
+	}
+
+	// Warm once (and record the result cardinality) so the measurement
+	// covers serving, not first-touch vector opens.
+	warm := core.NewRepoEngine(repo, core.Options{})
+	out, err := warm.Eval(plan)
+	if err != nil {
+		return pt, err
+	}
+	pt.Results = rootChildren(out.Skel)
+
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstEr error
+	)
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for next.Add(1) <= int64(queries) {
+				eng := core.NewRepoEngine(repo, core.Options{})
+				res, err := eng.Eval(plan)
+				if err == nil && rootChildren(res.Skel) != pt.Results {
+					err = fmt.Errorf("bench: concurrent result cardinality %d, want %d",
+						rootChildren(res.Skel), pt.Results)
+				}
+				if err != nil {
+					mu.Lock()
+					if firstEr == nil {
+						firstEr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	pt.Elapsed = time.Since(start)
+	return pt, firstEr
+}
+
+// ConcurrentSweep measures q at each concurrency level against one
+// prepared dataset (the tentpole experiment: queries/sec at 1, 4 and 16
+// goroutines on XMark).
+func (h *Harness) ConcurrentSweep(q QueryID, levels []int, queries int) ([]ThroughputPoint, error) {
+	d, err := h.Dataset(DatasetOf(q))
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]ThroughputPoint, 0, len(levels))
+	for _, n := range levels {
+		pt, err := d.ConcurrentThroughput(q, n, queries)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s at %d goroutines: %w", q, n, err)
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+// PrintConcurrent renders a throughput sweep.
+func PrintConcurrent(w io.Writer, pts []ThroughputPoint) {
+	fmt.Fprintf(w, "%-6s %10s %8s %10s %10s\n", "Query", "Goroutines", "Queries", "Elapsed", "QPS")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-6s %10d %8d %10s %10.1f\n",
+			p.Query, p.Goroutines, p.Queries, p.Elapsed.Round(time.Millisecond), p.QPS())
+	}
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestConcurrentThroughputXMark: serving an XMark query from concurrent
+// goroutines against one shared repository works, sustains more than one
+// query per second at 1 and 4 goroutines, and produces the same result
+// cardinality at every concurrency level.
+func TestConcurrentThroughputXMark(t *testing.T) {
+	h := quickHarness(t)
+	pts, err := h.ConcurrentSweep(KQ1, []int{1, 4}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.QPS() <= 1 {
+			t.Errorf("%d goroutines: %.2f queries/sec, want > 1", p.Goroutines, p.QPS())
+		}
+		if p.Results != pts[0].Results {
+			t.Errorf("%d goroutines: %d results, want %d", p.Goroutines, p.Results, pts[0].Results)
+		}
+	}
+	// With enough cores, four clients should not be slower than one.
+	// (Allow a little scheduler noise on the quick dataset.)
+	if runtime.NumCPU() >= 4 && pts[1].QPS() < 0.8*pts[0].QPS() {
+		t.Errorf("throughput regressed under concurrency: 1g=%.1f qps, 4g=%.1f qps",
+			pts[0].QPS(), pts[1].QPS())
+	}
+	var out strings.Builder
+	PrintConcurrent(&out, pts)
+	if !strings.Contains(out.String(), "QPS") {
+		t.Errorf("throughput output:\n%s", out.String())
+	}
+}
+
+// BenchmarkConcurrentEval measures serving throughput at the tentpole's
+// three concurrency levels. Run with -bench ConcurrentEval.
+func BenchmarkConcurrentEval(b *testing.B) {
+	h := New(Quick(b.TempDir()))
+	defer h.Close()
+	d, err := h.Dataset(XK)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{1, 4, 16} {
+		b.Run(formatGoroutines(n), func(b *testing.B) {
+			pt, err := d.ConcurrentThroughput(KQ1, n, b.N)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(pt.QPS(), "queries/sec")
+		})
+	}
+}
+
+func formatGoroutines(n int) string {
+	return map[int]string{1: "g1", 4: "g4", 16: "g16"}[n]
+}

@@ -16,17 +16,23 @@ import (
 // resolveTargets returns the set of classes reachable from src via the
 // steps, sorted by class id. An empty step list resolves to {src}.
 // Results are memoized per (source class, path): descendant-axis queries
-// re-resolve the same pair once per table segment.
+// re-resolve the same pair once per table segment, and concurrent
+// evaluations share the memo under the engine's memo lock.
 func (e *Engine) resolveTargets(src skeleton.ClassID, steps []xq.Step) []skeleton.ClassID {
 	key := targetKey(src, steps)
-	if out, ok := e.targetMemo[key]; ok {
+	e.memoMu.Lock()
+	out, ok := e.targetMemo[key]
+	e.memoMu.Unlock()
+	if ok {
 		return out
 	}
-	out := e.resolveTargetsUncached(src, steps)
+	out = e.resolveTargetsUncached(src, steps)
+	e.memoMu.Lock()
 	if e.targetMemo == nil {
 		e.targetMemo = make(map[string][]skeleton.ClassID)
 	}
 	e.targetMemo[key] = out
+	e.memoMu.Unlock()
 	return out
 }
 

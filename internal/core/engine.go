@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"vxml/internal/qgraph"
 	"vxml/internal/skeleton"
 	"vxml/internal/vector"
+	"vxml/internal/vectorize"
 	"vxml/internal/xmlmodel"
 	"vxml/internal/xq"
 )
@@ -23,6 +25,12 @@ type Options struct {
 	// over-produces pairs when value matches do not align; the default
 	// merges the tables with true pairing.
 	FilterOnlyJoins bool
+	// Workers bounds the intra-query parallelism of the vector-scanning
+	// operations (selections and join value gathering): row scans fan out
+	// across this many goroutines and merge deterministically, so results
+	// are byte-identical to serial evaluation. <= 0 means GOMAXPROCS;
+	// 1 disables the fan-out.
+	Workers int
 }
 
 // EvalStats reports what a query evaluation touched.
@@ -34,6 +42,14 @@ type EvalStats struct {
 }
 
 // Engine evaluates plans over one vectorized document.
+//
+// An Engine is safe for concurrent use: every Eval/EvalToDir call builds
+// its own evalContext holding all mutable per-evaluation state (stats,
+// lazily opened vectors, instantiation tables), while the engine itself
+// keeps only immutable inputs plus mutex-guarded caches that are pure
+// functions of the skeleton (target/span/chain memos, value indexes).
+// Build indexes with BuildVectorIndex before serving queries when
+// possible; concurrent builds are safe but serialize.
 type Engine struct {
 	Skel    *skeleton.Skeleton
 	Classes *skeleton.Classes
@@ -41,14 +57,16 @@ type Engine struct {
 	Syms    *xmlmodel.Symbols
 	Opts    Options
 
-	stats      EvalStats
-	vecs       map[skeleton.ClassID]vector.Vector // text class -> opened vector
-	tables     []*Table
-	varTabs    map[string]int // var -> index into tables
+	memoMu     sync.Mutex // guards the skeleton-derived memos below
 	targetMemo map[string][]skeleton.ClassID
 	spanMemo   map[[2]skeleton.ClassID][]span
 	chainMemo  map[[2]skeleton.ClassID][]*skeleton.Cursor
-	indexes    map[skeleton.ClassID]*VectorIndex
+
+	idxMu   sync.RWMutex // guards indexes
+	indexes map[skeleton.ClassID]*VectorIndex
+
+	statsMu   sync.Mutex
+	lastStats EvalStats
 }
 
 // NewEngine returns an engine over a vectorized document.
@@ -56,32 +74,77 @@ func NewEngine(skel *skeleton.Skeleton, cls *skeleton.Classes, vecs vector.Set, 
 	return &Engine{Skel: skel, Classes: cls, Vectors: vecs, Syms: syms, Opts: opts}
 }
 
-// Stats returns the counters of the most recent Eval.
-func (e *Engine) Stats() EvalStats { return e.stats }
+// NewRepoEngine returns a fresh engine over an opened on-disk repository —
+// the engine-per-query serving helper. Many engines may share one
+// Repository concurrently; per-query engines additionally isolate index
+// builds and statistics.
+func NewRepoEngine(r *vectorize.Repository, opts Options) *Engine {
+	return NewEngine(r.Skel, r.Classes, r.Vectors, r.Syms, opts)
+}
 
-// vectorFor lazily opens the data vector of a text class.
-func (e *Engine) vectorFor(c skeleton.ClassID) (vector.Vector, error) {
-	if e.vecs == nil {
-		e.vecs = make(map[skeleton.ClassID]vector.Vector)
+// NewMemEngine returns a fresh engine over an in-memory repository.
+func NewMemEngine(r *vectorize.MemRepository, opts Options) *Engine {
+	return NewEngine(r.Skel, r.Classes, r.Vectors, r.Syms, opts)
+}
+
+// Stats returns the counters of the most recently completed Eval (any
+// evaluation, when several run concurrently).
+func (e *Engine) Stats() EvalStats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.lastStats
+}
+
+func (e *Engine) setStats(s EvalStats) {
+	e.statsMu.Lock()
+	e.lastStats = s
+	e.statsMu.Unlock()
+}
+
+// evalContext is the mutable state of one evaluation. Each Eval call owns
+// exactly one; it is single-goroutine except where the parallel scan
+// helpers fan row ranges out (those touch only disjoint per-task state and
+// merge results deterministically afterwards).
+type evalContext struct {
+	e     *Engine
+	stats EvalStats
+
+	vecs    map[skeleton.ClassID]vector.Vector // text class -> opened vector
+	tables  []*Table
+	varTabs map[string]int // var -> index into tables
+}
+
+func newEvalContext(e *Engine) *evalContext {
+	return &evalContext{
+		e:       e,
+		vecs:    make(map[skeleton.ClassID]vector.Vector),
+		varTabs: make(map[string]int),
 	}
-	if v, ok := e.vecs[c]; ok {
+}
+
+// vectorFor lazily opens the data vector of a text class. It is called
+// from the serial part of every operation (never inside a scan fan-out),
+// so the per-evaluation cache needs no lock.
+func (x *evalContext) vectorFor(c skeleton.ClassID) (vector.Vector, error) {
+	if v, ok := x.vecs[c]; ok {
 		return v, nil
 	}
+	e := x.e
 	v, err := e.Vectors.Vector(e.Classes.VectorName(c))
 	if err != nil {
 		return nil, err
 	}
-	e.vecs[c] = v
-	e.stats.VectorsOpened++
+	x.vecs[c] = v
+	x.stats.VectorsOpened++
 	return v, nil
 }
 
-func (e *Engine) tableOf(v string) (*Table, int, error) {
-	idx, ok := e.varTabs[v]
+func (x *evalContext) tableOf(v string) (*Table, int, error) {
+	idx, ok := x.varTabs[v]
 	if !ok {
 		return nil, -1, fmt.Errorf("core: variable %s has no instantiation", v)
 	}
-	t := e.tables[idx]
+	t := x.tables[idx]
 	col := t.Col(v)
 	if col < 0 {
 		return nil, -1, fmt.Errorf("core: variable %s missing from its table", v)
@@ -89,12 +152,8 @@ func (e *Engine) tableOf(v string) (*Table, int, error) {
 	return t, col, nil
 }
 
-// run executes the plan's operations, leaving final tables in e.tables.
-func (e *Engine) run(plan *qgraph.Plan) error {
-	e.stats = EvalStats{}
-	e.vecs = make(map[skeleton.ClassID]vector.Vector)
-	e.tables = nil
-	e.varTabs = make(map[string]int)
+// run executes the plan's operations, leaving final tables in x.tables.
+func (x *evalContext) run(plan *qgraph.Plan) error {
 	output := map[string]bool{}
 	for _, v := range plan.OutputVars {
 		output[v] = true
@@ -103,15 +162,15 @@ func (e *Engine) run(plan *qgraph.Plan) error {
 		var err error
 		switch op.Kind {
 		case qgraph.OpBind:
-			err = e.opBind(op)
+			err = x.opBind(op)
 		case qgraph.OpProj:
-			err = e.opProj(op)
+			err = x.opProj(op)
 		case qgraph.OpSel:
-			err = e.opSel(op)
+			err = x.opSel(op)
 		case qgraph.OpExists:
-			err = e.opExists(op)
+			err = x.opExists(op)
 		case qgraph.OpJoin:
-			err = e.opJoin(op)
+			err = x.opJoin(op)
 		default:
 			err = fmt.Errorf("core: unknown op kind %v", op.Kind)
 		}
@@ -121,23 +180,23 @@ func (e *Engine) run(plan *qgraph.Plan) error {
 		// Drop dead columns (except the columns an op manages itself:
 		// opProj already consumed a dropped source).
 		for _, v := range op.DropAfter {
-			if idx, ok := e.varTabs[v]; ok {
-				t := e.tables[idx]
+			if idx, ok := x.varTabs[v]; ok {
+				t := x.tables[idx]
 				if col := t.Col(v); col >= 0 {
 					t.dropColumn(col)
 				}
-				delete(e.varTabs, v)
+				delete(x.varTabs, v)
 			}
 		}
-		if e.Opts.NoRunCompression {
-			e.expandAll()
+		if x.e.Opts.NoRunCompression {
+			x.expandAll()
 		}
 	}
 	return nil
 }
 
-func (e *Engine) expandAll() {
-	for _, t := range e.tables {
+func (x *evalContext) expandAll() {
+	for _, t := range x.tables {
 		for _, s := range t.Segs {
 			if len(s.Classes) > 0 {
 				s.normalizeCol(len(s.Classes) - 1)
@@ -147,11 +206,11 @@ func (e *Engine) expandAll() {
 }
 
 // opBind instantiates a variable from the document root.
-func (e *Engine) opBind(op qgraph.Op) error {
-	targets := e.resolveFromDoc(op.Path)
+func (x *evalContext) opBind(op qgraph.Op) error {
+	targets := x.e.resolveFromDoc(op.Path)
 	t := &Table{Vars: []string{op.Var}}
 	for _, c := range targets {
-		n := e.Classes.Count(c)
+		n := x.e.Classes.Count(c)
 		if n == 0 {
 			continue
 		}
@@ -160,10 +219,10 @@ func (e *Engine) opBind(op qgraph.Op) error {
 			Rows:    []Row{{Occ: []int64{0}, Run: n, Mult: 1}},
 		}
 		t.Segs = append(t.Segs, seg)
-		e.stats.RowsProduced++
+		x.stats.RowsProduced++
 	}
-	e.tables = append(e.tables, t)
-	e.varTabs[op.Var] = len(e.tables) - 1
+	x.tables = append(x.tables, t)
+	x.varTabs[op.Var] = len(x.tables) - 1
 	return nil
 }
 
@@ -225,8 +284,8 @@ func sortClassIDs(s []skeleton.ClassID) {
 //     rows stay run-compressed;
 //   - target dead (a bound variable never used again): multiplicities
 //     multiply by the fanout, rows with no match are filtered out.
-func (e *Engine) opProj(op qgraph.Op) error {
-	t, srcCol, err := e.tableOf(op.Src)
+func (x *evalContext) opProj(op qgraph.Op) error {
+	t, srcCol, err := x.tableOf(op.Src)
 	if err != nil {
 		return err
 	}
@@ -235,7 +294,7 @@ func (e *Engine) opProj(op qgraph.Op) error {
 
 	if len(op.Path) == 0 {
 		// Alias: same instances under a new name.
-		return e.projAlias(t, srcCol, op.Var, srcDies, targetDead)
+		return x.projAlias(t, srcCol, op.Var, srcDies, targetDead)
 	}
 
 	lastCol := len(t.Vars) - 1
@@ -248,12 +307,12 @@ func (e *Engine) opProj(op qgraph.Op) error {
 		if pt, ok := resolved[src]; ok {
 			return pt
 		}
-		pt := &projTargets{classes: e.resolveTargets(src, op.Path)}
+		pt := &projTargets{classes: x.e.resolveTargets(src, op.Path)}
 		pt.curs = make([][]*skeleton.Cursor, len(pt.classes))
 		pt.keep = make([][]span, len(pt.classes))
 		for i, dst := range pt.classes {
-			pt.curs[i] = e.cursorsBetween(src, dst)
-			pt.keep[i] = e.nonEmptySpans(src, dst, pt.curs[i])
+			pt.curs[i] = x.e.cursorsBetween(src, dst)
+			pt.keep[i] = x.e.nonEmptySpans(src, dst, pt.curs[i])
 		}
 		resolved[src] = pt
 		return pt
@@ -263,11 +322,11 @@ func (e *Engine) opProj(op qgraph.Op) error {
 		pt := resolve(seg.Classes[srcCol])
 		switch {
 		case targetDead:
-			outSegs = append(outSegs, e.projDead(seg, srcCol, pt.classes)...)
+			outSegs = append(outSegs, x.projDead(seg, srcCol, pt.classes)...)
 		case replaceInPlace:
-			outSegs = append(outSegs, e.projReplace(seg, srcCol, pt.classes)...)
+			outSegs = append(outSegs, x.projReplace(seg, srcCol, pt.classes)...)
 		default:
-			outSegs = append(outSegs, e.projExpand(seg, srcCol, pt, srcDies)...)
+			outSegs = append(outSegs, x.projExpand(seg, srcCol, pt, srcDies)...)
 		}
 	}
 
@@ -277,18 +336,18 @@ func (e *Engine) opProj(op qgraph.Op) error {
 		// Var never materializes; multiplicities carry its bindings.
 	case replaceInPlace:
 		t.Vars[srcCol] = op.Var
-		delete(e.varTabs, op.Src)
-		e.varTabs[op.Var] = indexOfTable(e.tables, t)
+		delete(x.varTabs, op.Src)
+		x.varTabs[op.Var] = indexOfTable(x.tables, t)
 	case srcDies:
 		t.Vars = append(removeStringAt(t.Vars, srcCol), op.Var)
-		delete(e.varTabs, op.Src)
-		e.varTabs[op.Var] = indexOfTable(e.tables, t)
+		delete(x.varTabs, op.Src)
+		x.varTabs[op.Var] = indexOfTable(x.tables, t)
 	default:
 		t.Vars = append(t.Vars, op.Var)
-		e.varTabs[op.Var] = indexOfTable(e.tables, t)
+		x.varTabs[op.Var] = indexOfTable(x.tables, t)
 	}
 	for _, s := range outSegs {
-		e.stats.RowsProduced += int64(len(s.Rows))
+		x.stats.RowsProduced += int64(len(s.Rows))
 	}
 	return nil
 }
@@ -301,7 +360,8 @@ func removeStringAt(s []string, i int) []string {
 
 // projDead folds the fanout into multiplicities: for each source
 // occurrence, Mult *= total target count (zero drops the occurrence).
-func (e *Engine) projDead(seg *Segment, srcCol int, targets []skeleton.ClassID) []*Segment {
+func (x *evalContext) projDead(seg *Segment, srcCol int, targets []skeleton.ClassID) []*Segment {
+	e := x.e
 	chains := make([][]*skeleton.Cursor, len(targets))
 	for i, dst := range targets {
 		chains[i] = e.chainCursors(e.chainBetween(seg.Classes[srcCol], dst))
@@ -352,7 +412,8 @@ func (e *Engine) projDead(seg *Segment, srcCol int, targets []skeleton.ClassID) 
 
 // projReplace replaces the trailing source column with the target: the
 // children of a run of sources are a contiguous run of targets.
-func (e *Engine) projReplace(seg *Segment, srcCol int, targets []skeleton.ClassID) []*Segment {
+func (x *evalContext) projReplace(seg *Segment, srcCol int, targets []skeleton.ClassID) []*Segment {
+	e := x.e
 	var out []*Segment
 	for _, dst := range targets {
 		curs := e.chainCursors(e.chainBetween(seg.Classes[srcCol], dst))
@@ -394,7 +455,7 @@ type projTargets struct {
 // data), most (source occurrence, target class) pairs are empty; a
 // memoized whole-class existence pass prunes them before any per-row
 // descent, so the cost tracks matches rather than rows × classes.
-func (e *Engine) projExpand(seg *Segment, srcCol int, pt *projTargets, srcDies bool) []*Segment {
+func (x *evalContext) projExpand(seg *Segment, srcCol int, pt *projTargets, srcDies bool) []*Segment {
 	seg.normalizeCol(len(seg.Classes) - 1) // runs only survive on the trailing column
 	var out []*Segment
 	for di, dst := range pt.classes {
@@ -438,15 +499,15 @@ func (e *Engine) projExpand(seg *Segment, srcCol int, pt *projTargets, srcDies b
 }
 
 // projAlias duplicates (or renames) a column for zero-step projections.
-func (e *Engine) projAlias(t *Table, srcCol int, newVar string, srcDies, targetDead bool) error {
+func (x *evalContext) projAlias(t *Table, srcCol int, newVar string, srcDies, targetDead bool) error {
 	if targetDead {
 		return nil // alias of an existing binding: multiplicity 1, no-op
 	}
 	if srcDies {
 		old := t.Vars[srcCol]
 		t.Vars[srcCol] = newVar
-		delete(e.varTabs, old)
-		e.varTabs[newVar] = indexOfTable(e.tables, t)
+		delete(x.varTabs, old)
+		x.varTabs[newVar] = indexOfTable(x.tables, t)
 		return nil
 	}
 	for _, seg := range t.Segs {
@@ -457,7 +518,7 @@ func (e *Engine) projAlias(t *Table, srcCol int, newVar string, srcDies, targetD
 		}
 	}
 	t.Vars = append(t.Vars, newVar)
-	e.varTabs[newVar] = indexOfTable(e.tables, t)
+	x.varTabs[newVar] = indexOfTable(x.tables, t)
 	return nil
 }
 
@@ -468,11 +529,6 @@ func contains(list []string, v string) bool {
 		}
 	}
 	return false
-}
-
-func replaceOrAppend(vars []string, col int, v string) []string {
-	vars[col] = v
-	return vars
 }
 
 func removeAt(s []skeleton.ClassID, i int) []skeleton.ClassID {
@@ -500,34 +556,43 @@ func indexOfTable(tables []*Table, t *Table) int {
 // that have at least one descendant at dst along the chain.
 func (e *Engine) nonEmptySpans(src, dst skeleton.ClassID, curs []*skeleton.Cursor) []span {
 	key := [2]skeleton.ClassID{src, dst}
-	if s, ok := e.spanMemo[key]; ok {
+	e.memoMu.Lock()
+	s, ok := e.spanMemo[key]
+	e.memoMu.Unlock()
+	if ok {
 		return s
 	}
-	var s []span
 	total := e.Classes.Count(src)
 	if len(curs) == 0 {
 		s = []span{{0, total}}
 	} else {
 		s = existsRuns(curs, 0, 0, total)
 	}
+	e.memoMu.Lock()
 	if e.spanMemo == nil {
 		e.spanMemo = make(map[[2]skeleton.ClassID][]span)
 	}
 	e.spanMemo[key] = s
+	e.memoMu.Unlock()
 	return s
 }
 
 // cursorsBetween memoizes the cursor chain from src down to dst.
 func (e *Engine) cursorsBetween(src, dst skeleton.ClassID) []*skeleton.Cursor {
 	key := [2]skeleton.ClassID{src, dst}
-	if c, ok := e.chainMemo[key]; ok {
+	e.memoMu.Lock()
+	c, ok := e.chainMemo[key]
+	e.memoMu.Unlock()
+	if ok {
 		return c
 	}
-	c := e.chainCursors(e.chainBetween(src, dst))
+	c = e.chainCursors(e.chainBetween(src, dst))
+	e.memoMu.Lock()
 	if e.chainMemo == nil {
 		e.chainMemo = make(map[[2]skeleton.ClassID][]*skeleton.Cursor)
 	}
 	e.chainMemo[key] = c
+	e.memoMu.Unlock()
 	return c
 }
 

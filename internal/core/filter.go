@@ -132,23 +132,23 @@ func (e *Engine) selChains(src skeleton.ClassID, op qgraph.Op, wantText bool) []
 // satisfying the comparison — the paper's selection reduce step. Each
 // needed data vector is scanned once per operation over the union of the
 // rows' spans (collection-at-a-time).
-func (e *Engine) opSel(op qgraph.Op) error {
-	t, col, err := e.tableOf(op.Var)
+func (x *evalContext) opSel(op qgraph.Op) error {
+	t, col, err := x.tableOf(op.Var)
 	if err != nil {
 		return err
 	}
 	for si, seg := range t.Segs {
-		chains := e.selChains(seg.Classes[col], op, true)
+		chains := x.e.selChains(seg.Classes[col], op, true)
 		var keep []span
 		rest := chains[:0]
 		for _, sc := range chains {
-			if s, ok := e.indexedSpans(seg, col, sc, op.Cmp, op.Value); ok {
+			if s, ok := x.e.indexedSpans(seg, col, sc, op.Cmp, op.Value); ok {
 				keep = unionSpans(keep, s)
 				continue
 			}
 			rest = append(rest, sc)
 		}
-		scanned, err := e.matchedSpans(seg, col, rest, func(val []byte) bool {
+		scanned, err := x.matchedSpans(seg, col, rest, func(val []byte) bool {
 			return satisfies(string(val), op.Cmp, op.Value)
 		})
 		if err != nil {
@@ -164,13 +164,13 @@ func (e *Engine) opSel(op qgraph.Op) error {
 // opExists filters op.Var keeping occurrences that have any node reachable
 // via op.Path — a structure-only test that never touches data vectors
 // (run-compressed throughout, cost proportional to skeleton runs).
-func (e *Engine) opExists(op qgraph.Op) error {
-	t, col, err := e.tableOf(op.Var)
+func (x *evalContext) opExists(op qgraph.Op) error {
+	t, col, err := x.tableOf(op.Var)
 	if err != nil {
 		return err
 	}
 	for si, seg := range t.Segs {
-		chains := e.selChains(seg.Classes[col], op, false)
+		chains := x.e.selChains(seg.Classes[col], op, false)
 		var keep []span
 		for _, sc := range chains {
 			for _, r := range seg.Rows {
@@ -210,34 +210,54 @@ func existsRuns(curs []*skeleton.Cursor, lvl int, p0, n int64) []span {
 }
 
 // matchedSpans scans, per chain, the data vector over each row's span and
-// maps matching positions back up to op.Var occurrences.
-func (e *Engine) matchedSpans(seg *Segment, col int, chains []selChain, pred func([]byte) bool) ([]span, error) {
+// maps matching positions back up to op.Var occurrences. The row scans of
+// one chain fan out across the engine's worker pool in contiguous chunks;
+// per-chunk hit lists and scan counters merge in chunk order (and the hits
+// are sorted before span building anyway), so the result — spans and
+// stats — is identical to a serial scan.
+func (x *evalContext) matchedSpans(seg *Segment, col int, chains []selChain, pred func([]byte) bool) ([]span, error) {
 	var keep []span
+	nworkers := x.e.workers()
 	for _, sc := range chains {
-		vec, err := e.vectorFor(sc.text)
+		vec, err := x.vectorFor(sc.text)
+		if err != nil {
+			return nil, err
+		}
+		nch := rowChunks(nworkers, len(seg.Rows))
+		hitsByChunk := make([][]int64, nch)
+		scannedByChunk := make([]int64, nch)
+		err = parallelFor(nworkers, nch, func(ci int) error {
+			lo, hi := chunkBounds(len(seg.Rows), nch, ci)
+			for ri := lo; ri < hi; ri++ {
+				r := seg.Rows[ri]
+				occ, n := r.Occ[col], int64(1)
+				if col == len(seg.Classes)-1 {
+					n = r.Run
+				}
+				start, count := descendSpan(sc.down, occ, n)
+				if count == 0 {
+					continue
+				}
+				scannedByChunk[ci] += count
+				err := vec.Scan(start, count, func(pos int64, val []byte) error {
+					if pred(val) {
+						hitsByChunk[ci] = append(hitsByChunk[ci], ascendPos(sc.down, pos))
+					}
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
 		var hits []int64
-		for _, r := range seg.Rows {
-			occ, n := r.Occ[col], int64(1)
-			if col == len(seg.Classes)-1 {
-				n = r.Run
-			}
-			start, count := descendSpan(sc.down, occ, n)
-			if count == 0 {
-				continue
-			}
-			e.stats.ValuesScanned += count
-			err := vec.Scan(start, count, func(pos int64, val []byte) error {
-				if pred(val) {
-					hits = append(hits, ascendPos(sc.down, pos))
-				}
-				return nil
-			})
-			if err != nil {
-				return nil, err
-			}
+		for ci := 0; ci < nch; ci++ {
+			hits = append(hits, hitsByChunk[ci]...)
+			x.stats.ValuesScanned += scannedByChunk[ci]
 		}
 		sort.Slice(hits, func(i, j int) bool { return hits[i] < hits[j] })
 		keep = unionSpans(keep, spansFromSorted(hits))

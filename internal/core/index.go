@@ -19,7 +19,9 @@ type VectorIndex struct {
 	pos  []int64
 }
 
-// BuildVectorIndex sorts one vector's values. Load-time work.
+// BuildVectorIndex sorts one vector's values. Load-time work: build
+// indexes before serving queries. Concurrent builds are safe (the last
+// build of a path wins); queries started before a build may not see it.
 func (e *Engine) BuildVectorIndex(path string) (*VectorIndex, error) {
 	cls := e.Classes.Resolve(path)
 	if cls == skeleton.NoClass {
@@ -29,7 +31,7 @@ func (e *Engine) BuildVectorIndex(path string) (*VectorIndex, error) {
 	if text == skeleton.NoClass {
 		return nil, fmt.Errorf("core: class %q has no text values to index", path)
 	}
-	vec, err := e.vectorFor(text)
+	vec, err := e.Vectors.Vector(e.Classes.VectorName(text))
 	if err != nil {
 		return nil, err
 	}
@@ -59,11 +61,23 @@ func (e *Engine) BuildVectorIndex(path string) (*VectorIndex, error) {
 	}
 	idx.vals, idx.pos = vals, pos
 
+	e.idxMu.Lock()
 	if e.indexes == nil {
 		e.indexes = make(map[skeleton.ClassID]*VectorIndex)
 	}
 	e.indexes[text] = idx
+	e.idxMu.Unlock()
 	return idx, nil
+}
+
+// lookupIndex returns the vector index of a text class, if one was built.
+// A VectorIndex is immutable once published, so readers only need the map
+// lock.
+func (e *Engine) lookupIndex(text skeleton.ClassID) (*VectorIndex, bool) {
+	e.idxMu.RLock()
+	idx, ok := e.indexes[text]
+	e.idxMu.RUnlock()
+	return idx, ok
 }
 
 // Positions returns, sorted ascending, the vector positions whose value
@@ -104,7 +118,7 @@ func (idx *VectorIndex) Positions(op xq.CmpOp, bound string) []int64 {
 // index, clipped to the chain's reachable span, and mapped up to variable
 // occurrences. Returns (spans, true) on an index hit.
 func (e *Engine) indexedSpans(seg *Segment, col int, sc selChain, op xq.CmpOp, value string) ([]span, bool) {
-	idx, ok := e.indexes[sc.text]
+	idx, ok := e.lookupIndex(sc.text)
 	if !ok {
 		return nil, false
 	}

@@ -23,46 +23,64 @@ type rowVals struct {
 
 // gatherVals computes, per row of t, the values reachable from column col
 // via steps (existential set semantics). The column is normalized to
-// scalars first: each row contributes one variable instance.
-func (e *Engine) gatherVals(t *Table, col int, steps []xq.Step, op qgraph.Op) ([]rowVals, error) {
+// scalars first: each row contributes one variable instance. Within each
+// chain the per-row scans fan out across the engine's worker pool — every
+// row's value slot is written by exactly one goroutine, chains stay in
+// order, and scan counters merge in chunk order, so the gathered values
+// are identical to a serial pass.
+func (x *evalContext) gatherVals(t *Table, col int, steps []xq.Step, op qgraph.Op) ([]rowVals, error) {
 	var out []rowVals
+	nworkers := x.e.workers()
 	for si, seg := range t.Segs {
 		seg.normalizeCol(len(seg.Classes) - 1)
-		chains := e.selChains(seg.Classes[col], qgraph.Op{Path: steps}, true)
+		chains := x.e.selChains(seg.Classes[col], qgraph.Op{Path: steps}, true)
 		perRow := make([]rowVals, len(seg.Rows))
 		for ri := range seg.Rows {
 			perRow[ri].ref = rowRef{si, ri}
 		}
 		for _, sc := range chains {
-			vec, err := e.vectorFor(sc.text)
+			vec, err := x.vectorFor(sc.text)
 			if err != nil {
 				return nil, err
 			}
-			for ri, r := range seg.Rows {
-				start, count := descendSpan(sc.down, r.Occ[col], 1)
-				if count == 0 {
-					continue
-				}
-				e.stats.ValuesScanned += count
-				rv := &perRow[ri]
-				err := vec.Scan(start, count, func(_ int64, val []byte) error {
-					v := string(val)
-					if len(rv.vals) == 0 {
-						rv.min, rv.max = v, v
-					} else {
-						if compareValues(v, rv.min) < 0 {
-							rv.min = v
-						}
-						if compareValues(v, rv.max) > 0 {
-							rv.max = v
-						}
+			nch := rowChunks(nworkers, len(seg.Rows))
+			scannedByChunk := make([]int64, nch)
+			err = parallelFor(nworkers, nch, func(ci int) error {
+				lo, hi := chunkBounds(len(seg.Rows), nch, ci)
+				for ri := lo; ri < hi; ri++ {
+					r := seg.Rows[ri]
+					start, count := descendSpan(sc.down, r.Occ[col], 1)
+					if count == 0 {
+						continue
 					}
-					rv.vals = append(rv.vals, v)
-					return nil
-				})
-				if err != nil {
-					return nil, err
+					scannedByChunk[ci] += count
+					rv := &perRow[ri]
+					err := vec.Scan(start, count, func(_ int64, val []byte) error {
+						v := string(val)
+						if len(rv.vals) == 0 {
+							rv.min, rv.max = v, v
+						} else {
+							if compareValues(v, rv.min) < 0 {
+								rv.min = v
+							}
+							if compareValues(v, rv.max) > 0 {
+								rv.max = v
+							}
+						}
+						rv.vals = append(rv.vals, v)
+						return nil
+					})
+					if err != nil {
+						return err
+					}
 				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			for ci := 0; ci < nch; ci++ {
+				x.stats.ValuesScanned += scannedByChunk[ci]
 			}
 		}
 		out = append(out, perRow...)
@@ -76,16 +94,16 @@ func (e *Engine) gatherVals(t *Table, col int, steps []xq.Step, op qgraph.Op) ([
 // tables, pairing rows whose value sets match — the paper's node merge.
 // With Options.FilterOnlyJoins, cross-table joins only filter each side
 // (the §4.2 literal reading) and pairing happens by cartesian grouping.
-func (e *Engine) opJoin(op qgraph.Op) error {
-	lt, lcol, err := e.tableOf(op.Var)
+func (x *evalContext) opJoin(op qgraph.Op) error {
+	lt, lcol, err := x.tableOf(op.Var)
 	if err != nil {
 		return err
 	}
-	rt, rcol, err := e.tableOf(op.RVar)
+	rt, rcol, err := x.tableOf(op.RVar)
 	if err != nil {
 		return err
 	}
-	lvals, err := e.gatherVals(lt, lcol, op.Path, op)
+	lvals, err := x.gatherVals(lt, lcol, op.Path, op)
 	if err != nil {
 		return err
 	}
@@ -93,40 +111,40 @@ func (e *Engine) opJoin(op qgraph.Op) error {
 	// has a vector index, probe the index with the left values instead of
 	// scanning the right vector (the §6 extension; this is the plan that
 	// wins the paper's SQ3 for the tuned relational system).
-	if lt != rt && op.Cmp == xq.OpEq && !e.Opts.FilterOnlyJoins {
-		if pairs, ok, err := e.indexProbeJoin(lt, rt, rcol, op, lvals); err != nil {
+	if lt != rt && op.Cmp == xq.OpEq && !x.e.Opts.FilterOnlyJoins {
+		if pairs, ok, err := x.indexProbeJoin(lt, rt, rcol, op, lvals); err != nil {
 			return err
 		} else if ok {
-			return e.mergePairs(lt, rt, pairs)
+			return x.mergePairs(lt, rt, pairs)
 		}
 	}
-	rvals, err := e.gatherVals(rt, rcol, op.RPath, op)
+	rvals, err := x.gatherVals(rt, rcol, op.RPath, op)
 	if err != nil {
 		return err
 	}
 	if lt == rt {
-		return e.joinSameTable(lt, lvals, rvals, op.Cmp)
+		return x.joinSameTable(lt, lvals, rvals, op.Cmp)
 	}
-	if e.Opts.FilterOnlyJoins {
-		return e.joinFilterOnly(lt, rt, lvals, rvals, op.Cmp)
+	if x.e.Opts.FilterOnlyJoins {
+		return x.joinFilterOnly(lt, rt, lvals, rvals, op.Cmp)
 	}
-	return e.joinMerge(lt, rt, lvals, rvals, op.Cmp)
+	return x.joinMerge(lt, rt, lvals, rvals, op.Cmp)
 }
 
 // indexProbeJoin pairs left rows with right rows via the right side's
 // vector index. Applicable when the right path resolves to one chain
 // whose text class is indexed.
-func (e *Engine) indexProbeJoin(lt, rt *Table, rcol int, op qgraph.Op, lvals []rowVals) ([]pair, bool, error) {
-	if len(e.indexes) == 0 || len(rt.Segs) != 1 {
+func (x *evalContext) indexProbeJoin(lt, rt *Table, rcol int, op qgraph.Op, lvals []rowVals) ([]pair, bool, error) {
+	if len(rt.Segs) != 1 {
 		return nil, false, nil
 	}
 	seg := rt.Segs[0]
-	chains := e.selChains(seg.Classes[rcol], qgraph.Op{Path: op.RPath}, true)
+	chains := x.e.selChains(seg.Classes[rcol], qgraph.Op{Path: op.RPath}, true)
 	if len(chains) != 1 {
 		return nil, false, nil
 	}
 	sc := chains[0]
-	idx, ok := e.indexes[sc.text]
+	idx, ok := x.e.lookupIndex(sc.text)
 	if !ok {
 		return nil, false, nil
 	}
@@ -165,7 +183,7 @@ func (e *Engine) indexProbeJoin(lt, rt *Table, rcol int, op qgraph.Op, lvals []r
 }
 
 // joinSameTable keeps rows whose left and right value sets are compatible.
-func (e *Engine) joinSameTable(t *Table, lvals, rvals []rowVals, cmp xq.CmpOp) error {
+func (x *evalContext) joinSameTable(t *Table, lvals, rvals []rowVals, cmp xq.CmpOp) error {
 	right := make(map[rowRef]*rowVals, len(rvals))
 	for i := range rvals {
 		right[rvals[i].ref] = &rvals[i]
@@ -242,12 +260,12 @@ func allEqual(vals []string) bool {
 
 // joinMerge merges two tables on a value comparison: output rows are the
 // pairs (deduplicated — the condition is a predicate, not a multiplier).
-func (e *Engine) joinMerge(lt, rt *Table, lvals, rvals []rowVals, cmp xq.CmpOp) error {
-	return e.mergePairs(lt, rt, matchPairs(lvals, rvals, cmp))
+func (x *evalContext) joinMerge(lt, rt *Table, lvals, rvals []rowVals, cmp xq.CmpOp) error {
+	return x.mergePairs(lt, rt, matchPairs(lvals, rvals, cmp))
 }
 
 // mergePairs replaces lt and rt with their join on the given row pairs.
-func (e *Engine) mergePairs(lt, rt *Table, pairs []pair) error {
+func (x *evalContext) mergePairs(lt, rt *Table, pairs []pair) error {
 	// The left table's trailing runs become middle columns: normalize.
 	for _, seg := range lt.Segs {
 		seg.normalizeCol(len(seg.Classes) - 1)
@@ -269,15 +287,15 @@ func (e *Engine) mergePairs(lt, rt *Table, pairs []pair) error {
 	}
 	for _, seg := range merged.Segs {
 		seg.Rows = mergeRows(seg.Rows)
-		e.stats.RowsProduced += int64(len(seg.Rows))
+		x.stats.RowsProduced += int64(len(seg.Rows))
 	}
 
 	// Replace the two tables with the merged one.
-	li, ri := indexOfTable(e.tables, lt), indexOfTable(e.tables, rt)
-	e.tables[li] = merged
-	e.tables[ri] = nil
+	li, ri := indexOfTable(x.tables, lt), indexOfTable(x.tables, rt)
+	x.tables[li] = merged
+	x.tables[ri] = nil
 	for _, v := range merged.Vars {
-		e.varTabs[v] = li
+		x.varTabs[v] = li
 	}
 	return nil
 }
@@ -361,7 +379,7 @@ func sortPairs(out []pair) {
 
 // joinFilterOnly is the ablation mode: both sides are filtered to the rows
 // participating in some match, without pairing.
-func (e *Engine) joinFilterOnly(lt, rt *Table, lvals, rvals []rowVals, cmp xq.CmpOp) error {
+func (x *evalContext) joinFilterOnly(lt, rt *Table, lvals, rvals []rowVals, cmp xq.CmpOp) error {
 	pairs := matchPairs(lvals, rvals, cmp)
 	keepL, keepR := map[rowRef]bool{}, map[rowRef]bool{}
 	for _, p := range pairs {

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers resolves the effective intra-query worker count.
+func (e *Engine) workers() int {
+	if w := e.Opts.Workers; w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// rowChunks picks how many contiguous row ranges to fan a scan over: a few
+// chunks per worker evens out skew, but never more chunks than rows, and a
+// single chunk (serial) when there is no parallelism to exploit.
+func rowChunks(workers, rows int) int {
+	if workers <= 1 || rows <= 1 {
+		return 1
+	}
+	n := workers * 4
+	if n > rows {
+		n = rows
+	}
+	return n
+}
+
+// chunkBounds returns the half-open range [lo, hi) of chunk ci out of n
+// chunks over total items — contiguous, near-equal, in order.
+func chunkBounds(total, n, ci int) (int, int) {
+	return total * ci / n, total * (ci + 1) / n
+}
+
+// parallelFor runs fn(0..n-1) across at most workers goroutines. Every
+// task runs exactly once (tasks claim indices from an atomic counter), and
+// on failure the error of the lowest-indexed failing task is returned —
+// the same error a serial loop would surface, whatever the interleaving.
+// With workers <= 1 (or a single task) it runs inline, goroutine-free.
+func parallelFor(workers, n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		errIdx  = n
+		firstEr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstEr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}

@@ -18,6 +18,9 @@ import (
 // output skeleton is built with stepwise hash-consing per tuple (subtrees
 // shared as they repeat) and output vectors are populated by positional
 // copies from input vectors — the input skeleton is never decompressed.
+//
+// Eval is safe to call concurrently: all mutable evaluation state lives in
+// a per-call context, and the shared engine caches are locked.
 func (e *Engine) Eval(plan *qgraph.Plan) (*vectorize.MemRepository, error) {
 	out := vector.NewMemSet()
 	skel, err := e.evalWithSink(plan, vectorize.MemSink{Set: out})
@@ -70,14 +73,18 @@ func (e *Engine) EvalToDir(plan *qgraph.Plan, dir string, poolPages int) (*vecto
 	return vectorize.Open(dir, vectorize.Options{PoolPages: poolPages})
 }
 
-// evalWithSink runs the plan, streaming output values to sink and
-// returning the result skeleton.
+// evalWithSink runs the plan in a fresh evaluation context, streaming
+// output values to sink and returning the result skeleton. The context's
+// final counters are published as the engine's Stats snapshot (also on
+// error, so a failed query still reports what it touched).
 func (e *Engine) evalWithSink(plan *qgraph.Plan, sink vectorize.Sink) (*skeleton.Skeleton, error) {
-	if err := e.run(plan); err != nil {
+	x := newEvalContext(e)
+	defer func() { e.setStats(x.stats) }()
+	if err := x.run(plan); err != nil {
 		return nil, err
 	}
 	rb := &resultBuilder{
-		e:       e,
+		x:       x,
 		builder: skeleton.NewBuilder(),
 		out:     sink,
 		imports: make(map[*skeleton.Node]*skeleton.Node),
@@ -91,9 +98,9 @@ func (e *Engine) evalWithSink(plan *qgraph.Plan, sink vectorize.Sink) (*skeleton
 	return rb.builder.Finish(root), nil
 }
 
-// resultBuilder holds result-construction state.
+// resultBuilder holds result-construction state for one evaluation.
 type resultBuilder struct {
-	e         *Engine
+	x         *evalContext
 	builder   *skeleton.Builder
 	out       vectorize.Sink
 	rootEdges []skeleton.Edge
@@ -112,10 +119,10 @@ type binding struct {
 // expanding runs and multiplicities) and expands the result template per
 // tuple.
 func (rb *resultBuilder) emitAll(plan *qgraph.Plan) error {
-	e := rb.e
+	x := rb.x
 	// Surviving tables in creation order; nil slots were merged away.
 	var tables []*Table
-	for _, t := range e.tables {
+	for _, t := range x.tables {
 		if t != nil {
 			tables = append(tables, t)
 		}
@@ -127,7 +134,7 @@ func (rb *resultBuilder) emitAll(plan *qgraph.Plan) error {
 			return nil
 		}
 		if ti == len(tables) {
-			e.stats.Tuples += mult
+			x.stats.Tuples += mult
 			return rb.emitTuple(plan, tuple, mult)
 		}
 		t := tables[ti]
@@ -201,7 +208,7 @@ func (rb *resultBuilder) emitItem(item xq.RetItem, tuple map[string]binding, pre
 			}
 			kids = append(kids, es...)
 		}
-		n := rb.builder.Make(rb.e.Syms.Intern(item.Tag), kids)
+		n := rb.builder.Make(rb.x.e.Syms.Intern(item.Tag), kids)
 		return []skeleton.Edge{{Child: n, Count: 1}}, nil
 	case xq.RetPath:
 		return rb.emitPath(item.Term, tuple, prefix)
@@ -224,7 +231,7 @@ func (rb *resultBuilder) emitPath(term xq.PathTerm, tuple map[string]binding, pr
 		}
 		return append(edges, ed), nil
 	}
-	for _, dst := range rb.e.resolveTargets(b.class, term.Path.Steps) {
+	for _, dst := range rb.x.e.resolveTargets(b.class, term.Path.Steps) {
 		curs := rb.chainFor(b.class, dst)
 		start, count := descendSpan(curs, b.occ, 1)
 		for i := int64(0); i < count; i++ {
@@ -244,7 +251,7 @@ func (rb *resultBuilder) chainFor(src, dst skeleton.ClassID) []*skeleton.Cursor 
 	if c, ok := rb.chains[key]; ok {
 		return c
 	}
-	c := rb.e.chainCursors(rb.e.chainBetween(src, dst))
+	c := rb.x.e.chainCursors(rb.x.e.chainBetween(src, dst))
 	rb.chains[key] = c
 	return c
 }
@@ -254,7 +261,8 @@ func (rb *resultBuilder) chainFor(src, dst skeleton.ClassID) []*skeleton.Cursor 
 // compression) and the instance's slice of every descendant data vector is
 // appended to the output vector named by the result-tree path.
 func (rb *resultBuilder) copySubtree(class skeleton.ClassID, occ int64, prefix string) (skeleton.Edge, error) {
-	e := rb.e
+	x := rb.x
+	e := x.e
 	nc, ok := rb.cursors[class]
 	if !ok {
 		nc = skeleton.NewNodeCursor(e.Classes.NodeRuns(class))
@@ -265,19 +273,22 @@ func (rb *resultBuilder) copySubtree(class skeleton.ClassID, occ int64, prefix s
 
 	tag := e.Syms.Name(e.Classes.Tag(class))
 	subPrefix := prefix + "/" + tag
-	// Copy vector slices for every text class in the subtree.
+	// Copy vector slices for every text class in the subtree. The val
+	// passed down aliases a pinned buffer-pool frame (Vector.Scan
+	// contract); Sink.Append is required to copy before returning, so the
+	// value is safe once the callback ends and the frame is unpinned.
 	for _, d := range e.Classes.Descendants(class, skeleton.TextStep) {
 		curs := rb.chainFor(class, d)
 		start, count := descendSpan(curs, occ, 1)
 		if count == 0 {
 			continue
 		}
-		vec, err := e.vectorFor(d)
+		vec, err := x.vectorFor(d)
 		if err != nil {
 			return skeleton.Edge{}, err
 		}
 		outName := subPrefix + rb.relPath(class, d)
-		e.stats.ValuesScanned += count
+		x.stats.ValuesScanned += count
 		err = vec.Scan(start, count, func(_ int64, val []byte) error {
 			return rb.out.Append(outName, val)
 		})
@@ -291,7 +302,7 @@ func (rb *resultBuilder) copySubtree(class skeleton.ClassID, occ int64, prefix s
 // relPath is the path from class (exclusive) to the text class's parent
 // element (inclusive), e.g. "" when the text is directly under class.
 func (rb *resultBuilder) relPath(class, text skeleton.ClassID) string {
-	e := rb.e
+	e := rb.x.e
 	var parts []string
 	for c := e.Classes.Parent(text); c != class; c = e.Classes.Parent(c) {
 		parts = append(parts, e.Syms.Name(e.Classes.Tag(c)))

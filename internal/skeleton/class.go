@@ -3,6 +3,7 @@ package skeleton
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"vxml/internal/xmlmodel"
 )
@@ -34,11 +35,17 @@ type classInfo struct {
 // Classes is the path-class registry of one skeleton. It discovers all
 // classes eagerly (a DFS over (DAG node, class) pairs, each visited once)
 // and computes occurrence run-maps lazily, memoized per class.
+//
+// Classes is safe for concurrent use: the class topology (infos, kids,
+// parent/tag/depth) is immutable after NewClasses, and the lazily computed
+// memos (run maps, cursors, node runs, counts, descendant sets) are guarded
+// by one mutex, so many queries can share a registry.
 type Classes struct {
 	skel  *Skeleton
 	syms  *xmlmodel.Symbols
 	infos []classInfo
 
+	mu       sync.Mutex             // guards the lazy fields below and in classInfo
 	descMemo map[[2]int32][]ClassID // (class, step) -> descendant classes
 }
 
@@ -143,6 +150,8 @@ func (c *Classes) Children(id ClassID) []ClassID {
 // are memoized: descendant-axis queries resolve the same (class, step)
 // pair once per table segment.
 func (c *Classes) Descendants(id ClassID, step xmlmodel.Sym) []ClassID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	key := [2]int32{int32(id), int32(step)}
 	if c.descMemo == nil {
 		c.descMemo = make(map[[2]int32][]ClassID)
@@ -170,11 +179,13 @@ func (c *Classes) Descendants(id ClassID, step xmlmodel.Sym) []ClassID {
 }
 
 // Cursor returns the shared positional cursor over Runs(id), built once.
-// Cursors are stateless, so every operation of a query can share them.
+// Cursors are stateless, so every operation of every query can share them.
 func (c *Classes) Cursor(id ClassID) *Cursor {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	info := &c.infos[id]
 	if info.cursor == nil {
-		info.cursor = NewCursor(c.Runs(id))
+		info.cursor = NewCursor(c.runsLocked(id))
 	}
 	return info.cursor
 }
@@ -246,6 +257,8 @@ func (c *Classes) Resolve(path string) ClassID {
 // Count returns the total number of occurrences of a class in the
 // document. For a text class this is the data vector's length.
 func (c *Classes) Count(id ClassID) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.infos[id].count >= 0 {
 		return c.infos[id].count
 	}
@@ -253,7 +266,7 @@ func (c *Classes) Count(id ClassID) int64 {
 	if c.infos[id].parent == NoClass {
 		n = 1
 	} else {
-		n = c.Runs(id).TotalChildren()
+		n = c.runsLocked(id).TotalChildren()
 	}
 	c.infos[id].count = n
 	return n
@@ -262,12 +275,20 @@ func (c *Classes) Count(id ClassID) int64 {
 // Runs returns the run mapping from the parent class's occurrences to
 // this class's occurrences, computed and memoized on first use. It panics
 // for the root class, which has no parent.
+func (c *Classes) Runs(id ClassID) RunMap {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.runsLocked(id)
+}
+
+// runsLocked is Runs with c.mu held; lazy derivations recurse through the
+// unlocked internals so the mutex is taken exactly once per public call.
 //
 // Derivation: the parent class's NodeRuns give, in document order, which
 // DAG node each parent occurrence is an instance of; every instance of a
 // given node has the same fanout for this class's step, so the run map
 // falls out in one linear pass — no per-query traversal of the DAG.
-func (c *Classes) Runs(id ClassID) RunMap {
+func (c *Classes) runsLocked(id ClassID) RunMap {
 	info := &c.infos[id]
 	if info.runs != nil {
 		return info.runs
@@ -277,7 +298,7 @@ func (c *Classes) Runs(id ClassID) RunMap {
 	}
 	step := info.tag
 	var rm RunMap
-	for _, nr := range c.NodeRuns(info.parent) {
+	for _, nr := range c.nodeRunsLocked(info.parent) {
 		rm = appendRepeated(rm, RunMap{{Parents: 1, Fanout: fanout(nr.Node, step)}}, nr.Count)
 	}
 	if rm == nil {

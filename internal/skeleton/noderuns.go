@@ -14,6 +14,14 @@ type NodeRun struct {
 // class, and underpins both positional run maps and result-skeleton
 // subtree copies.
 func (c *Classes) NodeRuns(id ClassID) []NodeRun {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodeRunsLocked(id)
+}
+
+// nodeRunsLocked is NodeRuns with c.mu held (the derivation recurses up
+// the parent chain, and Go mutexes are not reentrant).
+func (c *Classes) nodeRunsLocked(id ClassID) []NodeRun {
 	info := &c.infos[id]
 	if info.nodeRuns != nil {
 		return info.nodeRuns
@@ -25,7 +33,7 @@ func (c *Classes) NodeRuns(id ClassID) []NodeRun {
 	step := info.tag
 	var out []NodeRun
 	var sub []NodeRun // scratch: child sequence of one parent instance
-	for _, pr := range c.NodeRuns(info.parent) {
+	for _, pr := range c.nodeRunsLocked(info.parent) {
 		sub = sub[:0]
 		for _, e := range pr.Node.Edges {
 			if !matchStep(e.Child, step) {

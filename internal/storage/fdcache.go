@@ -51,6 +51,17 @@ func (g *fdGate) admit(f *File) []*File {
 	return victims
 }
 
+// readmit restores a victim whose park was skipped: the descriptor is
+// still open, so the file must stay in the accounting. It re-enters at the
+// front (least recently used), making it the first candidate next time.
+func (g *fdGate) readmit(f *File) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.elems[f]; !ok {
+		g.elems[f] = g.order.PushFront(f)
+	}
+}
+
 // forget removes f from the gate's accounting (on explicit Close).
 func (g *fdGate) forget(f *File) {
 	g.mu.Lock()
@@ -62,7 +73,11 @@ func (g *fdGate) forget(f *File) {
 }
 
 // ensureOpen makes sure f has an open descriptor, parking other files if
-// the budget is exceeded. The caller must hold f.mu.
+// the budget is exceeded. The caller must hold f.mu. A victim that cannot
+// be parked (it is busy under its own lock) keeps its descriptor open, so
+// it is re-admitted to the gate — every open descriptor stays tracked and
+// the budget recovers as soon as the victim goes idle, instead of drifting
+// past the limit by one untracked fd per lost race.
 func (f *File) ensureOpen() error {
 	if f.f == nil {
 		osf, err := os.OpenFile(f.path, os.O_RDWR|os.O_CREATE, 0o644)
@@ -75,21 +90,25 @@ func (f *File) ensureOpen() error {
 		return nil
 	}
 	for _, victim := range f.gate.admit(f) {
-		victim.park()
+		if !victim.park() {
+			f.gate.readmit(victim)
+		}
 	}
 	return nil
 }
 
-// park closes f's descriptor if it is not busy. TryLock avoids a lock
-// cycle between two files parking each other; on contention the file is
-// simply left open (a transient budget overshoot).
-func (f *File) park() {
+// park closes f's descriptor if it is not busy, reporting whether it got
+// the lock. TryLock avoids a lock cycle between two files parking each
+// other; on contention the file is left open and the caller must re-admit
+// it to the gate (a transient budget overshoot, still fully tracked).
+func (f *File) park() bool {
 	if !f.mu.TryLock() {
-		return
+		return false
 	}
 	defer f.mu.Unlock()
 	if f.f != nil {
 		f.f.Close()
 		f.f = nil
 	}
+	return true
 }

@@ -1,0 +1,127 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// gateAccounting snapshots the gate under its lock: how many files are
+// tracked, and whether every open descriptor of the given files is
+// tracked. An open fd missing from the gate is exactly the accounting
+// leak that lets the budget drift without bound.
+func gateAccounting(t *testing.T, g *fdGate, files []*File) (tracked, open, untracked int) {
+	t.Helper()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.order.Len() != len(g.elems) {
+		t.Fatalf("gate list/map out of sync: list %d, map %d", g.order.Len(), len(g.elems))
+	}
+	tracked = len(g.elems)
+	for _, f := range files {
+		f.mu.Lock()
+		if f.f != nil {
+			open++
+			if _, ok := g.elems[f]; !ok {
+				untracked++
+			}
+		}
+		f.mu.Unlock()
+	}
+	return tracked, open, untracked
+}
+
+// TestFDGateConcurrentAccounting hammers a small fd budget from many
+// goroutines and asserts the invariant the park/TryLock race used to
+// break: every open descriptor stays tracked by the gate, so the open
+// count converges back to the limit instead of leaking one fd per lost
+// race.
+func TestFDGateConcurrentAccounting(t *testing.T) {
+	const (
+		limit      = 8
+		nFiles     = 64
+		goroutines = 16
+		rounds     = 200
+	)
+	store, err := OpenStore(t.TempDir(), 256)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	defer store.Close()
+	store.SetFDLimit(limit)
+
+	files := make([]*File, nFiles)
+	for i := range files {
+		f, err := store.Open(fmt.Sprintf("f%03d.vec", i))
+		if err != nil {
+			t.Fatalf("open file: %v", err)
+		}
+		files[i] = f
+		// Materialize one page so Get has something to read.
+		fr, _, err := store.Pool().Alloc(f)
+		if err != nil {
+			t.Fatalf("alloc: %v", err)
+		}
+		fr.Data[0] = byte(i)
+		store.Pool().Unpin(fr, true)
+	}
+	if err := store.Pool().Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				f := files[(seed*31+r*17)%nFiles]
+				// Bypass the pool cache so every access exercises
+				// ensureOpen and the gate.
+				var buf [64]byte
+				f.mu.Lock()
+				err := func() error {
+					if err := f.ensureOpen(); err != nil {
+						return err
+					}
+					_, err := f.f.ReadAt(buf[:], 0)
+					return err
+				}()
+				f.mu.Unlock()
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Mid-flight overshoot is allowed (re-admitted victims), but never
+	// untracked descriptors.
+	if _, _, untracked := gateAccounting(t, store.gate, files); untracked != 0 {
+		t.Fatalf("%d open descriptors are not tracked by the gate", untracked)
+	}
+
+	// A serial settling pass gives the gate a chance to park idle victims:
+	// the open count must come back within the budget.
+	for i := 0; i < 2*limit; i++ {
+		f := files[i%nFiles]
+		f.mu.Lock()
+		err := f.ensureOpen()
+		f.mu.Unlock()
+		if err != nil {
+			t.Fatalf("settle: %v", err)
+		}
+	}
+	tracked, open, untracked := gateAccounting(t, store.gate, files)
+	if untracked != 0 {
+		t.Fatalf("%d open descriptors are not tracked by the gate after settling", untracked)
+	}
+	if open > limit {
+		t.Fatalf("open descriptors = %d, want <= limit %d after settling", open, limit)
+	}
+	if tracked > limit {
+		t.Fatalf("tracked files = %d, want <= limit %d after settling", tracked, limit)
+	}
+}

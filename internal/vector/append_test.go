@@ -1,0 +1,237 @@
+package vector
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"testing"
+
+	"vxml/internal/storage"
+)
+
+// scanAll reads every value of v as strings.
+func scanAll(t *testing.T, v Vector) []string {
+	t.Helper()
+	out, err := All(v)
+	if err != nil {
+		t.Fatalf("scan all: %v", err)
+	}
+	return out
+}
+
+// TestAppendResumeExactlyFullPage resumes a writer onto a last page with
+// zero free payload bytes: the first new value must go to a fresh page,
+// and positional reads must stay correct across the boundary.
+func TestAppendResumeExactlyFullPage(t *testing.T) {
+	store, pool := newPool(t, 64)
+	f, err := store.Open("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(pool, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 81 values of 99 bytes (1-byte length prefix each) plus one of 79
+	// bytes fill the 8180-byte payload to the last byte.
+	var want []string
+	for i := 0; i < 81; i++ {
+		want = append(want, strings.Repeat("x", 99))
+	}
+	want = append(want, strings.Repeat("y", 79))
+	for _, v := range want {
+		if err := w.AppendString(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Verify the last data page is exactly full.
+	fr, err := pool.Get(f, f.NumPages()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := int(binary.LittleEndian.Uint16(fr.Data[10:12]))
+	pool.Unpin(fr, false)
+	if used != payload {
+		t.Fatalf("last page used = %d, want exactly %d; adjust the test values", used, payload)
+	}
+
+	w2, err := OpenAppendWriter(pool, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.AppendString("resumed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := OpenPaged(pool, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := scanAll(t, p)
+	want = append(want, "resumed")
+	if len(got) != len(want) {
+		t.Fatalf("count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("value %d mismatch (len %d vs %d)", i, len(got[i]), len(want[i]))
+		}
+	}
+}
+
+// TestAppendResumeZeroValues re-opens a vector for append, writes nothing,
+// and Closes again: the meta page must be unchanged and the vector fully
+// readable.
+func TestAppendResumeZeroValues(t *testing.T) {
+	store, pool := newPool(t, 64)
+	f, err := store.Open("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []string{"one", "two", "three"}
+	w, err := NewWriter(pool, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		if err := w.AppendString(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		w2, err := OpenAppendWriter(pool, f)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if w2.Count() != int64(len(vals)) {
+			t.Fatalf("round %d: resumed count = %d, want %d", round, w2.Count(), len(vals))
+		}
+		if err := w2.Close(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	p, err := OpenPaged(pool, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scanAll(t, p); strings.Join(got, ",") != strings.Join(vals, ",") {
+		t.Errorf("values = %v, want %v", got, vals)
+	}
+	if p.ValueBytes() != 11 {
+		t.Errorf("ValueBytes = %d, want 11", p.ValueBytes())
+	}
+}
+
+// staleMeta rewrites the meta page of f to claim oldCount/oldBytes,
+// simulating a crash after data pages were written but before Close
+// refreshed the meta page.
+func staleMeta(t *testing.T, pool *storage.BufferPool, f *storage.File, oldCount, oldBytes int64) {
+	t.Helper()
+	fr, err := pool.Get(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint64(fr.Data[4:12], uint64(oldCount))
+	binary.LittleEndian.PutUint64(fr.Data[12:20], uint64(oldBytes))
+	pool.Unpin(fr, true)
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendResumeStaleMeta reopens vectors whose meta page lags the data
+// pages: the writer must adopt the data pages' counts (recomputing the
+// byte total from record headers), and a meta page claiming MORE values
+// than the data pages hold must be rejected as corruption.
+func TestAppendResumeStaleMeta(t *testing.T) {
+	store, pool := newPool(t, 64)
+	f, err := store.Open("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(pool, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vals []string
+	var nbytes int64
+	for i := 0; i < 5000; i++ { // several pages
+		v := fmt.Sprintf("value-%04d", i)
+		vals = append(vals, v)
+		nbytes += int64(len(v))
+		if err := w.AppendString(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Meta behind the data pages (crash before Close): recoverable.
+	staleCount, staleBytes := int64(100), int64(10*100)
+	staleMeta(t, pool, f, staleCount, staleBytes)
+	w2, err := OpenAppendWriter(pool, f)
+	if err != nil {
+		t.Fatalf("reopen with stale meta: %v", err)
+	}
+	if w2.Count() != int64(len(vals)) {
+		t.Errorf("recovered count = %d, want %d", w2.Count(), len(vals))
+	}
+	if w2.ValueBytes() != nbytes {
+		t.Errorf("recovered bytes = %d, want %d", w2.ValueBytes(), nbytes)
+	}
+	if err := w2.AppendString("after-recovery"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := OpenPaged(pool, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := scanAll(t, p)
+	if len(got) != len(vals)+1 || got[len(got)-1] != "after-recovery" {
+		t.Fatalf("after recovery: %d values, last %q", len(got), got[len(got)-1])
+	}
+
+	// Meta ahead of the data pages (lost pages): must refuse.
+	staleMeta(t, pool, f, int64(len(got))+1000, nbytes+100)
+	if _, err := OpenAppendWriter(pool, f); err == nil {
+		t.Error("reopen with meta count beyond data pages succeeded")
+	}
+}
+
+// TestAppendCompressedStaleMeta: the compressed format detects a stale
+// meta page and refuses (recovery requires a rebuild).
+func TestAppendCompressedStaleMeta(t *testing.T) {
+	store, pool := newPool(t, 64)
+	f, err := store.Open("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewCompressedWriter(pool, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if err := w.AppendString(fmt.Sprintf("value-%04d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	staleMeta(t, pool, f, 100, 1000)
+	if _, err := OpenAppendCompressed(pool, f); err == nil {
+		t.Error("compressed reopen with stale meta succeeded")
+	}
+}

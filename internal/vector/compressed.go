@@ -188,18 +188,14 @@ func (w *CompressedWriter) Close() error {
 	return nil
 }
 
-// CompressedPaged reads a compressed vector file.
+// CompressedPaged reads a compressed vector file. The struct itself holds
+// no scan state — each Scan inflates pages into its own local cache — so
+// one CompressedPaged may serve any number of concurrent Scans.
 type CompressedPaged struct {
 	pool  *storage.BufferPool
 	file  *storage.File
 	count int64
 	bytes int64
-
-	// one-page inflate cache: repeated scans of nearby positions reuse it
-	cachePage int64
-	cache     []byte
-	cacheIdx  int64
-	cacheN    int
 }
 
 // OpenCompressed opens a finalized compressed vector file.
@@ -213,11 +209,10 @@ func OpenCompressed(pool *storage.BufferPool, file *storage.File) (*CompressedPa
 		return nil, fmt.Errorf("vector: %s: bad compressed magic", file.Path())
 	}
 	return &CompressedPaged{
-		pool:      pool,
-		file:      file,
-		count:     int64(binary.LittleEndian.Uint64(fr.Data[4:12])),
-		bytes:     int64(binary.LittleEndian.Uint64(fr.Data[12:20])),
-		cachePage: -1,
+		pool:  pool,
+		file:  file,
+		count: int64(binary.LittleEndian.Uint64(fr.Data[4:12])),
+		bytes: int64(binary.LittleEndian.Uint64(fr.Data[12:20])),
 	}, nil
 }
 
@@ -226,6 +221,16 @@ func (p *CompressedPaged) Len() int64 { return p.count }
 
 // ValueBytes returns the raw value bytes (before compression).
 func (p *CompressedPaged) ValueBytes() int64 { return p.bytes }
+
+// inflateCache is one Scan's local page cache: keeping it per call (not on
+// the CompressedPaged) makes concurrent scans of one vector safe, and a
+// sequential scan still inflates each page once.
+type inflateCache struct {
+	page int64
+	data []byte
+	idx  int64
+	n    int
+}
 
 // Scan implements Vector.
 func (p *CompressedPaged) Scan(start, n int64, fn func(pos int64, val []byte) error) error {
@@ -239,17 +244,18 @@ func (p *CompressedPaged) Scan(start, n int64, fn func(pos int64, val []byte) er
 	if err != nil {
 		return err
 	}
+	cache := inflateCache{page: -1}
 	end := start + n
 	pos := int64(-1)
 	for pageNo < p.file.NumPages() {
-		if err := p.loadPage(pageNo); err != nil {
+		if err := p.loadPage(&cache, pageNo); err != nil {
 			return err
 		}
-		pos = p.cacheIdx
+		pos = cache.idx
 		off := 0
-		for r := 0; r < p.cacheN; r++ {
-			ln, sz := binary.Uvarint(p.cache[off:])
-			if sz <= 0 {
+		for r := 0; r < cache.n; r++ {
+			ln, sz := binary.Uvarint(cache.data[off:])
+			if sz <= 0 || ln > uint64(len(cache.data)-off-sz) {
 				return fmt.Errorf("vector: %s: corrupt batch on page %d", p.file.Path(), pageNo)
 			}
 			off += sz
@@ -257,7 +263,7 @@ func (p *CompressedPaged) Scan(start, n int64, fn func(pos int64, val []byte) er
 				if pos >= end {
 					return nil
 				}
-				if err := fn(pos, p.cache[off:off+int(ln)]); err != nil {
+				if err := fn(pos, cache.data[off:off+int(ln)]); err != nil {
 					return err
 				}
 			}
@@ -272,9 +278,9 @@ func (p *CompressedPaged) Scan(start, n int64, fn func(pos int64, val []byte) er
 	return fmt.Errorf("vector: %s: scan ran past last page (pos %d, want %d)", p.file.Path(), pos, end)
 }
 
-// loadPage inflates one page into the cache.
-func (p *CompressedPaged) loadPage(pageNo int64) error {
-	if p.cachePage == pageNo {
+// loadPage inflates one page into the scan's cache.
+func (p *CompressedPaged) loadPage(cache *inflateCache, pageNo int64) error {
+	if cache.page == pageNo {
 		return nil
 	}
 	fr, err := p.pool.Get(p.file, pageNo)
@@ -285,16 +291,20 @@ func (p *CompressedPaged) loadPage(pageNo int64) error {
 	nrecs := int(binary.LittleEndian.Uint16(fr.Data[8:10]))
 	plen := int(binary.LittleEndian.Uint16(fr.Data[10:12]))
 	flag := fr.Data[12]
+	if plen > compPayload {
+		p.pool.Unpin(fr, false)
+		return fmt.Errorf("vector: %s: corrupt header on page %d (payload %d > max %d)", p.file.Path(), pageNo, plen, compPayload)
+	}
 	payload := fr.Data[compHeader : compHeader+plen]
 	if flag == 0 {
-		p.cache = append(p.cache[:0], payload...)
+		cache.data = append(cache.data[:0], payload...)
 	} else {
 		rd := flate.NewReader(bytes.NewReader(payload))
-		p.cache = p.cache[:0]
+		cache.data = cache.data[:0]
 		buf := make([]byte, 16<<10)
 		for {
 			n, err := rd.Read(buf)
-			p.cache = append(p.cache, buf[:n]...)
+			cache.data = append(cache.data, buf[:n]...)
 			if err == io.EOF {
 				break
 			}
@@ -306,7 +316,7 @@ func (p *CompressedPaged) loadPage(pageNo int64) error {
 		rd.Close()
 	}
 	p.pool.Unpin(fr, false)
-	p.cachePage, p.cacheIdx, p.cacheN = pageNo, firstIdx, nrecs
+	cache.page, cache.idx, cache.n = pageNo, firstIdx, nrecs
 	return nil
 }
 
@@ -340,17 +350,34 @@ func (p *CompressedPaged) findPage(pos int64) (int64, error) {
 
 // OpenAppendCompressed resumes appending to a finalized compressed vector
 // file. Existing pages are untouched; new batches go to fresh pages (the
-// page headers' firstIdx keeps positional access consistent).
+// page headers' firstIdx keeps positional access consistent). A meta page
+// out of step with the data pages (a crash between batch flush and Close)
+// is detected and reported; unlike the uncompressed format, recovery
+// requires rebuilding the vector.
 func OpenAppendCompressed(pool *storage.BufferPool, file *storage.File) (*CompressedWriter, error) {
 	fr, err := pool.Get(file, 0)
 	if err != nil {
 		return nil, err
 	}
-	defer pool.Unpin(fr, false)
 	if string(fr.Data[0:4]) != compMagic {
+		pool.Unpin(fr, false)
 		return nil, fmt.Errorf("vector: %s: bad compressed magic", file.Path())
 	}
 	count := int64(binary.LittleEndian.Uint64(fr.Data[4:12]))
 	bytes := int64(binary.LittleEndian.Uint64(fr.Data[12:20]))
+	pool.Unpin(fr, false)
+	if last := file.NumPages() - 1; last >= 1 {
+		fr, err := pool.Get(file, last)
+		if err != nil {
+			return nil, err
+		}
+		trueCount := int64(binary.LittleEndian.Uint64(fr.Data[0:8])) + int64(binary.LittleEndian.Uint16(fr.Data[8:10]))
+		pool.Unpin(fr, false)
+		if trueCount != count {
+			return nil, fmt.Errorf("vector: %s: meta page records %d values but data pages end at %d (stale meta; rebuild the vector)", file.Path(), count, trueCount)
+		}
+	} else if count != 0 {
+		return nil, fmt.Errorf("vector: %s: meta page records %d values but file has no data pages", file.Path(), count)
+	}
 	return &CompressedWriter{pool: pool, file: file, count: count, bytes: bytes, first: count}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 
 	"vxml/internal/storage"
 )
@@ -14,9 +15,16 @@ import (
 // plus a catalog mapping vector names (which contain '/') to file names.
 // Vectors are opened lazily — a query pays I/O only for the vectors it
 // scans, which is the paper's central claim.
+//
+// Concurrency: the read side (Vector, Count, Names, CatalogBytes) is safe
+// for concurrent use once the set is loaded — many queries can share one
+// DiskSet. The write side (NewWriter, AppendWriter, CloseVector, Save,
+// SetCompression) mutates the catalog and is single-owner: run it from one
+// goroutine, with no concurrent readers, as during vectorization.
 type DiskSet struct {
 	store    *storage.Store
 	catalog  map[string]catalogEntry
+	mu       sync.Mutex // guards open
 	open     map[string]Vector
 	compress bool
 }
@@ -122,8 +130,13 @@ func (s *DiskSet) Names() []string {
 	return out
 }
 
-// Vector implements Set, opening the paged file on first use.
+// Vector implements Set, opening the paged file on first use. Concurrent
+// callers of the same name serialize on the set's lock and share one
+// reader (Paged and CompressedPaged are scan-state-free, so sharing is
+// safe).
 func (s *DiskSet) Vector(name string) (Vector, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if v, ok := s.open[name]; ok {
 		return v, nil
 	}
@@ -172,7 +185,9 @@ func (s *DiskSet) AppendWriter(name string) (SetWriter, error) {
 	if !ok {
 		return s.NewWriter(name)
 	}
+	s.mu.Lock()
 	delete(s.open, name) // invalidate any cached reader
+	s.mu.Unlock()
 	f, err := s.store.Open(e.File)
 	if err != nil {
 		return nil, err

@@ -133,6 +133,8 @@ func (w *Writer) Close() error {
 }
 
 // Paged is a Vector reading from a paged vector file through a buffer pool.
+// It keeps no per-scan state, so one Paged may serve any number of
+// concurrent Scans (the buffer pool underneath is concurrency-safe).
 type Paged struct {
 	pool  *storage.BufferPool
 	file  *storage.File
@@ -186,11 +188,19 @@ func (p *Paged) Scan(start, n int64, fn func(pos int64, val []byte) error) error
 		}
 		firstIdx := int64(binary.LittleEndian.Uint64(fr.Data[0:8]))
 		nrecs := int(binary.LittleEndian.Uint16(fr.Data[8:10]))
+		used := int(binary.LittleEndian.Uint16(fr.Data[10:12]))
+		if used > payload {
+			p.pool.Unpin(fr, false)
+			return fmt.Errorf("vector: %s: corrupt header on page %d (used %d > payload %d)", p.file.Path(), pageNo, used, payload)
+		}
+		// Record lengths come from disk: every prefix and value must stay
+		// inside the page's used payload, or the record is corrupt.
+		limit := headerSize + used
 		pos = firstIdx
 		off := headerSize
 		for r := 0; r < nrecs; r++ {
-			ln, sz := binary.Uvarint(fr.Data[off:])
-			if sz <= 0 {
+			ln, sz := binary.Uvarint(fr.Data[off:limit])
+			if sz <= 0 || ln > uint64(limit-off-sz) {
 				p.pool.Unpin(fr, false)
 				return fmt.Errorf("vector: %s: corrupt record on page %d", p.file.Path(), pageNo)
 			}
@@ -249,6 +259,13 @@ func (p *Paged) findPage(pos int64) (int64, error) {
 // page supplies the running count, and the last data page's header tells
 // where to continue — the write half of the paper's §6 incremental
 // maintenance. The caller must Close again to refresh the meta page.
+//
+// Data-page headers are kept current on every append while the meta page
+// is only rewritten by Close, so after a crash the meta page can lag the
+// data pages. OpenAppendWriter reconciles: appends recorded by the data
+// pages but not the meta page are adopted (count and byte totals are
+// recomputed from the page headers), while a meta count beyond what the
+// data pages hold means lost pages and is reported as corruption.
 func OpenAppendWriter(pool *storage.BufferPool, file *storage.File) (*Writer, error) {
 	fr, err := pool.Get(file, 0)
 	if err != nil {
@@ -267,10 +284,70 @@ func OpenAppendWriter(pool *storage.BufferPool, file *storage.File) (*Writer, er
 		if err != nil {
 			return nil, err
 		}
-		w.page = last
-		w.nrecs = int(binary.LittleEndian.Uint16(fr.Data[8:10]))
-		w.used = int(binary.LittleEndian.Uint16(fr.Data[10:12]))
+		firstIdx := int64(binary.LittleEndian.Uint64(fr.Data[0:8]))
+		nrecs := int(binary.LittleEndian.Uint16(fr.Data[8:10]))
+		used := int(binary.LittleEndian.Uint16(fr.Data[10:12]))
 		pool.Unpin(fr, false)
+		if used > payload {
+			return nil, fmt.Errorf("vector: %s: corrupt header on page %d (used %d > payload %d)", file.Path(), last, used, payload)
+		}
+		trueCount := firstIdx + int64(nrecs)
+		switch {
+		case trueCount < count:
+			return nil, fmt.Errorf("vector: %s: meta page records %d values but data pages end at %d", file.Path(), count, trueCount)
+		case trueCount > count:
+			extra, err := tailValueBytes(pool, file, count)
+			if err != nil {
+				return nil, err
+			}
+			w.count = trueCount
+			w.bytes = bytes + extra
+		}
+		w.page = last
+		w.nrecs = nrecs
+		w.used = used
+	} else if count != 0 {
+		return nil, fmt.Errorf("vector: %s: meta page records %d values but file has no data pages", file.Path(), count)
 	}
 	return w, nil
+}
+
+// tailValueBytes sums the value bytes of records at positions >= from by
+// walking the data pages — the crash-recovery path of OpenAppendWriter.
+func tailValueBytes(pool *storage.BufferPool, file *storage.File, from int64) (int64, error) {
+	var total int64
+	for pg := int64(1); pg < file.NumPages(); pg++ {
+		fr, err := pool.Get(file, pg)
+		if err != nil {
+			return 0, err
+		}
+		firstIdx := int64(binary.LittleEndian.Uint64(fr.Data[0:8]))
+		nrecs := int(binary.LittleEndian.Uint16(fr.Data[8:10]))
+		used := int(binary.LittleEndian.Uint16(fr.Data[10:12]))
+		if firstIdx+int64(nrecs) <= from {
+			pool.Unpin(fr, false)
+			continue
+		}
+		if used > payload {
+			pool.Unpin(fr, false)
+			return 0, fmt.Errorf("vector: %s: corrupt header on page %d (used %d > payload %d)", file.Path(), pg, used, payload)
+		}
+		limit := headerSize + used
+		off := headerSize
+		pos := firstIdx
+		for r := 0; r < nrecs; r++ {
+			ln, sz := binary.Uvarint(fr.Data[off:limit])
+			if sz <= 0 || ln > uint64(limit-off-sz) {
+				pool.Unpin(fr, false)
+				return 0, fmt.Errorf("vector: %s: corrupt record on page %d", file.Path(), pg)
+			}
+			off += sz + int(ln)
+			if pos >= from {
+				total += int64(ln)
+			}
+			pos++
+		}
+		pool.Unpin(fr, false)
+	}
+	return total, nil
 }

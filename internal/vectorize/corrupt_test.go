@@ -96,6 +96,52 @@ func TestVectorFileMissing(t *testing.T) {
 	}
 }
 
+func TestVectorRecordLengthCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	var doc strings.Builder
+	doc.WriteString("<d>")
+	for i := 0; i < 2000; i++ {
+		doc.WriteString("<v>some value text here</v>")
+	}
+	doc.WriteString("</d>")
+	repo, err := Create(strings.NewReader(doc.String()), dir, Options{PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo.Close()
+	matches, _ := filepath.Glob(filepath.Join(dir, "v*.vec"))
+	if len(matches) == 0 {
+		t.Fatal("no vector files found")
+	}
+	// Smash the length prefix of the first record on the first data page:
+	// a huge uvarint that points far past the page's used payload. Scan
+	// must report a corrupt record, not slice out of bounds and panic.
+	f, err := os.OpenFile(matches[0], os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Page 1 starts at 8192; its 12-byte header is followed by records.
+	if _, err := f.WriteAt([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}, 8192+12); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	repo2, err := Open(dir, Options{PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo2.Close()
+	v, err := repo2.Vectors.Vector("/d/v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = v.Scan(0, v.Len(), func(int64, []byte) error { return nil })
+	if err == nil {
+		t.Error("scan over corrupt record length succeeded")
+	} else if !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("scan error %q does not mention corruption", err)
+	}
+}
+
 func TestVectorFileTruncated(t *testing.T) {
 	dir := t.TempDir()
 	var doc strings.Builder

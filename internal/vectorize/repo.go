@@ -15,6 +15,15 @@ import (
 // Repository is an opened vectorized XML store: the skeleton (in memory —
 // the paper's central assumption is that compressed skeletons fit in main
 // memory), the class registry, and the lazily-loaded data vectors.
+//
+// Concurrency: an opened Repository is safe to share across goroutines
+// for querying — the skeleton is immutable, the class registry locks its
+// lazy memos, the vector set locks its lazy opens, and the buffer pool
+// underneath is concurrency-safe. Serve each query through its own engine
+// (core.NewRepoEngine) or share one engine; both are safe — a per-query
+// engine additionally isolates index builds and statistics. Mutating
+// operations (Create, Append, Close) are single-owner: run them from one
+// goroutine with no queries in flight.
 type Repository struct {
 	Dir     string
 	Store   *storage.Store

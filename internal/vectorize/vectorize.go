@@ -16,11 +16,19 @@ import (
 
 // Sink receives data values during vectorization, keyed by vector name
 // (the tag path to the text's parent element, e.g. "/bib/book/title").
+//
+// Append must copy val before returning: callers may pass memory they
+// reuse or unpin immediately after the call — the query engine's result
+// path hands over bytes that alias a pinned buffer-pool frame (the
+// Vector.Scan contract), which is recycled as soon as the scan moves on.
+// Sinks are single-owner: one goroutine drives a sink from creation
+// through Close.
 type Sink interface {
 	Append(name string, val []byte) error
 }
 
-// MemSink appends into an in-memory vector set.
+// MemSink appends into an in-memory vector set. The string conversion
+// copies val, satisfying the Sink contract.
 type MemSink struct{ Set *vector.MemSet }
 
 // Append implements Sink.
@@ -30,7 +38,9 @@ func (m MemSink) Append(name string, val []byte) error {
 }
 
 // DiskSink appends into a DiskSet, creating vector writers lazily.
-// Call Close after the parse to finalize all vectors.
+// Call Close after the parse to finalize all vectors. The vector writers
+// copy val into their own pages before returning, satisfying the Sink
+// contract.
 type DiskSink struct {
 	Set     *vector.DiskSet
 	writers map[string]vector.SetWriter
