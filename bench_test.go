@@ -13,6 +13,7 @@
 package vxml
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -162,7 +163,7 @@ func benchVXQuery(b *testing.B, doc, query string, opts core.Options, popts qgra
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng := core.NewEngine(repo.Skel, repo.Classes, repo.Vectors, syms, opts)
-		if _, err := eng.Eval(plan); err != nil {
+		if _, err := eng.Eval(context.Background(), plan); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -240,7 +241,7 @@ func BenchmarkAblationGraphReductionVsNaive(b *testing.B) {
 	b.Run("graph-reduction", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			eng := core.NewEngine(repo.Skel, repo.Classes, repo.Vectors, syms, core.Options{})
-			if _, err := eng.Eval(plan); err != nil {
+			if _, err := eng.Eval(context.Background(), plan); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -276,7 +277,7 @@ func BenchmarkAblationVectorIndex(b *testing.B) {
 	b.Run("scan", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			eng := core.NewEngine(repo.Skel, repo.Classes, repo.Vectors, syms, core.Options{})
-			if _, err := eng.Eval(plan); err != nil {
+			if _, err := eng.Eval(context.Background(), plan); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -288,7 +289,7 @@ func BenchmarkAblationVectorIndex(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.Eval(plan); err != nil {
+			if _, err := eng.Eval(context.Background(), plan); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -330,7 +331,7 @@ func BenchmarkAblationCompressedVectors(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				eng := core.NewEngine(repo.Skel, repo.Classes, repo.Vectors, repo.Syms, core.Options{})
-				if _, err := eng.Eval(plan); err != nil {
+				if _, err := eng.Eval(context.Background(), plan); err != nil {
 					b.Fatal(err)
 				}
 			}

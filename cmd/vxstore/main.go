@@ -8,6 +8,7 @@
 //	vxstore append -repo DIR fragment.xml    append a fragment's children
 //	vxstore reconstruct -repo DIR            emit the stored document as XML
 //	vxstore stats -repo DIR                  skeleton/vector statistics
+//	vxstore fsck -repo DIR                   deep-verify checksums and invariants
 //	vxstore query -repo DIR [-explain] 'for $x in ... return ...'
 //	vxstore query -repo DIR -f query.xq
 //	vxstore query -repo DIR -parallel 8 -workers 4 -f query.xq
@@ -15,6 +16,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +47,8 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "append":
 		err = cmdAppend(os.Args[2:])
+	case "fsck":
+		err = cmdFsck(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -61,6 +65,7 @@ func usage() {
   vxstore append -repo DIR fragment.xml
   vxstore reconstruct -repo DIR
   vxstore stats -repo DIR
+  vxstore fsck -repo DIR [-q]
   vxstore query -repo DIR [-explain] [-parallel N] [-workers N] [-f query.xq | 'query text']`)
 }
 
@@ -155,6 +160,7 @@ func cmdQuery(args []string) error {
 	stats := fs.Bool("stats", false, "print evaluation statistics to stderr")
 	parallel := fs.Int("parallel", 1, "serve the query N times from concurrent goroutines (per-query engines)")
 	workers := fs.Int("workers", 0, "intra-query scan worker pool size (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "cancel the query after this long (0 = no limit)")
 	fs.Parse(args)
 
 	var src string
@@ -192,12 +198,18 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	defer repo.Close()
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	opts := core.Options{Workers: *workers}
 	if *parallel > 1 {
-		return queryParallel(repo, plan, opts, *parallel, *stats)
+		return queryParallel(ctx, repo, plan, opts, *parallel, *stats)
 	}
 	eng := core.NewRepoEngine(repo, opts)
-	res, err := eng.Eval(plan)
+	res, err := eng.Eval(ctx, plan)
 	if err != nil {
 		return err
 	}
@@ -217,7 +229,7 @@ func cmdQuery(args []string) error {
 // through its own engine against the shared repository — the concurrent
 // serving pattern. All serialized results must agree byte for byte; one
 // copy is printed.
-func queryParallel(repo *vectorize.Repository, plan *qgraph.Plan, opts core.Options, n int, stats bool) error {
+func queryParallel(ctx context.Context, repo *vectorize.Repository, plan *qgraph.Plan, opts core.Options, n int, stats bool) error {
 	outs := make([][]byte, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -227,7 +239,7 @@ func queryParallel(repo *vectorize.Repository, plan *qgraph.Plan, opts core.Opti
 		go func(i int) {
 			defer wg.Done()
 			eng := core.NewRepoEngine(repo, opts)
-			res, err := eng.Eval(plan)
+			res, err := eng.Eval(ctx, plan)
 			if err != nil {
 				errs[i] = err
 				return
@@ -257,6 +269,33 @@ func queryParallel(repo *vectorize.Repository, plan *qgraph.Plan, opts core.Opti
 	if stats {
 		fmt.Fprintf(os.Stderr, "parallel=%d elapsed=%s qps=%.1f\n",
 			n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
+	}
+	return nil
+}
+
+// cmdFsck deep-verifies a repository: manifest, checksum footers, every
+// vector page's CRC, and the skeleton/catalog/vector count invariants.
+// Exit status 0 means the repository is sound (warnings allowed); any
+// corruption exits non-zero with the offending file and offset on stderr.
+func cmdFsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	repoDir := fs.String("repo", "", "repository directory")
+	pool := fs.Int("pool", 8192, "buffer pool pages")
+	quiet := fs.Bool("q", false, "print nothing when the repository is clean")
+	fs.Parse(args)
+	if *repoDir == "" {
+		return fmt.Errorf("fsck needs -repo DIR")
+	}
+	rep, err := vectorize.Fsck(*repoDir, vectorize.Options{PoolPages: *pool})
+	if err != nil {
+		return fmt.Errorf("fsck %s: %w", *repoDir, err)
+	}
+	for _, w := range rep.Warnings {
+		fmt.Fprintf(os.Stderr, "fsck: warning: %s\n", w)
+	}
+	if !*quiet {
+		fmt.Printf("%s: clean — %d vectors, %d values, %d pages verified\n",
+			*repoDir, rep.Vectors, rep.Values, rep.PagesRead)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -54,7 +55,7 @@ func main() {
 	fmt.Println(plan.String())
 
 	eng := core.NewEngine(repo.Skel, repo.Classes, repo.Vectors, syms, core.Options{})
-	res, err := eng.Eval(plan)
+	res, err := eng.Eval(context.Background(), plan)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -39,7 +40,7 @@ func main() {
 	}
 	run := func(eng *core.Engine) time.Duration {
 		start := time.Now()
-		if _, err := eng.Eval(plan); err != nil {
+		if _, err := eng.Eval(context.Background(), plan); err != nil {
 			log.Fatal(err)
 		}
 		return time.Since(start)
@@ -83,7 +84,7 @@ func main() {
 
 	plan2, _ := qgraph.Build(xq.MustParse(`for $r in /photoobj/row return $r/source`))
 	eng := core.NewEngine(evolved.Skel, evolved.Classes, evolved.Vectors, syms, core.Options{})
-	res, err := eng.Eval(plan2)
+	res, err := eng.Eval(context.Background(), plan2)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -68,7 +69,7 @@ func main() {
 
 	// 3. Evaluate by graph reduction — no decompression of the input.
 	eng := core.NewEngine(repo.Skel, repo.Classes, repo.Vectors, syms, core.Options{})
-	res, err := eng.Eval(plan)
+	res, err := eng.Eval(context.Background(), plan)
 	if err != nil {
 		log.Fatal(err)
 	}

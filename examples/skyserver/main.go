@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -76,7 +77,7 @@ func main() {
 	}
 	eng := core.NewEngine(repo.Skel, repo.Classes, repo.Vectors, repo.Syms, core.Options{})
 	start := time.Now()
-	res, err := eng.Eval(plan)
+	res, err := eng.Eval(context.Background(), plan)
 	vxTime := time.Since(start)
 	if err != nil {
 		log.Fatal(err)

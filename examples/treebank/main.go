@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -51,7 +52,7 @@ func main() {
 		}
 		eng := core.NewEngine(repo.Skel, repo.Classes, repo.Vectors, syms, core.Options{})
 		start := time.Now()
-		res, err := eng.Eval(plan)
+		res, err := eng.Eval(context.Background(), plan)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -56,7 +57,7 @@ func (d *Dataset) ConcurrentThroughput(q QueryID, goroutines, queries int) (Thro
 	// Warm once (and record the result cardinality) so the measurement
 	// covers serving, not first-touch vector opens.
 	warm := core.NewRepoEngine(repo, core.Options{})
-	out, err := warm.Eval(plan)
+	out, err := warm.Eval(context.Background(), plan)
 	if err != nil {
 		return pt, err
 	}
@@ -75,7 +76,7 @@ func (d *Dataset) ConcurrentThroughput(q QueryID, goroutines, queries int) (Thro
 			defer wg.Done()
 			for next.Add(1) <= int64(queries) {
 				eng := core.NewRepoEngine(repo, core.Options{})
-				res, err := eng.Eval(plan)
+				res, err := eng.Eval(context.Background(), plan)
 				if err == nil && rootChildren(res.Skel) != pt.Results {
 					err = fmt.Errorf("bench: concurrent result cardinality %d, want %d",
 						rootChildren(res.Skel), pt.Results)

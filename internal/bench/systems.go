@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -114,7 +115,7 @@ func (d *Dataset) runVXIndexed(q QueryID, indexPaths []string) Result {
 		return res
 	}
 	start := time.Now()
-	out, err := eng.Eval(plan)
+	out, err := eng.Eval(context.Background(), plan)
 	res.Elapsed = time.Since(start)
 	if err != nil {
 		res.Fail, res.Err = "eval failed", err
@@ -144,7 +145,7 @@ func (d *Dataset) runVXPlanned(q QueryID, opts core.Options, popts qgraph.Option
 		return res
 	}
 	eng := core.NewEngine(repo.Skel, repo.Classes, repo.Vectors, repo.Syms, opts)
-	out, err := eng.Eval(plan)
+	out, err := eng.Eval(context.Background(), plan)
 	res.Elapsed = time.Since(start)
 	if err != nil {
 		res.Fail, res.Err = "eval failed", err

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vxml/internal/qgraph"
+	"vxml/internal/vectorize"
+	"vxml/internal/xmlmodel"
+	"vxml/internal/xq"
+)
+
+// cancelSetup vectorizes bibXML and plans q0 without evaluating, so tests
+// control the context passed to Eval.
+func cancelSetup(t *testing.T) (*Engine, *qgraph.Plan) {
+	t.Helper()
+	syms := xmlmodel.NewSymbols()
+	repo, err := vectorize.FromString(bibXML, syms)
+	if err != nil {
+		t.Fatalf("vectorize: %v", err)
+	}
+	q, err := xq.Parse(q0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	plan, err := qgraph.Build(q)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	return NewEngine(repo.Skel, repo.Classes, repo.Vectors, syms, Options{}), plan
+}
+
+// TestEvalCancelled: a cancelled context makes Eval return context.Canceled,
+// and the engine stays usable — the next Eval with a live context produces
+// the full, correct result.
+func TestEvalCancelled(t *testing.T) {
+	eng, plan := cancelSetup(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Eval(ctx, plan); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Eval with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+
+	res, err := eng.Eval(context.Background(), plan)
+	if err != nil {
+		t.Fatalf("Eval after cancellation: %v", err)
+	}
+	got := resultXML(t, res)
+	if !strings.Contains(got, "<title>Curation</title>") || !strings.Contains(got, "<title>XPath</title>") {
+		t.Errorf("result after cancellation incomplete:\n%s", got)
+	}
+}
+
+// TestEvalCancelledParallel: cancellation must also propagate out of the
+// parallel scan fan-out without deadlocking or leaking goroutines.
+func TestEvalCancelledParallel(t *testing.T) {
+	syms := xmlmodel.NewSymbols()
+	repo, err := vectorize.FromString(bibXML, syms)
+	if err != nil {
+		t.Fatalf("vectorize: %v", err)
+	}
+	q, err := xq.Parse(q0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	plan, err := qgraph.Build(q)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	eng := NewEngine(repo.Skel, repo.Classes, repo.Vectors, syms, Options{Workers: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Eval(ctx, plan); !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel Eval with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := eng.Eval(context.Background(), plan); err != nil {
+		t.Fatalf("parallel Eval after cancellation: %v", err)
+	}
+}
+
+// TestEvalToDirCancelled: a cancelled EvalToDir must not commit a result
+// directory, and a later run with a live context succeeds from the same
+// engine (the abandoned build directory is cleared automatically).
+func TestEvalToDirCancelled(t *testing.T) {
+	eng, plan := cancelSetup(t)
+	dir := filepath.Join(t.TempDir(), "result")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.EvalToDir(ctx, plan, dir, 64); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EvalToDir with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("cancelled EvalToDir left a result directory (stat err = %v)", err)
+	}
+
+	repo, err := eng.EvalToDir(context.Background(), plan, dir, 64)
+	if err != nil {
+		t.Fatalf("EvalToDir after cancellation: %v", err)
+	}
+	defer repo.Close()
+	var b strings.Builder
+	if err := vectorize.ReconstructXML(repo.Skel, repo.Classes, repo.Vectors, repo.Syms, &b); err != nil {
+		t.Fatalf("reconstruct: %v", err)
+	}
+	if !strings.Contains(b.String(), "<title>Curation</title>") {
+		t.Errorf("on-disk result incomplete:\n%s", b.String())
+	}
+}

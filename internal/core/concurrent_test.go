@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -114,7 +115,7 @@ func TestConcurrentEvalMatchesSerial(t *testing.T) {
 	for i, src := range concurrentQueries {
 		plans[i] = planFor(t, src)
 		eng := NewRepoEngine(repo, Options{Workers: 1})
-		res, err := eng.Eval(plans[i])
+		res, err := eng.Eval(context.Background(), plans[i])
 		if err != nil {
 			t.Fatalf("serial eval %d: %v", i, err)
 		}
@@ -137,7 +138,7 @@ func TestConcurrentEvalMatchesSerial(t *testing.T) {
 			if g%2 == 1 {
 				eng = NewRepoEngine(repo, Options{})
 			}
-			res, err := eng.Eval(plans[qi])
+			res, err := eng.Eval(context.Background(), plans[qi])
 			if err != nil {
 				t.Errorf("goroutine %d: eval: %v", g, err)
 				return
@@ -163,7 +164,7 @@ func TestParallelEvalByteIdentical(t *testing.T) {
 	for i, src := range concurrentQueries {
 		plan := planFor(t, src)
 		serial := NewRepoEngine(repo, Options{Workers: 1})
-		res1, err := serial.Eval(plan)
+		res1, err := serial.Eval(context.Background(), plan)
 		if err != nil {
 			t.Fatalf("query %d serial: %v", i, err)
 		}
@@ -172,7 +173,7 @@ func TestParallelEvalByteIdentical(t *testing.T) {
 			t.Fatal(err)
 		}
 		parallel := NewRepoEngine(repo, Options{Workers: 8})
-		res8, err := parallel.Eval(plan)
+		res8, err := parallel.Eval(context.Background(), plan)
 		if err != nil {
 			t.Fatalf("query %d parallel: %v", i, err)
 		}
@@ -198,7 +199,7 @@ func TestEvalTinyPoolCopiesValues(t *testing.T) {
 	big := openDiskRepo(t, doc, 256)
 	eng := NewRepoEngine(big, Options{Workers: 1})
 	plan := planFor(t, concurrentQueries[0])
-	res, err := eng.Eval(plan)
+	res, err := eng.Eval(context.Background(), plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestEvalTinyPoolCopiesValues(t *testing.T) {
 
 	tiny := openDiskRepo(t, doc, 2) // 2 pages: every Get evicts
 	tinyEng := NewRepoEngine(tiny, Options{Workers: 1})
-	resTiny, err := tinyEng.Eval(plan)
+	resTiny, err := tinyEng.Eval(context.Background(), plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestEvalTinyPoolCopiesValues(t *testing.T) {
 	}
 
 	outDir := t.TempDir()
-	outRepo, err := tinyEng.EvalToDir(plan, outDir, 2)
+	outRepo, err := tinyEng.EvalToDir(context.Background(), plan, outDir, 2)
 	if err != nil {
 		t.Fatalf("EvalToDir: %v", err)
 	}

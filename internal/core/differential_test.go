@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -116,7 +117,7 @@ func engineResultXML(t *testing.T, tree *xmlmodel.Node, syms *xmlmodel.Symbols, 
 		return "", fmt.Errorf("plan: %w", err)
 	}
 	eng := NewEngine(repo.Skel, repo.Classes, repo.Vectors, syms, Options{})
-	res, err := eng.Eval(plan)
+	res, err := eng.Eval(context.Background(), plan)
 	if err != nil {
 		return "", fmt.Errorf("eval: %w", err)
 	}
@@ -216,7 +217,7 @@ func TestDifferentialAblations(t *testing.T) {
 		repo, _ := vectorize.FromTree(tree, syms)
 		plan, _ := qgraph.Build(xq.MustParse(src))
 		eng := NewEngine(repo.Skel, repo.Classes, repo.Vectors, syms, Options{NoRunCompression: true})
-		res, err := eng.Eval(plan)
+		res, err := eng.Eval(context.Background(), plan)
 		if err != nil {
 			t.Fatalf("seed %d (norun): %v", seed, err)
 		}
@@ -248,7 +249,7 @@ func TestDifferentialIndexInvariance(t *testing.T) {
 		for _, tc := range repo.Classes.TextClasses() {
 			eng.BuildVectorIndex(repo.Classes.VectorName(tc))
 		}
-		res, err := eng.Eval(plan)
+		res, err := eng.Eval(context.Background(), plan)
 		if err != nil {
 			t.Fatalf("seed %d (indexed): %v", seed, err)
 		}
@@ -280,7 +281,7 @@ func TestDifferentialFilterOnlySuperset(t *testing.T) {
 		}
 		count := func(opts Options) int64 {
 			eng := NewEngine(repo.Skel, repo.Classes, repo.Vectors, syms, opts)
-			res, err := eng.Eval(plan)
+			res, err := eng.Eval(context.Background(), plan)
 			if err != nil {
 				t.Fatalf("seed %d: %v", seed, err)
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -107,6 +108,7 @@ func (e *Engine) setStats(s EvalStats) {
 // merge results deterministically afterwards).
 type evalContext struct {
 	e     *Engine
+	ctx   context.Context
 	stats EvalStats
 
 	vecs    map[skeleton.ClassID]vector.Vector // text class -> opened vector
@@ -114,9 +116,13 @@ type evalContext struct {
 	varTabs map[string]int // var -> index into tables
 }
 
-func newEvalContext(e *Engine) *evalContext {
+func newEvalContext(e *Engine, ctx context.Context) *evalContext {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return &evalContext{
 		e:       e,
+		ctx:     ctx,
 		vecs:    make(map[skeleton.ClassID]vector.Vector),
 		varTabs: make(map[string]int),
 	}
@@ -125,6 +131,12 @@ func newEvalContext(e *Engine) *evalContext {
 // vectorFor lazily opens the data vector of a text class. It is called
 // from the serial part of every operation (never inside a scan fan-out),
 // so the per-evaluation cache needs no lock.
+//
+// When the evaluation's context is cancellable the vector is wrapped so
+// every Scan observes cancellation within cancelCheckStride values —
+// long chunked scans are exactly where a query spends its time, so this
+// one choke point bounds cancellation latency for every operation.
+// Background contexts get the raw vector: no per-value overhead.
 func (x *evalContext) vectorFor(c skeleton.ClassID) (vector.Vector, error) {
 	if v, ok := x.vecs[c]; ok {
 		return v, nil
@@ -134,9 +146,39 @@ func (x *evalContext) vectorFor(c skeleton.ClassID) (vector.Vector, error) {
 	if err != nil {
 		return nil, err
 	}
+	if x.ctx.Done() != nil {
+		v = &cancelVector{Vector: v, ctx: x.ctx}
+	}
 	x.vecs[c] = v
 	x.stats.VectorsOpened++
 	return v, nil
+}
+
+// cancelCheckStride is how many scanned values may pass between context
+// checks: frequent enough for prompt cancellation, rare enough that the
+// check cost vanishes against value processing.
+const cancelCheckStride = 4096
+
+// cancelVector bounds how long a Scan can run past context cancellation.
+type cancelVector struct {
+	vector.Vector
+	ctx context.Context
+}
+
+func (cv *cancelVector) Scan(start, n int64, fn func(pos int64, val []byte) error) error {
+	if err := cv.ctx.Err(); err != nil {
+		return err
+	}
+	var since int
+	return cv.Vector.Scan(start, n, func(pos int64, val []byte) error {
+		if since++; since >= cancelCheckStride {
+			since = 0
+			if err := cv.ctx.Err(); err != nil {
+				return err
+			}
+		}
+		return fn(pos, val)
+	})
 }
 
 func (x *evalContext) tableOf(v string) (*Table, int, error) {
@@ -159,6 +201,9 @@ func (x *evalContext) run(plan *qgraph.Plan) error {
 		output[v] = true
 	}
 	for _, op := range plan.Ops {
+		if err := x.ctx.Err(); err != nil {
+			return err
+		}
 		var err error
 		switch op.Kind {
 		case qgraph.OpBind:

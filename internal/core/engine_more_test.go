@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -207,7 +208,7 @@ func TestResultIsQueryable(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := NewEngine(res1.Skel, res1.Classes, res1.Vectors, res1.Syms, Options{})
-	res2, err := eng.Eval(plan)
+	res2, err := eng.Eval(context.Background(), plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestEngineReuse(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := eng.Eval(plan); err != nil {
+		if _, err := eng.Eval(context.Background(), plan); err != nil {
 			t.Fatalf("%s: %v", src, err)
 		}
 	}
@@ -253,13 +254,13 @@ func TestEvalToDir(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := NewEngine(repo.Skel, repo.Classes, repo.Vectors, syms, Options{})
-	mem, err := eng.Eval(plan)
+	mem, err := eng.Eval(context.Background(), plan)
 	if err != nil {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
 	eng2 := NewEngine(repo.Skel, repo.Classes, repo.Vectors, syms, Options{})
-	disk, err := eng2.EvalToDir(plan, dir, 64)
+	disk, err := eng2.EvalToDir(context.Background(), plan, dir, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +285,7 @@ func TestEvalToDir(t *testing.T) {
 	defer disk2.Close()
 	plan2, _ := qgraph.Build(xq.MustParse(`for $t in /result/title where $t = 'XML' return $t`))
 	eng3 := NewEngine(disk2.Skel, disk2.Classes, disk2.Vectors, disk2.Syms, Options{})
-	res, err := eng3.Eval(plan2)
+	res, err := eng3.Eval(context.Background(), plan2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -37,7 +38,7 @@ func evalOn(t testing.TB, doc, src string, opts Options) (*vectorize.MemReposito
 		t.Fatalf("plan: %v", err)
 	}
 	eng := NewEngine(repo.Skel, repo.Classes, repo.Vectors, syms, opts)
-	res, err := eng.Eval(plan)
+	res, err := eng.Eval(context.Background(), plan)
 	if err != nil {
 		t.Fatalf("eval: %v\nplan:\n%s", err, plan)
 	}
@@ -431,7 +432,7 @@ func BenchmarkQ0(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng := NewEngine(repo.Skel, repo.Classes, repo.Vectors, syms, Options{})
-		if _, err := eng.Eval(plan); err != nil {
+		if _, err := eng.Eval(context.Background(), plan); err != nil {
 			b.Fatal(err)
 		}
 	}

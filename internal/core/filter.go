@@ -226,7 +226,7 @@ func (x *evalContext) matchedSpans(seg *Segment, col int, chains []selChain, pre
 		nch := rowChunks(nworkers, len(seg.Rows))
 		hitsByChunk := make([][]int64, nch)
 		scannedByChunk := make([]int64, nch)
-		err = parallelFor(nworkers, nch, func(ci int) error {
+		err = parallelFor(x.ctx, nworkers, nch, func(ci int) error {
 			lo, hi := chunkBounds(len(seg.Rows), nch, ci)
 			for ri := lo; ri < hi; ri++ {
 				r := seg.Rows[ri]

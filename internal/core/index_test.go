@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -27,7 +28,7 @@ func evalIndexed(t *testing.T, doc, src, indexPath string) (string, *Engine) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Eval(plan)
+	res, err := eng.Eval(context.Background(), plan)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -45,7 +45,7 @@ func (x *evalContext) gatherVals(t *Table, col int, steps []xq.Step, op qgraph.O
 			}
 			nch := rowChunks(nworkers, len(seg.Rows))
 			scannedByChunk := make([]int64, nch)
-			err = parallelFor(nworkers, nch, func(ci int) error {
+			err = parallelFor(x.ctx, nworkers, nch, func(ci int) error {
 				lo, hi := chunkBounds(len(seg.Rows), nch, ci)
 				for ri := lo; ri < hi; ri++ {
 					r := seg.Rows[ri]

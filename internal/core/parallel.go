@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -39,15 +40,25 @@ func chunkBounds(total, n, ci int) (int, int) {
 // on failure the error of the lowest-indexed failing task is returned —
 // the same error a serial loop would surface, whatever the interleaving.
 // With workers <= 1 (or a single task) it runs inline, goroutine-free.
-func parallelFor(workers, n int, fn func(i int) error) error {
+//
+// ctx is checked before each task claim: a cancelled evaluation stops
+// fanning out promptly, and tasks already running are cut short by the
+// per-scan cancellation checks inside them. ctx may be nil.
+func parallelFor(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n == 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -66,6 +77,9 @@ func parallelFor(workers, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -81,5 +95,12 @@ func parallelFor(workers, n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if firstEr == nil {
+		// All completed tasks succeeded; a cancellation race may still have
+		// skipped tasks, which must not read as success.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	return firstEr
 }

@@ -1,9 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"os"
-	"path/filepath"
 	"strings"
 
 	"vxml/internal/qgraph"
@@ -21,9 +20,15 @@ import (
 //
 // Eval is safe to call concurrently: all mutable evaluation state lives in
 // a per-call context, and the shared engine caches are locked.
-func (e *Engine) Eval(plan *qgraph.Plan) (*vectorize.MemRepository, error) {
+//
+// Cancelling ctx makes Eval return ctx.Err() promptly (cancellation is
+// observed between operations, between parallel scan tasks, every few
+// thousand scanned values, and between result tuples). A cancelled Eval
+// leaves the engine fully reusable: all abandoned state was owned by this
+// call alone.
+func (e *Engine) Eval(ctx context.Context, plan *qgraph.Plan) (*vectorize.MemRepository, error) {
 	out := vector.NewMemSet()
-	skel, err := e.evalWithSink(plan, vectorize.MemSink{Set: out})
+	skel, err := e.evalWithSink(ctx, plan, vectorize.MemSink{Set: out})
 	if err != nil {
 		return nil, err
 	}
@@ -38,13 +43,25 @@ func (e *Engine) Eval(plan *qgraph.Plan) (*vectorize.MemRepository, error) {
 // EvalToDir evaluates the plan and stores the result as an on-disk
 // repository at dir — query results stay in the same vectorized form as
 // inputs, so pipelines compose on disk.
-func (e *Engine) EvalToDir(plan *qgraph.Plan, dir string, poolPages int) (*vectorize.Repository, error) {
-	store, err := storage.OpenStore(dir, poolPages)
+//
+// The build is crash-safe the same way vectorize.Create is: the result is
+// written into dir+".building", fully committed (checksummed skeleton and
+// catalog, fsynced vectors, manifest) and renamed into place as the last
+// step. A crash or a cancelled ctx leaves either no result directory or a
+// complete one.
+func (e *Engine) EvalToDir(ctx context.Context, plan *qgraph.Plan, dir string, poolPages int) (*vectorize.Repository, error) {
+	fsys := storage.DefaultFS
+	building := dir + ".building"
+	if err := fsys.RemoveAll(building); err != nil {
+		return nil, fmt.Errorf("core: clear stale build dir: %w", err)
+	}
+	store, err := storage.OpenStoreFS(fsys, building, poolPages)
 	if err != nil {
 		return nil, err
 	}
-	sink := vectorize.NewDiskSink(vector.CreateDiskSet(store))
-	skel, err := e.evalWithSink(plan, sink)
+	set := vector.CreateDiskSet(store)
+	sink := vectorize.NewDiskSink(set)
+	skel, err := e.evalWithSink(ctx, plan, sink)
 	if err != nil {
 		store.Close()
 		return nil, err
@@ -53,21 +70,14 @@ func (e *Engine) EvalToDir(plan *qgraph.Plan, dir string, poolPages int) (*vecto
 		store.Close()
 		return nil, err
 	}
-	f, err := os.Create(filepath.Join(dir, "skeleton.bin"))
-	if err != nil {
-		store.Close()
-		return nil, err
-	}
-	if err := skeleton.Encode(f, skel, e.Syms); err != nil {
-		f.Close()
-		store.Close()
-		return nil, err
-	}
-	if err := f.Close(); err != nil {
+	if err := vectorize.CommitStore(store, skel, e.Syms, set); err != nil {
 		store.Close()
 		return nil, err
 	}
 	if err := store.Close(); err != nil {
+		return nil, err
+	}
+	if err := vectorize.PromoteBuild(fsys, building, dir); err != nil {
 		return nil, err
 	}
 	return vectorize.Open(dir, vectorize.Options{PoolPages: poolPages})
@@ -77,8 +87,8 @@ func (e *Engine) EvalToDir(plan *qgraph.Plan, dir string, poolPages int) (*vecto
 // output values to sink and returning the result skeleton. The context's
 // final counters are published as the engine's Stats snapshot (also on
 // error, so a failed query still reports what it touched).
-func (e *Engine) evalWithSink(plan *qgraph.Plan, sink vectorize.Sink) (*skeleton.Skeleton, error) {
-	x := newEvalContext(e)
+func (e *Engine) evalWithSink(ctx context.Context, plan *qgraph.Plan, sink vectorize.Sink) (*skeleton.Skeleton, error) {
+	x := newEvalContext(e, ctx)
 	defer func() { e.setStats(x.stats) }()
 	if err := x.run(plan); err != nil {
 		return nil, err
@@ -107,6 +117,8 @@ type resultBuilder struct {
 	imports   map[*skeleton.Node]*skeleton.Node
 	chains    map[[2]skeleton.ClassID][]*skeleton.Cursor
 	cursors   map[skeleton.ClassID]*skeleton.NodeCursor
+
+	lastCtxCheck int64 // Tuples count at the last cancellation check
 }
 
 // binding is one output variable's instance in a tuple.
@@ -135,6 +147,14 @@ func (rb *resultBuilder) emitAll(plan *qgraph.Plan) error {
 		}
 		if ti == len(tables) {
 			x.stats.Tuples += mult
+			// Result construction can dominate wide queries; observe
+			// cancellation between tuples.
+			if x.stats.Tuples-rb.lastCtxCheck >= cancelCheckStride {
+				rb.lastCtxCheck = x.stats.Tuples
+				if err := x.ctx.Err(); err != nil {
+					return err
+				}
+			}
 			return rb.emitTuple(plan, tuple, mult)
 		}
 		t := tables[ti]

@@ -36,7 +36,7 @@ func (c *chunkFile) append(data []byte) (int64, error) {
 	id := c.count
 	c.dir = append(c.dir, chunkLoc{off: c.off, ln: int64(len(data))})
 	for len(data) > 0 {
-		if c.frame == nil || c.used == storage.PageSize {
+		if c.frame == nil || c.used == storage.PageDataSize {
 			if c.frame != nil {
 				c.pool.Unpin(c.frame, true)
 			}
@@ -74,8 +74,8 @@ func (c *chunkFile) get(id int64) ([]byte, error) {
 	read := int64(0)
 	for read < loc.ln {
 		pos := loc.off + read
-		pg := pos / storage.PageSize
-		inPage := pos % storage.PageSize
+		pg := pos / storage.PageDataSize
+		inPage := pos % storage.PageDataSize
 		fr, err := c.pool.Get(c.file, pg)
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package naive
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -47,7 +48,7 @@ func TestNaiveMatchesEngine(t *testing.T) {
 			t.Fatal(err)
 		}
 		eng := core.NewEngine(repo.Skel, repo.Classes, repo.Vectors, syms, core.Options{})
-		eres, err := eng.Eval(plan)
+		eres, err := eng.Eval(context.Background(), plan)
 		if err != nil {
 			t.Fatalf("%s: engine: %v", src, err)
 		}

@@ -179,7 +179,7 @@ type recordWriter struct {
 }
 
 const recHeader = 4
-const recPayload = storage.PageSize - recHeader
+const recPayload = storage.PageDataSize - recHeader
 
 func newRecordWriter(pool *storage.BufferPool, file *storage.File) (*recordWriter, error) {
 	if file.NumPages() != 0 {

@@ -1,0 +1,98 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync/atomic"
+)
+
+// On-disk integrity. Every 8 KiB page carries a CRC32C (Castagnoli, the
+// polynomial with hardware support on amd64/arm64) of its data portion in
+// a 4-byte trailer; whole files written through WriteFileAtomic carry an
+// 8-byte footer ("VXCK" + CRC32C of the body). Checksums are stamped on
+// write and verified on read; a mismatch surfaces as an error wrapping
+// ErrCorrupt — never a panic, never silently wrong data.
+
+// ErrCorrupt is the typed sentinel wrapped by every integrity failure:
+// page checksum mismatches, bad magics, torn or truncated structures.
+// Callers test with errors.Is(err, storage.ErrCorrupt).
+var ErrCorrupt = errors.New("corrupt data")
+
+// pageTrailerSize is the per-page CRC32C trailer length.
+const pageTrailerSize = 4
+
+// PageDataSize is the page payload available to clients: PageSize minus
+// the CRC32C trailer. Page layouts (vector files, record heaps, chunk
+// streams) must confine themselves to the first PageDataSize bytes;
+// Frame.Data is sliced to exactly this length so an overflow is an index
+// panic in the writer, not silent checksum corruption on disk.
+const PageDataSize = PageSize - pageTrailerSize
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C of data.
+func Checksum(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
+
+// verifyPages gates read-side page checksum verification. It exists only
+// so the benchmark harness can measure the cost of verification (the
+// checksum-on-read ablation); production code never turns it off.
+var verifyPages atomic.Bool
+
+func init() { verifyPages.Store(true) }
+
+// SetVerifyChecksums toggles read-side page checksum verification,
+// returning the previous setting. Benchmark ablation only.
+func SetVerifyChecksums(on bool) bool {
+	prev := verifyPages.Load()
+	verifyPages.Store(on)
+	return prev
+}
+
+// stampPage writes the CRC32C trailer of a full PageSize buffer.
+func stampPage(buf []byte) {
+	binary.LittleEndian.PutUint32(buf[PageDataSize:PageSize], Checksum(buf[:PageDataSize]))
+}
+
+// verifyPage checks a full PageSize buffer's trailer.
+func verifyPage(buf []byte) error {
+	if !verifyPages.Load() {
+		return nil
+	}
+	want := binary.LittleEndian.Uint32(buf[PageDataSize:PageSize])
+	if got := Checksum(buf[:PageDataSize]); got != want {
+		return fmt.Errorf("page checksum mismatch (stored %08x, computed %08x): %w", want, got, ErrCorrupt)
+	}
+	return nil
+}
+
+// File footers: "VXCK" magic + CRC32C(body), little-endian.
+
+const fileFooterMagic = "VXCK"
+const fileFooterSize = 8
+
+// checksumFooter builds the footer for body.
+func checksumFooter(body []byte) []byte {
+	footer := make([]byte, fileFooterSize)
+	copy(footer, fileFooterMagic)
+	binary.LittleEndian.PutUint32(footer[4:], Checksum(body))
+	return footer
+}
+
+// verifyChecksumFooter checks data's trailing footer and returns the body.
+func verifyChecksumFooter(data []byte) ([]byte, error) {
+	if len(data) < fileFooterSize {
+		return nil, fmt.Errorf("file of %d bytes too short for checksum footer: %w", len(data), ErrCorrupt)
+	}
+	body, footer := data[:len(data)-fileFooterSize], data[len(data)-fileFooterSize:]
+	if string(footer[:4]) != fileFooterMagic {
+		return nil, fmt.Errorf("bad checksum footer magic %q at offset %d: %w", footer[:4], len(body), ErrCorrupt)
+	}
+	want := binary.LittleEndian.Uint32(footer[4:])
+	if got := Checksum(body); got != want {
+		return nil, fmt.Errorf("file checksum mismatch at offset %d (stored %08x, computed %08x): %w",
+			len(body), want, got, ErrCorrupt)
+	}
+	return body, nil
+}

@@ -1,0 +1,216 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// ErrInjected marks a fault injected by FaultFS. Tests assert that it
+// propagates out as an error (wrapped with context), never as a panic or
+// silent data loss.
+var ErrInjected = errors.New("injected I/O fault")
+
+// FaultFS wraps an FS and injects failures, driving the crash-safety
+// tests. Two modes compose:
+//
+//   - a write budget (CrashAfterWrites): after N mutating operations every
+//     further mutation fails with ErrInjected — the moment the "machine
+//     died". Pair with MemFS.Crash to then discard unsynced state and
+//     reopen.
+//   - one-shot errors (FailNthRead/FailNthWrite/FailNthSync): the Nth
+//     operation of that kind fails once, exercising error paths without a
+//     crash.
+//
+// Mutating operations are counted before they execute, so a budget of N
+// lets exactly N mutations reach the underlying FS.
+type FaultFS struct {
+	inner FS
+
+	mu        sync.Mutex
+	writes    int64 // mutating ops performed
+	budget    int64 // -1 = unlimited
+	reads     int64
+	failRead  int64 // fail the Nth read (1-based); 0 = off
+	failWrite int64
+	failSync  int64
+	syncs     int64
+}
+
+// NewFaultFS wraps inner with an unlimited write budget.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner, budget: -1}
+}
+
+// CrashAfterWrites allows n more mutating operations; every one after
+// that fails with ErrInjected. n < 0 removes the limit.
+func (f *FaultFS) CrashAfterWrites(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writes = 0
+	f.budget = n
+}
+
+// Writes returns the number of mutating operations performed since the
+// last CrashAfterWrites (or construction).
+func (f *FaultFS) Writes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+// FailNthRead makes the Nth ReadAt/ReadFile from now fail once (1-based).
+func (f *FaultFS) FailNthRead(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.reads, f.failRead = 0, n
+}
+
+// FailNthWrite makes the Nth mutating op from now fail once (1-based).
+func (f *FaultFS) FailNthWrite(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writes, f.failWrite = 0, n
+}
+
+// FailNthSync makes the Nth Sync/SyncDir from now fail once (1-based).
+func (f *FaultFS) FailNthSync(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncs, f.failSync = 0, n
+}
+
+// write accounts one mutating operation, reporting whether it may proceed.
+func (f *FaultFS) write() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writes++
+	if f.budget >= 0 && f.writes > f.budget {
+		return ErrInjected
+	}
+	if f.failWrite > 0 && f.writes == f.failWrite {
+		f.failWrite = 0
+		return ErrInjected
+	}
+	return nil
+}
+
+func (f *FaultFS) read() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.reads++
+	if f.failRead > 0 && f.reads == f.failRead {
+		f.failRead = 0
+		return ErrInjected
+	}
+	return nil
+}
+
+func (f *FaultFS) sync() error {
+	f.mu.Lock()
+	f.syncs++
+	failed := f.failSync > 0 && f.syncs == f.failSync
+	if failed {
+		f.failSync = 0
+	}
+	f.mu.Unlock()
+	if failed {
+		return ErrInjected
+	}
+	return f.write()
+}
+
+func (f *FaultFS) OpenFile(path string, flag int, perm os.FileMode) (FSFile, error) {
+	if flag&(os.O_CREATE|os.O_TRUNC) != 0 {
+		// Creation and truncation mutate the namespace/content. (Opening an
+		// existing file O_CREATE counts too — indistinguishable here, and
+		// over-counting only makes crash tests cover more points.)
+		if err := f.write(); err != nil {
+			return nil, err
+		}
+	}
+	file, err := f.inner.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	if err := f.read(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(path)
+}
+
+func (f *FaultFS) Stat(path string) (os.FileInfo, error) { return f.inner.Stat(path) }
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.write(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	if err := f.write(); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *FaultFS) RemoveAll(path string) error {
+	if err := f.write(); err != nil {
+		return err
+	}
+	return f.inner.RemoveAll(path)
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) ReadDir(path string) ([]os.DirEntry, error) { return f.inner.ReadDir(path) }
+
+func (f *FaultFS) SyncDir(path string) error {
+	if err := f.sync(); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(path)
+}
+
+// faultFile wraps an open file with the owning FaultFS's accounting.
+type faultFile struct {
+	fs    *FaultFS
+	inner FSFile
+}
+
+func (h *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := h.fs.read(); err != nil {
+		return 0, err
+	}
+	return h.inner.ReadAt(p, off)
+}
+
+func (h *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	if err := h.fs.write(); err != nil {
+		return 0, err
+	}
+	return h.inner.WriteAt(p, off)
+}
+
+func (h *faultFile) Sync() error {
+	if err := h.fs.sync(); err != nil {
+		return err
+	}
+	return h.inner.Sync()
+}
+
+func (h *faultFile) Truncate(size int64) error {
+	if err := h.fs.write(); err != nil {
+		return err
+	}
+	return h.inner.Truncate(size)
+}
+
+func (h *faultFile) Close() error { return h.inner.Close() }

@@ -80,7 +80,11 @@ func (g *fdGate) forget(f *File) {
 // past the limit by one untracked fd per lost race.
 func (f *File) ensureOpen() error {
 	if f.f == nil {
-		osf, err := os.OpenFile(f.path, os.O_RDWR|os.O_CREATE, 0o644)
+		fsys := f.fs
+		if fsys == nil {
+			fsys = DefaultFS
+		}
+		osf, err := fsys.OpenFile(f.path, os.O_RDWR|os.O_CREATE, 0o644)
 		if err != nil {
 			return fmt.Errorf("storage: reopen %s: %w", f.path, err)
 		}

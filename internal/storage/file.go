@@ -4,6 +4,12 @@
 // shared buffer pool with pin/unpin semantics and LRU eviction, plus I/O
 // counters so experiments can report page traffic alongside wall time.
 //
+// Every page carries a CRC32C trailer stamped on write and verified on
+// read (see checksum.go), so bit rot and torn writes surface as typed
+// ErrCorrupt errors instead of silently wrong query answers. All file
+// I/O goes through an injectable FS (see fs.go), which is how the
+// crash-safety tests simulate power loss at every write.
+//
 // OS file descriptors are opened lazily and bounded by a per-store budget
 // (see fdcache.go), so stores with very many files — one per vector, and
 // irregular documents have hundreds of thousands of vectors — stay within
@@ -12,11 +18,12 @@ package storage
 
 import (
 	"fmt"
-	"os"
 	"sync"
 )
 
 // PageSize is the fixed page size, 8 KiB as in classic storage managers.
+// The last pageTrailerSize bytes of each page hold its CRC32C; clients
+// see only the first PageDataSize bytes through Frame.Data.
 const PageSize = 8192
 
 // FileID identifies an open file within one buffer pool.
@@ -27,11 +34,12 @@ type FileID int32
 type File struct {
 	id   FileID
 	path string
+	fs   FS
 	gate *fdGate
 
 	mu    sync.Mutex
-	f     *os.File // nil while parked
-	pages int64    // allocated page count
+	f     FSFile // nil while parked
+	pages int64  // allocated page count
 }
 
 // Path returns the file's path on disk.
@@ -56,6 +64,9 @@ func (f *File) readPage(pageNo int64, buf []byte) error {
 	if _, err := f.f.ReadAt(buf[:PageSize], pageNo*PageSize); err != nil {
 		return fmt.Errorf("storage: read %s page %d: %w", f.path, pageNo, err)
 	}
+	if err := verifyPage(buf[:PageSize]); err != nil {
+		return fmt.Errorf("storage: read %s page %d (offset %d): %w", f.path, pageNo, pageNo*PageSize, err)
+	}
 	return nil
 }
 
@@ -65,9 +76,43 @@ func (f *File) writePage(pageNo int64, buf []byte) error {
 	if err := f.ensureOpen(); err != nil {
 		return err
 	}
+	stampPage(buf[:PageSize])
 	if _, err := f.f.WriteAt(buf[:PageSize], pageNo*PageSize); err != nil {
 		return fmt.Errorf("storage: write %s page %d: %w", f.path, pageNo, err)
 	}
+	return nil
+}
+
+// Sync flushes the file's written pages to stable storage. The owner must
+// have flushed the buffer pool first for the sync to cover them.
+func (f *File) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.ensureOpen(); err != nil {
+		return err
+	}
+	if err := f.f.Sync(); err != nil {
+		return fmt.Errorf("storage: fsync %s: %w", f.path, err)
+	}
+	return nil
+}
+
+// truncate shrinks the file to the given page count. Callers go through
+// BufferPool.Truncate, which first discards cached frames for the removed
+// pages.
+func (f *File) truncate(pages int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if pages >= f.pages {
+		return nil
+	}
+	if err := f.ensureOpen(); err != nil {
+		return err
+	}
+	if err := f.f.Truncate(pages * PageSize); err != nil {
+		return fmt.Errorf("storage: truncate %s to %d pages: %w", f.path, pages, err)
+	}
+	f.pages = pages
 	return nil
 }
 

@@ -1,0 +1,443 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MemFS is an in-memory FS with explicit durability semantics for crash
+// testing. It maintains two views:
+//
+//   - the live view: what the running process sees (every write is
+//     immediately visible);
+//   - the durable view: what would survive a crash. File content becomes
+//     durable on FSFile.Sync; name-table changes (create, remove, rename)
+//     become durable when the parent directory is fsynced via SyncDir.
+//
+// Crash discards the live view and reconstructs it from the durable view,
+// exactly like a machine reset: unsynced file content and unsynced
+// directory operations are lost. Code that skips an fsync passes tests on
+// a real filesystem by luck and fails here deterministically.
+//
+// Directories created with MkdirAll are durable immediately (directory
+// creation ordering is not what these tests target).
+type MemFS struct {
+	mu    sync.Mutex
+	gen   int64 // bumped on Crash; stale handles fail
+	files map[string]*memINode
+	dirs  map[string]bool
+
+	durFiles map[string]*memINode // durable name table -> inode
+	durDirs  map[string]bool
+	journal  map[string][]dirOp // parent dir -> uncommitted name ops
+}
+
+// memINode is file content: live bytes plus the last-synced snapshot.
+type memINode struct {
+	data   []byte
+	synced []byte
+}
+
+type dirOpKind int
+
+const (
+	opCreate dirOpKind = iota
+	opRemove
+	opRenameTree
+)
+
+type dirOp struct {
+	kind     dirOpKind
+	name     string // created/removed path
+	old, new string // renameTree prefixes
+	isDir    bool
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		files:    make(map[string]*memINode),
+		dirs:     map[string]bool{"/": true, ".": true},
+		durFiles: make(map[string]*memINode),
+		durDirs:  map[string]bool{"/": true, ".": true},
+		journal:  make(map[string][]dirOp),
+	}
+}
+
+func norm(path string) string { return filepath.Clean(path) }
+
+func (m *MemFS) logOp(path string, op dirOp) {
+	dir := filepath.Dir(path)
+	m.journal[dir] = append(m.journal[dir], op)
+}
+
+// Crash simulates a machine reset: the live view is replaced by the
+// durable view. Open handles become invalid. Safe to call while no
+// operation is in flight.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gen++
+	m.files = make(map[string]*memINode, len(m.durFiles))
+	for name, ino := range m.durFiles {
+		m.files[name] = &memINode{
+			data:   append([]byte(nil), ino.synced...),
+			synced: append([]byte(nil), ino.synced...),
+		}
+	}
+	m.dirs = make(map[string]bool, len(m.durDirs))
+	for d := range m.durDirs {
+		m.dirs[d] = true
+	}
+	m.durFiles = make(map[string]*memINode, len(m.files))
+	for name, ino := range m.files {
+		m.durFiles[name] = ino
+	}
+	m.durDirs = make(map[string]bool, len(m.dirs))
+	for d := range m.dirs {
+		m.durDirs[d] = true
+	}
+	m.journal = make(map[string][]dirOp)
+}
+
+func (m *MemFS) OpenFile(path string, flag int, perm os.FileMode) (FSFile, error) {
+	path = norm(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.files[path]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, &os.PathError{Op: "open", Path: path, Err: os.ErrNotExist}
+		}
+		if !m.dirs[filepath.Dir(path)] {
+			return nil, &os.PathError{Op: "open", Path: path, Err: os.ErrNotExist}
+		}
+		ino = &memINode{}
+		m.files[path] = ino
+		m.logOp(path, dirOp{kind: opCreate, name: path})
+	} else if flag&os.O_TRUNC != 0 {
+		ino.data = nil
+	}
+	return &memHandle{fs: m, ino: ino, path: path, gen: m.gen}, nil
+}
+
+func (m *MemFS) ReadFile(path string) ([]byte, error) {
+	path = norm(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.files[path]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: path, Err: os.ErrNotExist}
+	}
+	return append([]byte(nil), ino.data...), nil
+}
+
+func (m *MemFS) Stat(path string) (os.FileInfo, error) {
+	path = norm(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ino, ok := m.files[path]; ok {
+		return memInfo{name: filepath.Base(path), size: int64(len(ino.data))}, nil
+	}
+	if m.dirs[path] {
+		return memInfo{name: filepath.Base(path), dir: true}, nil
+	}
+	return nil, &os.PathError{Op: "stat", Path: path, Err: os.ErrNotExist}
+}
+
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	oldpath, newpath = norm(oldpath), norm(newpath)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ino, ok := m.files[oldpath]; ok {
+		delete(m.files, oldpath)
+		m.files[newpath] = ino
+		m.logOp(oldpath, dirOp{kind: opRemove, name: oldpath})
+		m.logOp(newpath, dirOp{kind: opCreate, name: newpath})
+		return nil
+	}
+	if m.dirs[oldpath] {
+		// Directory rename: the whole subtree moves atomically in the live
+		// view; durability of the move commits with the parent's SyncDir.
+		if m.dirs[newpath] {
+			for name := range m.files {
+				if strings.HasPrefix(name, newpath+string(filepath.Separator)) {
+					return &os.LinkError{Op: "rename", Old: oldpath, New: newpath,
+						Err: fmt.Errorf("directory not empty")}
+				}
+			}
+			delete(m.dirs, newpath)
+		}
+		m.renameTreeLocked(m.files, m.dirs, oldpath, newpath)
+		m.logOp(newpath, dirOp{kind: opRenameTree, old: oldpath, new: newpath, isDir: true})
+		return nil
+	}
+	return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: os.ErrNotExist}
+}
+
+// renameTreeLocked moves dir oldp (and every path under it) to newp in the
+// given tables.
+func (m *MemFS) renameTreeLocked(files map[string]*memINode, dirs map[string]bool, oldp, newp string) {
+	prefix := oldp + string(filepath.Separator)
+	moved := make(map[string]*memINode)
+	for name, ino := range files {
+		if strings.HasPrefix(name, prefix) {
+			moved[newp+name[len(oldp):]] = ino
+			delete(files, name)
+		}
+	}
+	for name, ino := range moved {
+		files[name] = ino
+	}
+	movedDirs := make([]string, 0)
+	for d := range dirs {
+		if d == oldp || strings.HasPrefix(d, prefix) {
+			movedDirs = append(movedDirs, d)
+		}
+	}
+	for _, d := range movedDirs {
+		delete(dirs, d)
+		dirs[newp+d[len(oldp):]] = true
+	}
+}
+
+func (m *MemFS) Remove(path string) error {
+	path = norm(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; ok {
+		delete(m.files, path)
+		m.logOp(path, dirOp{kind: opRemove, name: path})
+		return nil
+	}
+	if m.dirs[path] {
+		for name := range m.files {
+			if strings.HasPrefix(name, path+string(filepath.Separator)) {
+				return &os.PathError{Op: "remove", Path: path, Err: fmt.Errorf("directory not empty")}
+			}
+		}
+		delete(m.dirs, path)
+		m.logOp(path, dirOp{kind: opRemove, name: path, isDir: true})
+		return nil
+	}
+	return &os.PathError{Op: "remove", Path: path, Err: os.ErrNotExist}
+}
+
+func (m *MemFS) RemoveAll(path string) error {
+	path = norm(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := path + string(filepath.Separator)
+	for name := range m.files {
+		if name == path || strings.HasPrefix(name, prefix) {
+			delete(m.files, name)
+			m.logOp(name, dirOp{kind: opRemove, name: name})
+		}
+	}
+	for d := range m.dirs {
+		if d == path || strings.HasPrefix(d, prefix) {
+			delete(m.dirs, d)
+			m.logOp(d, dirOp{kind: opRemove, name: d, isDir: true})
+		}
+	}
+	return nil
+}
+
+// MkdirAll creates directories; directory creation is durable immediately
+// (see type comment).
+func (m *MemFS) MkdirAll(path string, perm os.FileMode) error {
+	path = norm(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for p := path; ; p = filepath.Dir(p) {
+		if m.files[p] != nil {
+			return &os.PathError{Op: "mkdir", Path: p, Err: fmt.Errorf("not a directory")}
+		}
+		m.dirs[p] = true
+		m.durDirs[p] = true
+		if parent := filepath.Dir(p); parent == p {
+			break
+		} else if p == "." || p == "/" {
+			break
+		}
+	}
+	return nil
+}
+
+func (m *MemFS) ReadDir(path string) ([]os.DirEntry, error) {
+	path = norm(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirs[path] {
+		return nil, &os.PathError{Op: "readdir", Path: path, Err: os.ErrNotExist}
+	}
+	seen := map[string]os.DirEntry{}
+	prefix := path + string(filepath.Separator)
+	for name, ino := range m.files {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		rest := name[len(prefix):]
+		if i := strings.IndexByte(rest, filepath.Separator); i < 0 {
+			seen[rest] = memEntry{memInfo{name: rest, size: int64(len(ino.data))}}
+		} else {
+			seen[rest[:i]] = memEntry{memInfo{name: rest[:i], dir: true}}
+		}
+	}
+	for d := range m.dirs {
+		if strings.HasPrefix(d, prefix) {
+			rest := d[len(prefix):]
+			if i := strings.IndexByte(rest, filepath.Separator); i < 0 {
+				seen[rest] = memEntry{memInfo{name: rest, dir: true}}
+			}
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]os.DirEntry, len(names))
+	for i, n := range names {
+		out[i] = seen[n]
+	}
+	return out, nil
+}
+
+// SyncDir commits this directory's pending name operations (creates,
+// removes, renames) to the durable view, in order.
+func (m *MemFS) SyncDir(path string) error {
+	path = norm(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirs[path] {
+		return &os.PathError{Op: "syncdir", Path: path, Err: os.ErrNotExist}
+	}
+	ops := m.journal[path]
+	delete(m.journal, path)
+	for _, op := range ops {
+		switch op.kind {
+		case opCreate:
+			if ino, ok := m.files[op.name]; ok {
+				m.durFiles[op.name] = ino
+			}
+		case opRemove:
+			if op.isDir {
+				delete(m.durDirs, op.name)
+			} else {
+				delete(m.durFiles, op.name)
+			}
+		case opRenameTree:
+			m.renameTreeLocked(m.durFiles, m.durDirs, op.old, op.new)
+			m.durDirs[op.new] = true
+		}
+	}
+	return nil
+}
+
+// memHandle is an open MemFS file.
+type memHandle struct {
+	fs   *MemFS
+	ino  *memINode
+	path string
+	gen  int64
+}
+
+func (h *memHandle) stale() error {
+	if h.gen != h.fs.gen {
+		return &os.PathError{Op: "io", Path: h.path, Err: fmt.Errorf("stale handle (crashed filesystem)")}
+	}
+	return nil
+}
+
+func (h *memHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.stale(); err != nil {
+		return 0, err
+	}
+	if off >= int64(len(h.ino.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.ino.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *memHandle) WriteAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.stale(); err != nil {
+		return 0, err
+	}
+	if need := off + int64(len(p)); need > int64(len(h.ino.data)) {
+		grown := make([]byte, need)
+		copy(grown, h.ino.data)
+		h.ino.data = grown
+	}
+	copy(h.ino.data[off:], p)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.stale(); err != nil {
+		return err
+	}
+	h.ino.synced = append([]byte(nil), h.ino.data...)
+	return nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.stale(); err != nil {
+		return err
+	}
+	if size <= int64(len(h.ino.data)) {
+		h.ino.data = h.ino.data[:size]
+	} else {
+		grown := make([]byte, size)
+		copy(grown, h.ino.data)
+		h.ino.data = grown
+	}
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }
+
+// memInfo implements os.FileInfo for MemFS entries.
+type memInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (i memInfo) Name() string { return i.name }
+func (i memInfo) Size() int64  { return i.size }
+func (i memInfo) Mode() fs.FileMode {
+	if i.dir {
+		return fs.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (i memInfo) ModTime() time.Time { return time.Time{} }
+func (i memInfo) IsDir() bool        { return i.dir }
+func (i memInfo) Sys() interface{}   { return nil }
+
+type memEntry struct{ info memInfo }
+
+func (e memEntry) Name() string               { return e.info.name }
+func (e memEntry) IsDir() bool                { return e.info.dir }
+func (e memEntry) Type() fs.FileMode          { return e.info.Mode().Type() }
+func (e memEntry) Info() (fs.FileInfo, error) { return e.info, nil }

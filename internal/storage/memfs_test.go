@@ -1,0 +1,220 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+// MemFS durability semantics: these tests pin down the crash model the
+// vectorize crash tests rely on — unsynced data and un-fsynced directory
+// operations do not survive Crash, synced ones do.
+
+func TestMemFSUnsyncedContentLostOnCrash(t *testing.T) {
+	m := NewMemFS()
+	if err := m.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.OpenFile("d/file", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	m.Crash()
+	if _, err := m.ReadFile("d/file"); !os.IsNotExist(err) {
+		t.Fatalf("unsynced file survived crash: err=%v", err)
+	}
+}
+
+func TestMemFSSyncedContentSurvivesCrash(t *testing.T) {
+	m := NewMemFS()
+	if err := m.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.OpenFile("d/file", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	data, err := m.ReadFile("d/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello" {
+		t.Fatalf("got %q", data)
+	}
+}
+
+// Content synced but creation not dir-synced: after a crash the name is
+// gone — exactly the failure WriteFileAtomic's SyncDir prevents.
+func TestMemFSCreateNeedsDirSync(t *testing.T) {
+	m := NewMemFS()
+	if err := m.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.OpenFile("d/file", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt([]byte("x"), 0)
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	m.Crash()
+	if _, err := m.ReadFile("d/file"); !os.IsNotExist(err) {
+		t.Fatalf("file creation survived crash without SyncDir: err=%v", err)
+	}
+}
+
+func TestMemFSRenameDurability(t *testing.T) {
+	m := NewMemFS()
+	if err := m.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name, content string, sync bool) {
+		t.Helper()
+		f, err := m.OpenFile(name, os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteAt([]byte(content), 0)
+		if sync {
+			if err := f.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.Close()
+	}
+	write("d/a.tmp", "v1", true)
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	// Rename without SyncDir: crash reverts to the pre-rename names.
+	if err := m.Rename("d/a.tmp", "d/a"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if _, err := m.ReadFile("d/a"); !os.IsNotExist(err) {
+		t.Fatalf("un-fsynced rename survived crash: err=%v", err)
+	}
+	if data, err := m.ReadFile("d/a.tmp"); err != nil || string(data) != "v1" {
+		t.Fatalf("pre-rename file lost: %q, %v", data, err)
+	}
+	// Rename with SyncDir: the new name survives.
+	if err := m.Rename("d/a.tmp", "d/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if data, err := m.ReadFile("d/a"); err != nil || string(data) != "v1" {
+		t.Fatalf("fsynced rename lost: %q, %v", data, err)
+	}
+}
+
+func TestMemFSDirRenameMovesTree(t *testing.T) {
+	m := NewMemFS()
+	if err := m.MkdirAll("build", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := m.OpenFile("build/x", os.O_CREATE|os.O_RDWR, 0o644)
+	f.WriteAt([]byte("x"), 0)
+	f.Sync()
+	f.Close()
+	m.SyncDir("build")
+	if err := m.Rename("build", "final"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if data, err := m.ReadFile("final/x"); err != nil || string(data) != "x" {
+		t.Fatalf("renamed tree lost: %q, %v", data, err)
+	}
+	if _, err := m.Stat("build"); !os.IsNotExist(err) {
+		t.Fatalf("old tree still present: %v", err)
+	}
+}
+
+func TestMemFSStaleHandleAfterCrash(t *testing.T) {
+	m := NewMemFS()
+	m.MkdirAll("d", 0o755)
+	f, err := m.OpenFile("d/file", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if _, err := f.WriteAt([]byte("x"), 0); err == nil {
+		t.Fatal("write through pre-crash handle succeeded")
+	}
+}
+
+func TestFaultFSWriteBudget(t *testing.T) {
+	m := NewMemFS()
+	m.MkdirAll("d", 0o755)
+	ff := NewFaultFS(m)
+	ff.CrashAfterWrites(1)
+	f, err := ff.OpenFile("d/a", os.O_CREATE|os.O_RDWR, 0o644) // write #1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrInjected) { // over budget
+		t.Fatalf("write over budget: err=%v, want ErrInjected", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync over budget: err=%v, want ErrInjected", err)
+	}
+	ff.CrashAfterWrites(-1)
+	if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatalf("write after lifting budget: %v", err)
+	}
+}
+
+func TestFaultFSOneShotFailures(t *testing.T) {
+	m := NewMemFS()
+	m.MkdirAll("d", 0o755)
+	ff := NewFaultFS(m)
+	f, err := ff.OpenFile("d/a", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	ff.FailNthRead(2)
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 0); err != nil { // read #1 fine
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(buf, 0); !errors.Is(err, ErrInjected) { // read #2 fails
+		t.Fatalf("second read: err=%v, want ErrInjected", err)
+	}
+	if _, err := f.ReadAt(buf, 0); err != nil { // one-shot: recovered
+		t.Fatal(err)
+	}
+
+	ff.FailNthSync(1)
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync: err=%v, want ErrInjected", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,12 +12,15 @@ type pageKey struct {
 	page int64
 }
 
-// Frame is a pinned page in the buffer pool. Data is the page's bytes;
-// callers may read it, and may write it only if they Unpin with dirty=true.
+// Frame is a pinned page in the buffer pool. Data is the page's payload
+// (PageDataSize bytes — the CRC32C trailer is managed by the pool and is
+// not visible here); callers may read it, and may write it only if they
+// Unpin with dirty=true.
 type Frame struct {
 	key   pageKey
 	file  *File
-	Data  []byte
+	full  []byte // whole page including trailer
+	Data  []byte // full[:PageDataSize]
 	pins  int32
 	dirty bool
 	elem  *list.Element // position in LRU list when unpinned
@@ -74,7 +77,7 @@ func (p *BufferPool) Get(f *File, pageNo int64) (*Frame, error) {
 	// an empty frame. I/O under a mutex is coarse, but eviction writes
 	// already happen here and the engine is sequential per query.
 	atomic.AddInt64(&p.stats.PagesRead, 1)
-	if err := f.readPage(pageNo, fr.Data); err != nil {
+	if err := f.readPage(pageNo, fr.full); err != nil {
 		p.mu.Unlock()
 		p.release(fr, false)
 		p.drop(key)
@@ -99,8 +102,8 @@ func (p *BufferPool) Alloc(f *File) (*Frame, int64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	for i := range fr.Data {
-		fr.Data[i] = 0
+	for i := range fr.full {
+		fr.full[i] = 0
 	}
 	fr.dirty = true
 	return fr, pageNo, nil
@@ -131,12 +134,13 @@ func (p *BufferPool) newFrameLocked(key pageKey, f *File) (*Frame, error) {
 		atomic.AddInt64(&p.stats.Evictions, 1)
 		if vf.dirty {
 			atomic.AddInt64(&p.stats.PagesWrite, 1)
-			if err := vf.file.writePage(vf.key.page, vf.Data); err != nil {
+			if err := vf.file.writePage(vf.key.page, vf.full); err != nil {
 				return nil, err
 			}
 		}
 	}
-	fr := &Frame{key: key, file: f, Data: make([]byte, PageSize), pins: 1}
+	full := make([]byte, PageSize)
+	fr := &Frame{key: key, file: f, full: full, Data: full[:PageDataSize], pins: 1}
 	p.frames[key] = fr
 	return fr, nil
 }
@@ -181,7 +185,7 @@ func (p *BufferPool) Flush() error {
 	for _, fr := range p.frames {
 		if fr.dirty {
 			atomic.AddInt64(&p.stats.PagesWrite, 1)
-			if err := fr.file.writePage(fr.key.page, fr.Data); err != nil {
+			if err := fr.file.writePage(fr.key.page, fr.full); err != nil {
 				return err
 			}
 			fr.dirty = false
@@ -204,7 +208,7 @@ func (p *BufferPool) DropFile(f *File) error {
 		}
 		if fr.dirty {
 			atomic.AddInt64(&p.stats.PagesWrite, 1)
-			if err := fr.file.writePage(fr.key.page, fr.Data); err != nil {
+			if err := fr.file.writePage(fr.key.page, fr.full); err != nil {
 				return err
 			}
 		}
@@ -214,6 +218,29 @@ func (p *BufferPool) DropFile(f *File) error {
 		delete(p.frames, key)
 	}
 	return nil
+}
+
+// Truncate cuts file f back to the given page count, discarding any
+// cached frames (dirty or not) for the removed pages — they are orphans
+// from an uncommitted append being rolled back, not data to preserve.
+// A pinned frame in the removed range is a caller bug and errors out.
+func (p *BufferPool) Truncate(f *File, pages int64) error {
+	p.mu.Lock()
+	for key, fr := range p.frames {
+		if key.file != f.id || key.page < pages {
+			continue
+		}
+		if fr.pins > 0 {
+			p.mu.Unlock()
+			return fmt.Errorf("storage: Truncate %s to %d pages: page %d still pinned", f.path, pages, key.page)
+		}
+		if fr.elem != nil {
+			p.lru.Remove(fr.elem)
+		}
+		delete(p.frames, key)
+	}
+	p.mu.Unlock()
+	return f.truncate(pages)
 }
 
 // StatsSnapshot returns a copy of the pool's I/O counters.

@@ -13,6 +13,7 @@ import (
 // store all open their files through a Store.
 type Store struct {
 	dir  string
+	fs   FS
 	pool *BufferPool
 	gate *fdGate
 
@@ -22,18 +23,28 @@ type Store struct {
 }
 
 // OpenStore opens (creating if needed) a store rooted at dir with a buffer
-// pool of poolPages pages.
+// pool of poolPages pages, on the real filesystem.
 func OpenStore(dir string, poolPages int) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenStoreFS(DefaultFS, dir, poolPages)
+}
+
+// OpenStoreFS is OpenStore on an explicit FS (fault injection, crash
+// simulation).
+func OpenStoreFS(fsys FS, dir string, poolPages int) (*Store, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: open store: %w", err)
 	}
 	return &Store{
 		dir:  dir,
+		fs:   fsys,
 		pool: NewBufferPool(poolPages),
 		gate: newFDGate(4096),
 		open: make(map[string]*File),
 	}, nil
 }
+
+// FS returns the filesystem this store performs its I/O on.
+func (s *Store) FS() FS { return s.fs }
 
 // SetFDLimit bounds the number of simultaneously open OS descriptors.
 // Lowering it below the current open count takes effect as files are used.
@@ -62,19 +73,19 @@ func (s *Store) Open(name string) (*File, error) {
 		return f, nil
 	}
 	path := filepath.Join(s.dir, filepath.FromSlash(name))
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	if err := s.fs.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("storage: open %s: %w", name, err)
 	}
 	var pages int64
-	if st, err := os.Stat(path); err == nil {
+	if st, err := s.fs.Stat(path); err == nil {
 		if st.Size()%PageSize != 0 {
-			return nil, fmt.Errorf("storage: %s size %d not page aligned", name, st.Size())
+			return nil, fmt.Errorf("storage: %s size %d not page aligned: %w", name, st.Size(), ErrCorrupt)
 		}
 		pages = st.Size() / PageSize
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("storage: stat %s: %w", name, err)
 	}
-	f := &File{id: s.nextID, path: path, gate: s.gate, pages: pages}
+	f := &File{id: s.nextID, path: path, fs: s.fs, gate: s.gate, pages: pages}
 	s.nextID++
 	s.open[name] = f
 	return f, nil
@@ -107,9 +118,29 @@ func (s *Store) Remove(name string) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		return os.Remove(f.path)
+		return s.fs.Remove(f.path)
 	}
-	return os.Remove(filepath.Join(s.dir, filepath.FromSlash(name)))
+	return s.fs.Remove(filepath.Join(s.dir, filepath.FromSlash(name)))
+}
+
+// SyncAll flushes the pool and fsyncs every open file — the durability
+// barrier before a repository-level commit (catalog, skeleton, manifest).
+func (s *Store) SyncAll() error {
+	if err := s.pool.Flush(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	files := make([]*File, 0, len(s.open))
+	for _, f := range s.open {
+		files = append(files, f)
+	}
+	s.mu.Unlock()
+	for _, f := range files {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Close flushes the pool and closes all files.

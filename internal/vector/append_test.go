@@ -32,13 +32,13 @@ func TestAppendResumeExactlyFullPage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 81 values of 99 bytes (1-byte length prefix each) plus one of 79
-	// bytes fill the 8180-byte payload to the last byte.
+	// 81 values of 99 bytes (1-byte length prefix each) plus one of 75
+	// bytes fill the 8176-byte payload to the last byte.
 	var want []string
 	for i := 0; i < 81; i++ {
 		want = append(want, strings.Repeat("x", 99))
 	}
-	want = append(want, strings.Repeat("y", 79))
+	want = append(want, strings.Repeat("y", 75))
 	for _, v := range want {
 		if err := w.AppendString(v); err != nil {
 			t.Fatal(err)
@@ -58,7 +58,7 @@ func TestAppendResumeExactlyFullPage(t *testing.T) {
 		t.Fatalf("last page used = %d, want exactly %d; adjust the test values", used, payload)
 	}
 
-	w2, err := OpenAppendWriter(pool, f)
+	w2, err := OpenAppendWriter(pool, f, int64(len(want)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestAppendResumeZeroValues(t *testing.T) {
 		t.Fatal(err)
 	}
 	for round := 0; round < 2; round++ {
-		w2, err := OpenAppendWriter(pool, f)
+		w2, err := OpenAppendWriter(pool, f, int64(len(vals)))
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
@@ -147,10 +147,11 @@ func staleMeta(t *testing.T, pool *storage.BufferPool, f *storage.File, oldCount
 	}
 }
 
-// TestAppendResumeStaleMeta reopens vectors whose meta page lags the data
-// pages: the writer must adopt the data pages' counts (recomputing the
-// byte total from record headers), and a meta page claiming MORE values
-// than the data pages hold must be rejected as corruption.
+// TestAppendResumeStaleMeta reopens vectors whose meta page disagrees
+// with the committed count in either direction — lagging (crash before
+// Close) or running ahead (crash after the page flush, before the catalog
+// commit). Both recover by recounting from the data pages; only a
+// committed count beyond what the data pages hold is corruption.
 func TestAppendResumeStaleMeta(t *testing.T) {
 	store, pool := newPool(t, 64)
 	f, err := store.Open("v")
@@ -178,7 +179,7 @@ func TestAppendResumeStaleMeta(t *testing.T) {
 	// Meta behind the data pages (crash before Close): recoverable.
 	staleCount, staleBytes := int64(100), int64(10*100)
 	staleMeta(t, pool, f, staleCount, staleBytes)
-	w2, err := OpenAppendWriter(pool, f)
+	w2, err := OpenAppendWriter(pool, f, int64(len(vals)))
 	if err != nil {
 		t.Fatalf("reopen with stale meta: %v", err)
 	}
@@ -203,10 +204,27 @@ func TestAppendResumeStaleMeta(t *testing.T) {
 		t.Fatalf("after recovery: %d values, last %q", len(got), got[len(got)-1])
 	}
 
-	// Meta ahead of the data pages (lost pages): must refuse.
+	// Meta page ahead of the committed count (crash after the page flush,
+	// before the catalog commit): recoverable — the byte total is recounted
+	// from the data pages.
 	staleMeta(t, pool, f, int64(len(got))+1000, nbytes+100)
-	if _, err := OpenAppendWriter(pool, f); err == nil {
-		t.Error("reopen with meta count beyond data pages succeeded")
+	w3, err := OpenAppendWriter(pool, f, int64(len(got)))
+	if err != nil {
+		t.Fatalf("reopen with meta ahead: %v", err)
+	}
+	if w3.Count() != int64(len(got)) {
+		t.Errorf("recovered count = %d, want %d", w3.Count(), len(got))
+	}
+	if w3.ValueBytes() != nbytes+int64(len("after-recovery")) {
+		t.Errorf("recounted bytes = %d, want %d", w3.ValueBytes(), nbytes+int64(len("after-recovery")))
+	}
+	if err := w3.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A committed count beyond what the data pages hold is lost data.
+	if _, err := OpenAppendWriter(pool, f, int64(len(got))+1000); err == nil {
+		t.Error("reopen with committed count beyond data pages succeeded")
 	}
 }
 
@@ -231,7 +249,7 @@ func TestAppendCompressedStaleMeta(t *testing.T) {
 		t.Fatal(err)
 	}
 	staleMeta(t, pool, f, 100, 1000)
-	if _, err := OpenAppendCompressed(pool, f); err == nil {
+	if _, err := OpenAppendCompressed(pool, f, 5000); err == nil {
 		t.Error("compressed reopen with stale meta succeeded")
 	}
 }

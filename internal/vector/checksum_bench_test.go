@@ -1,0 +1,67 @@
+package vector
+
+import (
+	"fmt"
+	"testing"
+
+	"vxml/internal/storage"
+)
+
+// benchChecksumScan measures a full sequential scan of a multi-page vector
+// through a pool much smaller than the file, so every page is faulted in
+// (and, when verify is on, CRC-checked) on every iteration. The ratio of
+// the two benchmarks is the checksum-on-read overhead the format pays;
+// the robustness budget is <5% on representative data.
+//
+// Value width is the lever: short values (the datasets' typical titles,
+// names, and numbers) pack hundreds of records per page, so per-page
+// decode work dwarfs one 8 KiB CRC; wide values approach the worst case
+// where the CRC competes with a nearly free scan.
+func benchChecksumScan(b *testing.B, verify bool, wide bool) {
+	store, pool := newPool(b, 64)
+	f, err := store.Open("v")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := NewWriter(pool, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nvals = 200_000
+	for i := 0; i < nvals; i++ {
+		var val string
+		if wide {
+			val = fmt.Sprintf("value-%06d-%088d", i, i) // ~100 B → ~2500 pages
+		} else {
+			val = fmt.Sprintf("value-%06d", i) // 12 B → ~300 pages
+		}
+		if err := w.AppendString(val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	v, err := OpenPaged(pool, f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev := storage.SetVerifyChecksums(verify)
+	defer storage.SetVerifyChecksums(prev)
+	b.SetBytes(f.NumPages() * storage.PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int64
+		if err := v.Scan(0, v.Len(), func(int64, []byte) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if n != nvals {
+			b.Fatalf("scanned %d values, want %d", n, nvals)
+		}
+	}
+}
+
+func BenchmarkScanVerifyOn(b *testing.B)      { benchChecksumScan(b, true, false) }
+func BenchmarkScanVerifyOff(b *testing.B)     { benchChecksumScan(b, false, false) }
+func BenchmarkScanWideVerifyOn(b *testing.B)  { benchChecksumScan(b, true, true) }
+func BenchmarkScanWideVerifyOff(b *testing.B) { benchChecksumScan(b, false, true) }

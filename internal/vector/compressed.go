@@ -17,16 +17,19 @@ import (
 // O(log pages) pages and decompression happens one page at a time during
 // scans — the query processor never inflates more than it reads.
 //
-// Layout: page 0 is the meta page (magic "VXC1", u64 count, u64 raw value
+// Layout: page 0 is the meta page (magic "VXC2", u64 count, u64 raw value
 // bytes). Each data page holds one batch: u64 firstIdx, u16 record count,
 // u16 payload length, u8 flag (0 = stored raw when DEFLATE would not
 // shrink it, 1 = DEFLATE), then the payload — the same uvarint-length
-// record packing as the uncompressed format, compressed as a unit.
+// record packing as the uncompressed format, compressed as a unit. The
+// payload is bounded by storage.PageDataSize (the storage layer keeps a
+// CRC32C trailer in the last 4 bytes of every page); "VXC1" predates the
+// trailer and is rejected.
 
 const (
-	compMagic   = "VXC1"
+	compMagic   = "VXC2"
 	compHeader  = 13
-	compPayload = storage.PageSize - compHeader
+	compPayload = storage.PageDataSize - compHeader
 	// compBatch is the uncompressed batch size target; recursive splitting
 	// at flush time right-sizes chunks to the data's compressibility.
 	compBatch = 4 * compPayload
@@ -206,7 +209,7 @@ func OpenCompressed(pool *storage.BufferPool, file *storage.File) (*CompressedPa
 	}
 	defer pool.Unpin(fr, false)
 	if string(fr.Data[0:4]) != compMagic {
-		return nil, fmt.Errorf("vector: %s: bad compressed magic", file.Path())
+		return nil, fmt.Errorf("vector: %s: bad compressed magic %q (want %q): %w", file.Path(), fr.Data[0:4], compMagic, storage.ErrCorrupt)
 	}
 	return &CompressedPaged{
 		pool:  pool,
@@ -256,7 +259,7 @@ func (p *CompressedPaged) Scan(start, n int64, fn func(pos int64, val []byte) er
 		for r := 0; r < cache.n; r++ {
 			ln, sz := binary.Uvarint(cache.data[off:])
 			if sz <= 0 || ln > uint64(len(cache.data)-off-sz) {
-				return fmt.Errorf("vector: %s: corrupt batch on page %d", p.file.Path(), pageNo)
+				return fmt.Errorf("vector: %s: corrupt batch on page %d: %w", p.file.Path(), pageNo, storage.ErrCorrupt)
 			}
 			off += sz
 			if pos >= start {
@@ -293,7 +296,7 @@ func (p *CompressedPaged) loadPage(cache *inflateCache, pageNo int64) error {
 	flag := fr.Data[12]
 	if plen > compPayload {
 		p.pool.Unpin(fr, false)
-		return fmt.Errorf("vector: %s: corrupt header on page %d (payload %d > max %d)", p.file.Path(), pageNo, plen, compPayload)
+		return fmt.Errorf("vector: %s: corrupt header on page %d (payload %d > max %d): %w", p.file.Path(), pageNo, plen, compPayload, storage.ErrCorrupt)
 	}
 	payload := fr.Data[compHeader : compHeader+plen]
 	if flag == 0 {
@@ -310,7 +313,7 @@ func (p *CompressedPaged) loadPage(cache *inflateCache, pageNo int64) error {
 			}
 			if err != nil {
 				p.pool.Unpin(fr, false)
-				return fmt.Errorf("vector: %s: inflate page %d: %w", p.file.Path(), pageNo, err)
+				return fmt.Errorf("vector: %s: inflate page %d: %v: %w", p.file.Path(), pageNo, err, storage.ErrCorrupt)
 			}
 		}
 		rd.Close()
@@ -354,30 +357,113 @@ func (p *CompressedPaged) findPage(pos int64) (int64, error) {
 // out of step with the data pages (a crash between batch flush and Close)
 // is detected and reported; unlike the uncompressed format, recovery
 // requires rebuilding the vector.
-func OpenAppendCompressed(pool *storage.BufferPool, file *storage.File) (*CompressedWriter, error) {
+func OpenAppendCompressed(pool *storage.BufferPool, file *storage.File, resumeAt int64) (*CompressedWriter, error) {
 	fr, err := pool.Get(file, 0)
 	if err != nil {
 		return nil, err
 	}
 	if string(fr.Data[0:4]) != compMagic {
 		pool.Unpin(fr, false)
-		return nil, fmt.Errorf("vector: %s: bad compressed magic", file.Path())
+		return nil, fmt.Errorf("vector: %s: bad compressed magic %q (want %q): %w", file.Path(), fr.Data[0:4], compMagic, storage.ErrCorrupt)
 	}
-	count := int64(binary.LittleEndian.Uint64(fr.Data[4:12]))
-	bytes := int64(binary.LittleEndian.Uint64(fr.Data[12:20]))
+	metaCount := int64(binary.LittleEndian.Uint64(fr.Data[4:12]))
+	metaBytes := int64(binary.LittleEndian.Uint64(fr.Data[12:20]))
 	pool.Unpin(fr, false)
-	if last := file.NumPages() - 1; last >= 1 {
-		fr, err := pool.Get(file, last)
+
+	w := &CompressedWriter{pool: pool, file: file, count: resumeAt, first: resumeAt}
+	if resumeAt == 0 {
+		if err := pool.Truncate(file, 1); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	if file.NumPages() < 2 {
+		return nil, fmt.Errorf("vector: %s: catalog records %d values but file has no data pages: %w", file.Path(), resumeAt, storage.ErrCorrupt)
+	}
+	// Orphan batches from an uncommitted append sit past the committed
+	// count; a committed count always falls on a batch boundary (batches
+	// are flushed whole, and the catalog commits only after Close flushed
+	// the final one). Walk back from the end to the boundary and truncate
+	// the orphans away.
+	cut := file.NumPages()
+	pg := file.NumPages() - 1
+	for ; pg >= 1; pg-- {
+		fr, err := pool.Get(file, pg)
 		if err != nil {
 			return nil, err
 		}
-		trueCount := int64(binary.LittleEndian.Uint64(fr.Data[0:8])) + int64(binary.LittleEndian.Uint16(fr.Data[8:10]))
+		firstIdx := int64(binary.LittleEndian.Uint64(fr.Data[0:8]))
+		nrecs := int64(binary.LittleEndian.Uint16(fr.Data[8:10]))
 		pool.Unpin(fr, false)
-		if trueCount != count {
-			return nil, fmt.Errorf("vector: %s: meta page records %d values but data pages end at %d (stale meta; rebuild the vector)", file.Path(), count, trueCount)
+		if firstIdx < resumeAt {
+			if end := firstIdx + nrecs; end < resumeAt {
+				return nil, fmt.Errorf("vector: %s: catalog records %d values but data pages end at %d: %w", file.Path(), resumeAt, end, storage.ErrCorrupt)
+			} else if end > resumeAt {
+				return nil, fmt.Errorf("vector: %s: committed count %d falls inside the batch %d..%d on page %d: %w", file.Path(), resumeAt, firstIdx, end, pg, storage.ErrCorrupt)
+			}
+			break
 		}
-	} else if count != 0 {
-		return nil, fmt.Errorf("vector: %s: meta page records %d values but file has no data pages", file.Path(), count)
+		cut = pg
 	}
-	return &CompressedWriter{pool: pool, file: file, count: count, bytes: bytes, first: count}, nil
+	if pg < 1 {
+		return nil, fmt.Errorf("vector: %s: no data page holds record %d: %w", file.Path(), resumeAt-1, storage.ErrCorrupt)
+	}
+	if err := pool.Truncate(file, cut); err != nil {
+		return nil, err
+	}
+	switch {
+	case metaCount == resumeAt:
+		w.bytes = metaBytes
+	case metaCount < resumeAt:
+		return nil, fmt.Errorf("vector: %s: meta page records %d values but the catalog committed %d: %w", file.Path(), metaCount, resumeAt, storage.ErrCorrupt)
+	default:
+		// The meta page ran ahead of the commit (crash after the page flush,
+		// before the catalog); recount the committed prefix.
+		total, err := compressedValueBytes(pool, file, cut)
+		if err != nil {
+			return nil, err
+		}
+		w.bytes = total
+	}
+	return w, nil
+}
+
+// compressedValueBytes sums the raw value bytes of every record in data
+// pages [1, pages) — the crash-recovery recount of OpenAppendCompressed.
+func compressedValueBytes(pool *storage.BufferPool, file *storage.File, pages int64) (int64, error) {
+	var total int64
+	for pg := int64(1); pg < pages; pg++ {
+		fr, err := pool.Get(file, pg)
+		if err != nil {
+			return 0, err
+		}
+		nrecs := int(binary.LittleEndian.Uint16(fr.Data[8:10]))
+		plen := int(binary.LittleEndian.Uint16(fr.Data[10:12]))
+		flag := fr.Data[12]
+		if plen > compPayload {
+			pool.Unpin(fr, false)
+			return 0, fmt.Errorf("vector: %s: corrupt batch header on page %d: %w", file.Path(), pg, storage.ErrCorrupt)
+		}
+		payload := append([]byte(nil), fr.Data[compHeader:compHeader+plen]...)
+		pool.Unpin(fr, false)
+		data := payload
+		if flag != 0 {
+			rd := flate.NewReader(bytes.NewReader(payload))
+			data, err = io.ReadAll(rd)
+			rd.Close()
+			if err != nil {
+				return 0, fmt.Errorf("vector: %s: inflate page %d: %v: %w", file.Path(), pg, err, storage.ErrCorrupt)
+			}
+		}
+		off := 0
+		for i := 0; i < nrecs; i++ {
+			ln, n := binary.Uvarint(data[off:])
+			if n <= 0 || off+n+int(ln) > len(data) {
+				return 0, fmt.Errorf("vector: %s: corrupt record on page %d: %w", file.Path(), pg, storage.ErrCorrupt)
+			}
+			total += int64(ln)
+			off += n + int(ln)
+		}
+	}
+	return total, nil
 }

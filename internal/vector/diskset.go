@@ -3,7 +3,6 @@ package vector
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -51,7 +50,10 @@ type SetWriter interface {
 	Close() error
 }
 
-const catalogName = "vectors.json"
+// CatalogName is the catalog's file name within a store directory.
+const CatalogName = "vectors.json"
+
+const catalogName = CatalogName
 
 // CreateDiskSet starts an empty disk set in store. Call Save after all
 // writers are closed.
@@ -63,15 +65,16 @@ func CreateDiskSet(store *storage.Store) *DiskSet {
 	}
 }
 
-// OpenDiskSet opens an existing disk set from store's directory.
+// OpenDiskSet opens an existing disk set from store's directory, verifying
+// the catalog's checksum footer.
 func OpenDiskSet(store *storage.Store) (*DiskSet, error) {
-	data, err := os.ReadFile(filepath.Join(store.Dir(), catalogName))
+	data, err := storage.ReadFileChecksummed(store.FS(), filepath.Join(store.Dir(), catalogName))
 	if err != nil {
 		return nil, fmt.Errorf("vector: open disk set: %w", err)
 	}
 	s := CreateDiskSet(store)
 	if err := json.Unmarshal(data, &s.catalog); err != nil {
-		return nil, fmt.Errorf("vector: parse catalog: %w", err)
+		return nil, fmt.Errorf("vector: parse catalog: %v: %w", err, storage.ErrCorrupt)
 	}
 	return s, nil
 }
@@ -108,16 +111,43 @@ func (s *DiskSet) CloseVector(name string, w SetWriter) error {
 	return nil
 }
 
-// Save writes the catalog. Call it after all writers are closed.
+// Save writes the catalog atomically with a checksum footer. The pool is
+// flushed first, so the catalog never describes pages still in memory.
+// Call it after all writers are closed.
 func (s *DiskSet) Save() error {
+	return s.SaveSync(nil)
+}
+
+// SaveSync is Save with a durability barrier: after the pool flush it
+// fsyncs the named vectors' files before the catalog goes down, so a crash
+// right after SaveSync leaves catalog and vector data consistent. Append
+// paths must list every vector they touched; nil skips the barrier (bulk
+// builds that commit durably at a higher level).
+func (s *DiskSet) SaveSync(touched []string) error {
+	if err := s.store.Pool().Flush(); err != nil {
+		return err
+	}
+	for _, name := range touched {
+		e, ok := s.catalog[name]
+		if !ok {
+			return fmt.Errorf("vector: sync unknown vector %q", name)
+		}
+		f, err := s.store.Open(e.File)
+		if err != nil {
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
 	data, err := json.MarshalIndent(s.catalog, "", " ")
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(s.store.Dir(), catalogName), data, 0o644); err != nil {
+	if err := storage.WriteFileAtomic(s.store.FS(), filepath.Join(s.store.Dir(), catalogName), data); err != nil {
 		return fmt.Errorf("vector: save catalog: %w", err)
 	}
-	return s.store.Pool().Flush()
+	return nil
 }
 
 // Names implements Set.
@@ -157,8 +187,55 @@ func (s *DiskSet) Vector(name string) (Vector, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The catalog is committed after vector data on every durable path, so
+	// its count is authoritative. A longer vector is the orphaned tail of an
+	// append that crashed before its catalog commit: clamp to the catalog
+	// count and the repository reads exactly as it did before that append.
+	// A shorter vector means lost committed data — corruption.
+	if n := v.Len(); n > e.Count {
+		v = &clamped{Vector: v, n: e.Count}
+	} else if n < e.Count {
+		return nil, fmt.Errorf("vector: %s (vector %q): catalog records %d values but file holds %d: %w",
+			f.Path(), name, e.Count, n, storage.ErrCorrupt)
+	}
 	s.open[name] = v
 	return v, nil
+}
+
+// clamped exposes only the first n values of a vector — the catalog's view
+// of a file that carries an uncommitted append tail.
+type clamped struct {
+	Vector
+	n int64
+}
+
+func (c *clamped) Len() int64 { return c.n }
+
+func (c *clamped) Scan(start, n int64, fn func(pos int64, val []byte) error) error {
+	if start < 0 || start+n > c.n {
+		return fmt.Errorf("vector: scan [%d,%d) out of range 0..%d", start, start+n, c.n)
+	}
+	return c.Vector.Scan(start, n, fn)
+}
+
+// Files returns the on-disk file name and current page count of every
+// cataloged vector (for manifests and integrity checks).
+func (s *DiskSet) Files() (map[string]int64, error) {
+	out := make(map[string]int64, len(s.catalog))
+	for _, e := range s.catalog {
+		f, err := s.store.Open(e.File)
+		if err != nil {
+			return nil, err
+		}
+		out[e.File] = f.NumPages()
+	}
+	return out, nil
+}
+
+// FileOf returns the on-disk file name holding the named vector.
+func (s *DiskSet) FileOf(name string) (string, bool) {
+	e, ok := s.catalog[name]
+	return e.File, ok
 }
 
 // Count returns the catalog's record count for a vector without opening it.
@@ -193,7 +270,34 @@ func (s *DiskSet) AppendWriter(name string) (SetWriter, error) {
 		return nil, err
 	}
 	if e.Compressed {
-		return OpenAppendCompressed(s.store.Pool(), f)
+		return OpenAppendCompressed(s.store.Pool(), f, e.Count)
 	}
-	return OpenAppendWriter(s.store.Pool(), f)
+	return OpenAppendWriter(s.store.Pool(), f, e.Count)
+}
+
+// Rollback cuts the catalog's count for a vector back to n — the
+// recovery step for an append that committed its catalog but crashed
+// before the skeleton commit: the skeleton on disk (the authority, being
+// the last file committed) still describes the pre-append document, so
+// the extra cataloged values are orphans. The change is in-memory; the
+// next committed append rewrites the durable catalog. The recorded byte
+// total keeps its pre-rollback value until then (it feeds statistics,
+// not correctness, and the next append recomputes it exactly).
+func (s *DiskSet) Rollback(name string, n int64) error {
+	e, ok := s.catalog[name]
+	if !ok {
+		return fmt.Errorf("vector: no vector %q", name)
+	}
+	if n > e.Count {
+		return fmt.Errorf("vector: rollback of %q to %d values, catalog has only %d", name, n, e.Count)
+	}
+	if n == e.Count {
+		return nil
+	}
+	e.Count = n
+	s.catalog[name] = e
+	s.mu.Lock()
+	delete(s.open, name) // drop any reader clamped to the old count
+	s.mu.Unlock()
+	return nil
 }

@@ -9,7 +9,7 @@ import (
 
 // On-disk vector file layout.
 //
-// Page 0 is the meta page: magic "VXV1", then u64 record count and u64
+// Page 0 is the meta page: magic "VXV2", then u64 record count and u64
 // total value bytes. Data pages follow, each with a 12-byte header —
 // u64 firstIdx (position of the first record starting in the page),
 // u16 record count, u16 used payload bytes — and records packed as
@@ -18,11 +18,15 @@ import (
 // and synthetic repositories of short fields) satisfy this comfortably.
 // Positional seeks binary-search page headers via firstIdx, touching
 // O(log pages) pages.
+//
+// The payload is bounded by storage.PageDataSize, not PageSize: the
+// storage layer reserves the last 4 bytes of every page for a CRC32C
+// trailer (format "VXV2"; "VXV1" predates the trailer and is rejected).
 
 const (
-	metaMagic  = "VXV1"
+	metaMagic  = "VXV2"
 	headerSize = 12
-	payload    = storage.PageSize - headerSize
+	payload    = storage.PageDataSize - headerSize
 	// MaxValue is the largest storable value, bounded by one page payload
 	// minus the worst-case length prefix.
 	MaxValue = payload - binary.MaxVarintLen32
@@ -150,7 +154,7 @@ func OpenPaged(pool *storage.BufferPool, file *storage.File) (*Paged, error) {
 	}
 	defer pool.Unpin(fr, false)
 	if string(fr.Data[0:4]) != metaMagic {
-		return nil, fmt.Errorf("vector: %s: bad magic", file.Path())
+		return nil, fmt.Errorf("vector: %s: bad magic %q (want %q): %w", file.Path(), fr.Data[0:4], metaMagic, storage.ErrCorrupt)
 	}
 	return &Paged{
 		pool:  pool,
@@ -191,7 +195,7 @@ func (p *Paged) Scan(start, n int64, fn func(pos int64, val []byte) error) error
 		used := int(binary.LittleEndian.Uint16(fr.Data[10:12]))
 		if used > payload {
 			p.pool.Unpin(fr, false)
-			return fmt.Errorf("vector: %s: corrupt header on page %d (used %d > payload %d)", p.file.Path(), pageNo, used, payload)
+			return fmt.Errorf("vector: %s: corrupt header on page %d (used %d > payload %d): %w", p.file.Path(), pageNo, used, payload, storage.ErrCorrupt)
 		}
 		// Record lengths come from disk: every prefix and value must stay
 		// inside the page's used payload, or the record is corrupt.
@@ -202,7 +206,7 @@ func (p *Paged) Scan(start, n int64, fn func(pos int64, val []byte) error) error
 			ln, sz := binary.Uvarint(fr.Data[off:limit])
 			if sz <= 0 || ln > uint64(limit-off-sz) {
 				p.pool.Unpin(fr, false)
-				return fmt.Errorf("vector: %s: corrupt record on page %d", p.file.Path(), pageNo)
+				return fmt.Errorf("vector: %s: corrupt record on page %d: %w", p.file.Path(), pageNo, storage.ErrCorrupt)
 			}
 			off += sz
 			if pos >= start {
@@ -260,63 +264,129 @@ func (p *Paged) findPage(pos int64) (int64, error) {
 // where to continue — the write half of the paper's §6 incremental
 // maintenance. The caller must Close again to refresh the meta page.
 //
-// Data-page headers are kept current on every append while the meta page
-// is only rewritten by Close, so after a crash the meta page can lag the
-// data pages. OpenAppendWriter reconciles: appends recorded by the data
-// pages but not the meta page are adopted (count and byte totals are
-// recomputed from the page headers), while a meta count beyond what the
-// data pages hold means lost pages and is reported as corruption.
-func OpenAppendWriter(pool *storage.BufferPool, file *storage.File) (*Writer, error) {
+// resumeAt is the committed value count from the catalog — the durable
+// truth. The file may disagree in either direction after a crash: data
+// pages (and even the meta page) can run past resumeAt when an append
+// died before its catalog commit. Such orphan values are NOT adopted —
+// they were never committed, and adopting them would misalign vector
+// positions against the skeleton — the file is truncated back to exactly
+// resumeAt values (so page headers stay monotonic for positional search)
+// and the writer resumes there. A file whose data pages end before
+// resumeAt is missing committed values and is reported as corruption.
+func OpenAppendWriter(pool *storage.BufferPool, file *storage.File, resumeAt int64) (*Writer, error) {
 	fr, err := pool.Get(file, 0)
 	if err != nil {
 		return nil, err
 	}
 	if string(fr.Data[0:4]) != metaMagic {
 		pool.Unpin(fr, false)
-		return nil, fmt.Errorf("vector: %s: bad magic", file.Path())
+		return nil, fmt.Errorf("vector: %s: bad magic %q (want %q): %w", file.Path(), fr.Data[0:4], metaMagic, storage.ErrCorrupt)
 	}
-	count := int64(binary.LittleEndian.Uint64(fr.Data[4:12]))
-	bytes := int64(binary.LittleEndian.Uint64(fr.Data[12:20]))
+	metaCount := int64(binary.LittleEndian.Uint64(fr.Data[4:12]))
+	metaBytes := int64(binary.LittleEndian.Uint64(fr.Data[12:20]))
 	pool.Unpin(fr, false)
-	w := &Writer{pool: pool, file: file, page: -1, count: count, bytes: bytes}
-	if last := file.NumPages() - 1; last >= 1 {
-		fr, err := pool.Get(file, last)
+
+	w := &Writer{pool: pool, file: file, page: -1}
+	if resumeAt == 0 {
+		if err := pool.Truncate(file, 1); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	if file.NumPages() < 2 {
+		return nil, fmt.Errorf("vector: %s: catalog records %d values but file has no data pages: %w", file.Path(), resumeAt, storage.ErrCorrupt)
+	}
+	// Locate the page holding record resumeAt-1, walking back from the
+	// end (the resume point is at or near the tail).
+	pg := file.NumPages() - 1
+	var firstIdx int64
+	var nrecs, used int
+	for {
+		fr, err := pool.Get(file, pg)
 		if err != nil {
 			return nil, err
 		}
-		firstIdx := int64(binary.LittleEndian.Uint64(fr.Data[0:8]))
-		nrecs := int(binary.LittleEndian.Uint16(fr.Data[8:10]))
-		used := int(binary.LittleEndian.Uint16(fr.Data[10:12]))
+		firstIdx = int64(binary.LittleEndian.Uint64(fr.Data[0:8]))
+		nrecs = int(binary.LittleEndian.Uint16(fr.Data[8:10]))
+		used = int(binary.LittleEndian.Uint16(fr.Data[10:12]))
 		pool.Unpin(fr, false)
 		if used > payload {
-			return nil, fmt.Errorf("vector: %s: corrupt header on page %d (used %d > payload %d)", file.Path(), last, used, payload)
+			return nil, fmt.Errorf("vector: %s: corrupt header on page %d (used %d > payload %d): %w", file.Path(), pg, used, payload, storage.ErrCorrupt)
 		}
-		trueCount := firstIdx + int64(nrecs)
-		switch {
-		case trueCount < count:
-			return nil, fmt.Errorf("vector: %s: meta page records %d values but data pages end at %d", file.Path(), count, trueCount)
-		case trueCount > count:
-			extra, err := tailValueBytes(pool, file, count)
-			if err != nil {
-				return nil, err
-			}
-			w.count = trueCount
-			w.bytes = bytes + extra
+		if firstIdx < resumeAt {
+			break
 		}
-		w.page = last
-		w.nrecs = nrecs
-		w.used = used
-	} else if count != 0 {
-		return nil, fmt.Errorf("vector: %s: meta page records %d values but file has no data pages", file.Path(), count)
+		pg--
+		if pg < 1 {
+			return nil, fmt.Errorf("vector: %s: no data page holds record %d: %w", file.Path(), resumeAt-1, storage.ErrCorrupt)
+		}
+	}
+	if end := firstIdx + int64(nrecs); end < resumeAt {
+		return nil, fmt.Errorf("vector: %s: catalog records %d values but data pages end at %d: %w", file.Path(), resumeAt, end, storage.ErrCorrupt)
+	}
+	// Cut the page at record resumeAt: re-decode its records to find the
+	// byte offset where the next append lands, and rewrite the header so
+	// the page no longer claims the orphan records past the cut.
+	fr, err = pool.Get(file, pg)
+	if err != nil {
+		return nil, err
+	}
+	off := 0
+	for i := int64(0); i < resumeAt-firstIdx; i++ {
+		ln, sz := binary.Uvarint(fr.Data[headerSize+off : headerSize+used])
+		if sz <= 0 || ln > uint64(used-off-sz) {
+			pool.Unpin(fr, false)
+			return nil, fmt.Errorf("vector: %s: corrupt record on page %d: %w", file.Path(), pg, storage.ErrCorrupt)
+		}
+		off += sz + int(ln)
+	}
+	cutDirty := false
+	if int(binary.LittleEndian.Uint16(fr.Data[8:10])) != int(resumeAt-firstIdx) || int(binary.LittleEndian.Uint16(fr.Data[10:12])) != off {
+		binary.LittleEndian.PutUint16(fr.Data[8:10], uint16(resumeAt-firstIdx))
+		binary.LittleEndian.PutUint16(fr.Data[10:12], uint16(off))
+		cutDirty = true
+	}
+	pool.Unpin(fr, cutDirty)
+	// Drop orphan pages past the cut so positional search never sees a
+	// page that was not committed.
+	if err := pool.Truncate(file, pg+1); err != nil {
+		return nil, err
+	}
+	w.page = pg
+	w.nrecs = int(resumeAt - firstIdx)
+	w.used = off
+	w.count = resumeAt
+	// Reconstruct the running value-byte total for [0, resumeAt). The meta
+	// page gives [0, metaCount) exactly when it matches; otherwise decode
+	// the difference (short after a crash) or, if the meta page ran ahead
+	// of the commit, recount from the start — rare, and still one
+	// sequential read of the vector.
+	switch {
+	case metaCount == resumeAt:
+		w.bytes = metaBytes
+	case metaCount < resumeAt:
+		extra, err := rangeValueBytes(pool, file, metaCount, resumeAt)
+		if err != nil {
+			return nil, err
+		}
+		w.bytes = metaBytes + extra
+	default:
+		total, err := rangeValueBytes(pool, file, 0, resumeAt)
+		if err != nil {
+			return nil, err
+		}
+		w.bytes = total
 	}
 	return w, nil
 }
 
-// tailValueBytes sums the value bytes of records at positions >= from by
-// walking the data pages — the crash-recovery path of OpenAppendWriter.
-func tailValueBytes(pool *storage.BufferPool, file *storage.File, from int64) (int64, error) {
+// rangeValueBytes sums the value bytes of records at positions in
+// [from, to) by walking the data pages — the crash-recovery path of
+// OpenAppendWriter. Every position in the range must be present.
+func rangeValueBytes(pool *storage.BufferPool, file *storage.File, from, to int64) (int64, error) {
 	var total int64
-	for pg := int64(1); pg < file.NumPages(); pg++ {
+	covered := from
+	for pg := int64(1); pg < file.NumPages() && covered < to; pg++ {
 		fr, err := pool.Get(file, pg)
 		if err != nil {
 			return 0, err
@@ -324,13 +394,13 @@ func tailValueBytes(pool *storage.BufferPool, file *storage.File, from int64) (i
 		firstIdx := int64(binary.LittleEndian.Uint64(fr.Data[0:8]))
 		nrecs := int(binary.LittleEndian.Uint16(fr.Data[8:10]))
 		used := int(binary.LittleEndian.Uint16(fr.Data[10:12]))
-		if firstIdx+int64(nrecs) <= from {
+		if firstIdx+int64(nrecs) <= covered || firstIdx >= to {
 			pool.Unpin(fr, false)
 			continue
 		}
 		if used > payload {
 			pool.Unpin(fr, false)
-			return 0, fmt.Errorf("vector: %s: corrupt header on page %d (used %d > payload %d)", file.Path(), pg, used, payload)
+			return 0, fmt.Errorf("vector: %s: corrupt header on page %d (used %d > payload %d): %w", file.Path(), pg, used, payload, storage.ErrCorrupt)
 		}
 		limit := headerSize + used
 		off := headerSize
@@ -339,15 +409,21 @@ func tailValueBytes(pool *storage.BufferPool, file *storage.File, from int64) (i
 			ln, sz := binary.Uvarint(fr.Data[off:limit])
 			if sz <= 0 || ln > uint64(limit-off-sz) {
 				pool.Unpin(fr, false)
-				return 0, fmt.Errorf("vector: %s: corrupt record on page %d", file.Path(), pg)
+				return 0, fmt.Errorf("vector: %s: corrupt record on page %d: %w", file.Path(), pg, storage.ErrCorrupt)
 			}
 			off += sz + int(ln)
-			if pos >= from {
+			if pos >= covered && pos < to {
 				total += int64(ln)
+				if pos == covered {
+					covered++
+				}
 			}
 			pos++
 		}
 		pool.Unpin(fr, false)
+	}
+	if covered < to {
+		return 0, fmt.Errorf("vector: %s: records %d..%d missing from data pages: %w", file.Path(), covered, to, storage.ErrCorrupt)
 	}
 	return total, nil
 }

@@ -1,10 +1,13 @@
 package vectorize
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"vxml/internal/storage"
 )
 
 // Failure injection: a damaged repository must fail loudly with a useful
@@ -160,20 +163,188 @@ func TestVectorFileTruncated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Cut the file to a page boundary shorter than the data.
+	// Cut the file to a page boundary shorter than the data. The manifest
+	// records the committed page count, so Open itself must refuse, with a
+	// typed error naming the file.
 	if err := os.Truncate(matches[0], st.Size()/2/8192*8192); err != nil {
 		t.Fatal(err)
 	}
-	repo2, err := Open(dir, Options{PoolPages: 64})
+	_, err = Open(dir, Options{PoolPages: 64})
+	if err == nil {
+		t.Fatal("Open of repository with truncated vector file succeeded")
+	}
+	if !errors.Is(err, storage.ErrCorrupt) {
+		t.Errorf("error %q does not wrap storage.ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), filepath.Base(matches[0])) {
+		t.Errorf("error %q does not name the damaged file", err)
+	}
+}
+
+// TestVectorBitFlip flips one byte in the middle of a vector page: the
+// page CRC must catch it during a scan, with a typed error naming the
+// file, and the process must not panic.
+func TestVectorBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	var doc strings.Builder
+	doc.WriteString("<d>")
+	for i := 0; i < 2000; i++ {
+		doc.WriteString("<v>some value text here</v>")
+	}
+	doc.WriteString("</d>")
+	repo, err := Create(strings.NewReader(doc.String()), dir, Options{PoolPages: 64})
 	if err != nil {
 		t.Fatal(err)
+	}
+	repo.Close()
+	matches, _ := filepath.Glob(filepath.Join(dir, "v*.vec"))
+	if len(matches) == 0 {
+		t.Fatal("no vector files found")
+	}
+	f, err := os.OpenFile(matches[0], os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One flipped byte in the middle of data page 2. Size and structure
+	// stay plausible; only the CRC can notice.
+	off := int64(2*8192 + 4000)
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x40
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	repo2, err := Open(dir, Options{PoolPages: 64})
+	if err != nil {
+		t.Fatal(err) // damage is past the meta page; Open is lazy
 	}
 	defer repo2.Close()
 	v, err := repo2.Vectors.Vector("/d/v")
 	if err != nil {
-		t.Fatal(err) // meta page intact; the damage is further in
+		t.Fatal(err)
 	}
-	if err := v.Scan(0, v.Len(), func(int64, []byte) error { return nil }); err == nil {
-		t.Error("full scan of truncated vector succeeded")
+	err = v.Scan(0, v.Len(), func(int64, []byte) error { return nil })
+	if err == nil {
+		t.Fatal("scan over bit-flipped page succeeded")
+	}
+	if !errors.Is(err, storage.ErrCorrupt) {
+		t.Errorf("error %q does not wrap storage.ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), filepath.Base(matches[0])) {
+		t.Errorf("error %q does not name the damaged file", err)
+	}
+	// Fsck must find the same damage even without a scanning query.
+	if _, err := Fsck(dir, Options{PoolPages: 64}); err == nil {
+		t.Error("Fsck of bit-flipped repository succeeded")
+	} else if !errors.Is(err, storage.ErrCorrupt) {
+		t.Errorf("Fsck error %q does not wrap storage.ErrCorrupt", err)
+	}
+}
+
+// TestSkeletonBitFlip flips one byte inside the skeleton file: the file
+// footer must catch it at Open, wrapping ErrCorrupt and naming the file.
+func TestSkeletonBitFlip(t *testing.T) {
+	dir := corruptRepo(t)
+	path := filepath.Join(dir, "skeleton.bin")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir, Options{PoolPages: 64})
+	if err == nil {
+		t.Fatal("Open with bit-flipped skeleton succeeded")
+	}
+	if !errors.Is(err, storage.ErrCorrupt) {
+		t.Errorf("error %q does not wrap storage.ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "skeleton.bin") {
+		t.Errorf("error %q does not name skeleton.bin", err)
+	}
+}
+
+// TestSkeletonTruncated cuts the skeleton file: ErrCorrupt, file named,
+// no panic.
+func TestSkeletonTruncated(t *testing.T) {
+	dir := corruptRepo(t)
+	path := filepath.Join(dir, "skeleton.bin")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, keep := range []int{len(data) / 2, 7, 0} {
+		if err := os.WriteFile(path, data[:keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Open(dir, Options{PoolPages: 64})
+		if err == nil {
+			t.Fatalf("Open with skeleton truncated to %d bytes succeeded", keep)
+		}
+		if !errors.Is(err, storage.ErrCorrupt) {
+			t.Errorf("truncation to %d: error %q does not wrap storage.ErrCorrupt", keep, err)
+		}
+		if !strings.Contains(err.Error(), "skeleton.bin") {
+			t.Errorf("truncation to %d: error %q does not name skeleton.bin", keep, err)
+		}
+	}
+}
+
+// TestManifestCorrupt damages the manifest itself: Open must fail with a
+// typed error, not guess.
+func TestManifestCorrupt(t *testing.T) {
+	dir := corruptRepo(t)
+	path := filepath.Join(dir, ManifestName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x80
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir, Options{PoolPages: 64})
+	if err == nil {
+		t.Fatal("Open with corrupt manifest succeeded")
+	}
+	if !errors.Is(err, storage.ErrCorrupt) {
+		t.Errorf("error %q does not wrap storage.ErrCorrupt", err)
+	}
+}
+
+// TestOpenMissingManifest removes the manifest: Open must explain what is
+// wrong rather than proceeding without integrity metadata.
+func TestOpenMissingManifest(t *testing.T) {
+	dir := corruptRepo(t)
+	if err := os.Remove(filepath.Join(dir, ManifestName)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(dir, Options{PoolPages: 64})
+	if err == nil {
+		t.Fatal("Open without manifest succeeded")
+	}
+	if !strings.Contains(err.Error(), ManifestName) {
+		t.Errorf("error %q does not mention the manifest", err)
+	}
+}
+
+// TestFsckClean verifies Fsck accepts a freshly built repository and
+// reports the scan totals.
+func TestFsckClean(t *testing.T) {
+	dir := corruptRepo(t)
+	rep, err := Fsck(dir, Options{PoolPages: 64})
+	if err != nil {
+		t.Fatalf("Fsck of clean repository: %v", err)
+	}
+	if len(rep.Warnings) != 0 {
+		t.Errorf("Fsck warnings on clean repository: %v", rep.Warnings)
+	}
+	if rep.Vectors != 1 || rep.Values != 2 {
+		t.Errorf("Fsck scanned %d vectors / %d values, want 1 / 2", rep.Vectors, rep.Values)
 	}
 }

@@ -1,0 +1,184 @@
+package vectorize
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"vxml/internal/storage"
+)
+
+// Crash-safety: every prefix of the write sequence of Create and Append
+// must leave a repository that either opens fully consistent or fails
+// with a clean, typed error — never a panic, never silent partial data.
+//
+// The harness: FaultFS cuts the write stream after N operations (the
+// moment the machine "died"), MemFS.Crash then discards everything not
+// yet fsynced (what a real power cut does to the page cache), and the
+// test reopens and checks. N sweeps the entire write sequence.
+
+const crashDoc = `<bib><book><title>A</title><author>X</author></book>` +
+	`<book><title>B</title><author>Y</author></book></bib>`
+const crashFrag = `<bib><book><title>C</title><author>Z</author></book></bib>`
+
+const crashPool = 8
+
+// xmlOf reconstructs the repository at dir as a string.
+func xmlOf(t *testing.T, dir string, fsys storage.FS) string {
+	t.Helper()
+	repo, err := Open(dir, Options{PoolPages: crashPool, FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+	var buf bytes.Buffer
+	if err := repo.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestCreateCrashAtEveryWrite(t *testing.T) {
+	// Reference: the document a fault-free Create stores.
+	refFS := storage.NewMemFS()
+	refRepo, err := Create(strings.NewReader(crashDoc), "repo", Options{PoolPages: crashPool, FS: refFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRepo.Close()
+	want := xmlOf(t, "repo", refFS)
+
+	// Count the full write sequence.
+	countFS := storage.NewFaultFS(storage.NewMemFS())
+	r, err := Create(strings.NewReader(crashDoc), "repo", Options{PoolPages: crashPool, FS: countFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	total := countFS.Writes()
+	if total < 5 {
+		t.Fatalf("implausible write count %d", total)
+	}
+
+	for n := int64(0); n <= total; n++ {
+		mem := storage.NewMemFS()
+		ff := storage.NewFaultFS(mem)
+		ff.CrashAfterWrites(n)
+		repo, err := Create(strings.NewReader(crashDoc), "repo", Options{PoolPages: crashPool, FS: ff})
+		if err == nil {
+			repo.Close()
+		}
+		// Machine reset: unsynced state evaporates, the budget is lifted.
+		mem.Crash()
+		ff.CrashAfterWrites(-1)
+
+		reopened, openErr := Open("repo", Options{PoolPages: crashPool, FS: ff})
+		switch {
+		case openErr == nil:
+			// The build committed: it must be the complete repository.
+			var buf bytes.Buffer
+			if err := reopened.WriteXML(&buf); err != nil {
+				t.Fatalf("crash@%d: reopened repo does not reconstruct: %v", n, err)
+			}
+			reopened.Close()
+			if buf.String() != want {
+				t.Fatalf("crash@%d: reconstructed XML differs from the committed document", n)
+			}
+			if _, err := Fsck("repo", Options{PoolPages: crashPool, FS: ff}); err != nil {
+				t.Fatalf("crash@%d: fsck after committed create: %v", n, err)
+			}
+		case errors.Is(openErr, storage.ErrInjected):
+			t.Fatalf("crash@%d: injected fault leaked through recovery: %v", n, openErr)
+		default:
+			// The build never committed: Open explains, and a retried Create
+			// (which clears the stale .building directory) must succeed.
+			repo2, err := Create(strings.NewReader(crashDoc), "repo", Options{PoolPages: crashPool, FS: ff})
+			if err != nil {
+				t.Fatalf("crash@%d: Create after crash: %v (open error was: %v)", n, err, openErr)
+			}
+			repo2.Close()
+			if got := xmlOf(t, "repo", ff); got != want {
+				t.Fatalf("crash@%d: re-created repo differs", n)
+			}
+		}
+	}
+}
+
+func TestAppendCrashAtEveryWrite(t *testing.T) {
+	// References: document before and after a fault-free append.
+	build := func() (*storage.FaultFS, *storage.MemFS) {
+		mem := storage.NewMemFS()
+		ff := storage.NewFaultFS(mem)
+		repo, err := Create(strings.NewReader(crashDoc), "repo", Options{PoolPages: crashPool, FS: ff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		repo.Close()
+		return ff, mem
+	}
+	refFS, _ := build()
+	wantOld := xmlOf(t, "repo", refFS)
+	refRepo, err := Open("repo", Options{PoolPages: crashPool, FS: refFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refRepo.Append(strings.NewReader(crashFrag)); err != nil {
+		t.Fatal(err)
+	}
+	refRepo.Close()
+	wantNew := xmlOf(t, "repo", refFS)
+	if wantNew == wantOld {
+		t.Fatal("append reference did not change the document")
+	}
+
+	// Count the append's write sequence.
+	countFS, _ := build()
+	cr, err := Open("repo", Options{PoolPages: crashPool, FS: countFS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	countFS.CrashAfterWrites(-1) // reset counter
+	if err := cr.Append(strings.NewReader(crashFrag)); err != nil {
+		t.Fatal(err)
+	}
+	cr.Close()
+	total := countFS.Writes()
+	if total < 5 {
+		t.Fatalf("implausible append write count %d", total)
+	}
+
+	for n := int64(0); n <= total; n++ {
+		ff, mem := build()
+		repo, err := Open("repo", Options{PoolPages: crashPool, FS: ff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ff.CrashAfterWrites(n)
+		appendErr := repo.Append(strings.NewReader(crashFrag))
+		// Machine reset mid- or post-append. The pre-crash Repository (and
+		// its page pool) is abandoned, like the process it lived in.
+		mem.Crash()
+		ff.CrashAfterWrites(-1)
+
+		reopened, openErr := Open("repo", Options{PoolPages: crashPool, FS: ff})
+		if openErr != nil {
+			t.Fatalf("crash@%d (append err: %v): repository lost: %v", n, appendErr, openErr)
+		}
+		var buf bytes.Buffer
+		if err := reopened.WriteXML(&buf); err != nil {
+			t.Fatalf("crash@%d: reconstruct after crash: %v", n, err)
+		}
+		reopened.Close()
+		got := buf.String()
+		if got != wantOld && got != wantNew {
+			t.Fatalf("crash@%d: document is neither pre- nor post-append state", n)
+		}
+		if appendErr == nil && got != wantNew {
+			t.Fatalf("crash@%d: append reported success but document rolled back", n)
+		}
+		if _, err := Fsck("repo", Options{PoolPages: crashPool, FS: ff}); err != nil {
+			t.Fatalf("crash@%d: fsck after crash recovery: %v", n, err)
+		}
+	}
+}

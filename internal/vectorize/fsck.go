@@ -1,0 +1,151 @@
+package vectorize
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"vxml/internal/storage"
+	"vxml/internal/vector"
+)
+
+// FsckReport is the result of a clean Fsck run: what was verified, plus
+// warnings for benign anomalies that do not make the repository invalid
+// (orphaned append tails, unreferenced files).
+type FsckReport struct {
+	Vectors   int64 // vectors fully scanned
+	Values    int64 // values decoded across all vectors
+	PagesRead int64 // pages read (each CRC-verified on the way in)
+	Warnings  []string
+}
+
+// Fsck deep-verifies the repository at dir and returns a report, or the
+// first corruption found as an error wrapping storage.ErrCorrupt (naming
+// the file, and where possible the page or offset). It checks:
+//
+//   - the manifest parses, and every file it lists is present with the
+//     committed size/checksum (or is a newer self-consistent version left
+//     by an interrupted append — reported as a warning, not an error);
+//   - the skeleton decodes under its checksum footer;
+//   - every page of every vector passes its CRC32C trailer and every
+//     record decodes, by scanning each vector end to end;
+//   - the skeleton's text-class occurrence counts (the '#'-marker counts)
+//     equal the catalog counts and the scanned vector lengths — the
+//     cross-structure invariant queries rely on;
+//   - files in the directory that nothing references are warned about.
+//
+// Fsck never panics on hostile input and never writes to the repository.
+func Fsck(dir string, opts Options) (*FsckReport, error) {
+	fsys := opts.fs()
+	rep := &FsckReport{}
+
+	m, err := readManifest(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	stale, err := verifyManifest(fsys, dir, m)
+	if err != nil {
+		return nil, err
+	}
+	if stale {
+		rep.Warnings = append(rep.Warnings,
+			"manifest lags a newer committed skeleton/catalog (interrupted append; opening the repository repairs it)")
+	}
+
+	r, err := Open(dir, Options{PoolPages: opts.poolPages(), FS: opts.FS})
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	set, ok := r.Vectors.(*vector.DiskSet)
+	if !ok {
+		return nil, fmt.Errorf("vectorize: fsck: %s is not disk-backed", dir)
+	}
+
+	// Cross-check the skeleton against the catalog: every text class's
+	// occurrence count (how many '#' markers its runs cover) must have a
+	// matching vector with exactly that many values.
+	referenced := map[string]bool{
+		skeletonFile:       true,
+		vector.CatalogName: true,
+		ManifestName:       true,
+	}
+	for _, id := range r.Classes.TextClasses() {
+		name := r.Classes.VectorName(id)
+		want := r.Classes.Count(id)
+		got, ok := set.Count(name)
+		if !ok {
+			return nil, fmt.Errorf("vectorize: fsck: skeleton text class %s has %d occurrences but no vector in the catalog: %w",
+				name, want, storage.ErrCorrupt)
+		}
+		if got != want {
+			return nil, fmt.Errorf("vectorize: fsck: vector %q: skeleton counts %d occurrences, catalog records %d values: %w",
+				name, want, got, storage.ErrCorrupt)
+		}
+		if file, ok := set.FileOf(name); ok {
+			referenced[file] = true
+		}
+	}
+	catalogOnly := 0
+	for _, name := range set.Names() {
+		if file, ok := set.FileOf(name); ok {
+			if !referenced[file] {
+				catalogOnly++
+			}
+			referenced[file] = true
+		}
+	}
+	if catalogOnly > 0 {
+		rep.Warnings = append(rep.Warnings,
+			fmt.Sprintf("%d cataloged vector(s) not reachable from the skeleton", catalogOnly))
+	}
+
+	// Full scan of every vector: reads every page through the CRC-checking
+	// pool path and decodes every record.
+	before := r.Store.Pool().StatsSnapshot()
+	for _, name := range set.Names() {
+		v, err := set.Vector(name)
+		if err != nil {
+			return nil, fmt.Errorf("vectorize: fsck: %w", err)
+		}
+		var n int64
+		if err := v.Scan(0, v.Len(), func(int64, []byte) error { n++; return nil }); err != nil {
+			return nil, fmt.Errorf("vectorize: fsck: scan vector %q: %w", name, err)
+		}
+		if want, _ := set.Count(name); n != want {
+			return nil, fmt.Errorf("vectorize: fsck: vector %q: scanned %d values, catalog records %d: %w",
+				name, n, want, storage.ErrCorrupt)
+		}
+		rep.Vectors++
+		rep.Values += n
+	}
+	after := r.Store.Pool().StatsSnapshot()
+	rep.PagesRead = after.PagesRead - before.PagesRead
+
+	// Anything on disk that neither the manifest nor the catalog accounts
+	// for. Orphan tails live inside referenced files; whole unreferenced
+	// files are stranded space (a crashed Create never leaves these inside
+	// dir, but users copy things around).
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var orphans []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || referenced[name] || strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		if _, listed := m.Files[name]; listed {
+			continue
+		}
+		orphans = append(orphans, name)
+	}
+	sort.Strings(orphans)
+	for _, name := range orphans {
+		rep.Warnings = append(rep.Warnings,
+			fmt.Sprintf("unreferenced file %s", filepath.Join(dir, name)))
+	}
+	return rep, nil
+}

@@ -1,0 +1,145 @@
+package vectorize
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vxml/internal/storage"
+	"vxml/internal/vector"
+)
+
+// The MANIFEST is the repository's self-description: format version and,
+// for every file belonging to the repository, its committed size plus
+// either a whole-file CRC32C (skeleton and catalog, which are rewritten
+// atomically) or a committed page count (vector files, which grow in
+// place and carry per-page CRCs instead).
+//
+// The manifest is written last on every commit, so it is allowed to lag
+// the files it describes by exactly one interrupted append: a described
+// file that differs from its manifest entry but carries a valid in-band
+// checksum footer is a newer committed version (the crash hit between the
+// file's commit and the manifest's), and Open adopts it and repairs the
+// manifest. A described file whose own checksum fails is bit rot and is
+// reported as ErrCorrupt with the file and offset.
+
+// ManifestName is the manifest's file name within a repository directory.
+const ManifestName = "MANIFEST"
+
+// manifestFormat is the repository format version. Version 2 introduced
+// page CRC trailers (vector magics VXV2/VXC2), checksum footers on the
+// skeleton and catalog, and the manifest itself; version 1 repositories
+// (no manifest) are not readable and must be rebuilt from source XML.
+const manifestFormat = 2
+
+// Manifest describes a committed repository.
+type Manifest struct {
+	Format int                     `json:"format"`
+	Files  map[string]ManifestFile `json:"files"`
+}
+
+// ManifestFile describes one committed file.
+type ManifestFile struct {
+	// Size is the file's byte size at commit. Paged files may legitimately
+	// be larger (an orphaned append tail); anything smaller is truncation.
+	Size int64 `json:"size"`
+	// CRC32C is the hex CRC32C of the whole on-disk file, for files
+	// rewritten atomically on every commit. Empty for paged vector files.
+	CRC32C string `json:"crc32c,omitempty"`
+	// Pages is the committed page count of a paged vector file.
+	Pages int64 `json:"pages,omitempty"`
+}
+
+// paged reports whether the entry describes a paged vector file.
+func (f ManifestFile) paged() bool { return f.CRC32C == "" }
+
+// writeManifest builds and atomically writes dir's manifest. vecPages maps
+// each cataloged vector file name to its current page count; the skeleton
+// and catalog are read back from disk so the manifest records exactly the
+// committed bytes.
+func writeManifest(fsys storage.FS, dir string, vecPages map[string]int64) error {
+	m := Manifest{Format: manifestFormat, Files: make(map[string]ManifestFile)}
+	for _, name := range []string{skeletonFile, vector.CatalogName} {
+		data, err := fsys.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("vectorize: manifest: %w", err)
+		}
+		m.Files[name] = ManifestFile{
+			Size:   int64(len(data)),
+			CRC32C: fmt.Sprintf("%08x", storage.Checksum(data)),
+		}
+	}
+	for file, pages := range vecPages {
+		m.Files[file] = ManifestFile{Size: pages * storage.PageSize, Pages: pages}
+	}
+	data, err := json.MarshalIndent(&m, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := storage.WriteFileAtomic(fsys, filepath.Join(dir, ManifestName), data); err != nil {
+		return fmt.Errorf("vectorize: write manifest: %w", err)
+	}
+	return nil
+}
+
+// readManifest reads and validates dir's manifest.
+func readManifest(fsys storage.FS, dir string) (*Manifest, error) {
+	body, err := storage.ReadFileChecksummed(fsys, filepath.Join(dir, ManifestName))
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("vectorize: %s has no %s: not a repository, an incomplete build, or a format-1 repository (rebuild from the source XML)", dir, ManifestName)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("vectorize: parse %s: %v: %w", ManifestName, err, storage.ErrCorrupt)
+	}
+	if m.Format != manifestFormat {
+		return nil, fmt.Errorf("vectorize: %s: unsupported repository format %d (this build reads format %d)", dir, m.Format, manifestFormat)
+	}
+	return &m, nil
+}
+
+// verifyManifest checks every file the manifest describes. It returns
+// stale=true when some atomically-rewritten file is a newer committed
+// version than the manifest records (interrupted append: adopt the file,
+// repair the manifest); corruption returns an error wrapping ErrCorrupt
+// naming the file.
+func verifyManifest(fsys storage.FS, dir string, m *Manifest) (stale bool, err error) {
+	for name, mf := range m.Files {
+		path := filepath.Join(dir, name)
+		if mf.paged() {
+			st, err := fsys.Stat(path)
+			if err != nil {
+				return false, fmt.Errorf("vectorize: %s listed in manifest: %w", name, err)
+			}
+			if st.Size()%storage.PageSize != 0 {
+				return false, fmt.Errorf("vectorize: %s: size %d not page aligned: %w", name, st.Size(), storage.ErrCorrupt)
+			}
+			if pages := st.Size() / storage.PageSize; pages < mf.Pages {
+				return false, fmt.Errorf("vectorize: %s: truncated to %d pages, manifest committed %d: %w", name, pages, mf.Pages, storage.ErrCorrupt)
+			}
+			continue
+		}
+		data, err := fsys.ReadFile(path)
+		if err != nil {
+			return false, fmt.Errorf("vectorize: %s listed in manifest: %w", name, err)
+		}
+		if fmt.Sprintf("%08x", storage.Checksum(data)) == mf.CRC32C {
+			if int64(len(data)) != mf.Size {
+				return false, fmt.Errorf("vectorize: %s: size %d differs from manifest %d: %w", name, len(data), mf.Size, storage.ErrCorrupt)
+			}
+			continue
+		}
+		// Mismatch against the manifest. If the file's own footer verifies,
+		// it is a newer committed version (crash before the manifest write);
+		// otherwise the file itself is damaged.
+		if _, err := storage.ReadFileChecksummed(fsys, path); err != nil {
+			return false, err
+		}
+		stale = true
+	}
+	return stale, nil
+}

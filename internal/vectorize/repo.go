@@ -1,6 +1,7 @@
 package vectorize
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -44,6 +45,10 @@ type Options struct {
 	// extension: less I/O for more CPU). Applies to Create only; Open
 	// detects the format from the catalog.
 	Compress bool
+	// FS is the filesystem the repository lives on; nil means the real OS
+	// filesystem. Tests inject fault-injecting or crash-simulating
+	// filesystems here.
+	FS storage.FS
 }
 
 func (o Options) poolPages() int {
@@ -53,13 +58,33 @@ func (o Options) poolPages() int {
 	return o.PoolPages
 }
 
+func (o Options) fs() storage.FS {
+	if o.FS == nil {
+		return storage.DefaultFS
+	}
+	return o.FS
+}
+
 // Create vectorizes the XML document read from r into a new repository at
 // dir. The directory must not already contain a repository.
+//
+// The build is crash-safe: everything is written into dir+".building" and
+// the finished, fully-fsynced repository is renamed into place as the last
+// step. A crash mid-build leaves either no repository (plus a stale
+// .building directory that the next Create removes) or the complete one —
+// never a half-built directory that Open would have to second-guess.
 func Create(r io.Reader, dir string, opts Options) (*Repository, error) {
-	if _, err := os.Stat(filepath.Join(dir, skeletonFile)); err == nil {
-		return nil, fmt.Errorf("vectorize: repository already exists at %s", dir)
+	fsys := opts.fs()
+	for _, name := range []string{ManifestName, skeletonFile} {
+		if _, err := fsys.Stat(filepath.Join(dir, name)); err == nil {
+			return nil, fmt.Errorf("vectorize: repository already exists at %s", dir)
+		}
 	}
-	store, err := storage.OpenStore(dir, opts.poolPages())
+	building := dir + ".building"
+	if err := fsys.RemoveAll(building); err != nil {
+		return nil, fmt.Errorf("vectorize: clear stale build dir: %w", err)
+	}
+	store, err := storage.OpenStoreFS(fsys, building, opts.poolPages())
 	if err != nil {
 		return nil, err
 	}
@@ -76,44 +101,95 @@ func Create(r io.Reader, dir string, opts Options) (*Repository, error) {
 		store.Close()
 		return nil, err
 	}
-	f, err := os.Create(filepath.Join(dir, skeletonFile))
-	if err != nil {
+	if err := CommitStore(store, skel, syms, set); err != nil {
 		store.Close()
 		return nil, err
 	}
-	if err := skeleton.Encode(f, skel, syms); err != nil {
-		f.Close()
-		store.Close()
+	if err := store.Close(); err != nil {
 		return nil, err
 	}
-	if err := f.Close(); err != nil {
-		store.Close()
+	if err := PromoteBuild(fsys, building, dir); err != nil {
 		return nil, err
 	}
-	return &Repository{
-		Dir:     dir,
-		Store:   store,
-		Syms:    syms,
-		Skel:    skel,
-		Classes: skeleton.NewClasses(skel, syms),
-		Vectors: sink.Set,
-	}, nil
+	return Open(dir, opts)
 }
 
-// Open opens an existing repository: the skeleton loads into memory, the
-// vectors stay on disk until a query touches them.
+// CommitStore makes a store directory a complete repository: the skeleton
+// goes down checksummed and atomic, every vector page and file is flushed
+// and fsynced, and the manifest is written last. Shared by Create and the
+// engine's EvalToDir.
+func CommitStore(store *storage.Store, skel *skeleton.Skeleton, syms *xmlmodel.Symbols, set *vector.DiskSet) error {
+	return commitRepository(store.FS(), store, store.Dir(), skel, syms, set)
+}
+
+// PromoteBuild moves a finished, fully-committed build directory into
+// place at dir and fsyncs the parent — the single atomic commit point of a
+// bulk build. dir may pre-exist as an empty directory (a caller's mkdir);
+// anything non-empty is refused rather than clobbered.
+func PromoteBuild(fsys storage.FS, building, dir string) error {
+	if entries, err := fsys.ReadDir(dir); err == nil {
+		if len(entries) > 0 {
+			return fmt.Errorf("vectorize: %s exists and is not empty", dir)
+		}
+		if err := fsys.Remove(dir); err != nil {
+			return err
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	if err := fsys.Rename(building, dir); err != nil {
+		return fmt.Errorf("vectorize: commit repository: %w", err)
+	}
+	return fsys.SyncDir(filepath.Dir(dir))
+}
+
+func commitRepository(fsys storage.FS, store *storage.Store, dir string, skel *skeleton.Skeleton, syms *xmlmodel.Symbols, set *vector.DiskSet) error {
+	var buf bytes.Buffer
+	if err := skeleton.Encode(&buf, skel, syms); err != nil {
+		return err
+	}
+	if err := storage.WriteFileAtomic(fsys, filepath.Join(dir, skeletonFile), buf.Bytes()); err != nil {
+		return err
+	}
+	if err := store.SyncAll(); err != nil {
+		return err
+	}
+	vecPages, err := set.Files()
+	if err != nil {
+		return err
+	}
+	return writeManifest(fsys, dir, vecPages)
+}
+
+// Open opens an existing repository: the manifest is validated, the
+// skeleton loads into memory (checksum-verified), and the vectors stay on
+// disk until a query touches them.
+//
+// A repository that a crash left one commit step short — files newer than
+// the manifest records, each carrying a valid checksum of its own — is
+// adopted and its manifest repaired in place. Files that fail their own
+// checksums make Open fail with an error wrapping storage.ErrCorrupt that
+// names the file.
 func Open(dir string, opts Options) (*Repository, error) {
-	f, err := os.Open(filepath.Join(dir, skeletonFile))
+	fsys := opts.fs()
+	m, err := readManifest(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	stale, err := verifyManifest(fsys, dir, m)
+	if err != nil {
+		return nil, err
+	}
+	skelData, err := storage.ReadFileChecksummed(fsys, filepath.Join(dir, skeletonFile))
 	if err != nil {
 		return nil, fmt.Errorf("vectorize: open repository: %w", err)
 	}
 	syms := xmlmodel.NewSymbols()
-	skel, err := skeleton.Decode(f, syms)
-	f.Close()
+	skel, err := skeleton.Decode(bytes.NewReader(skelData), syms)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("vectorize: decode %s: %v: %w", skeletonFile, err, storage.ErrCorrupt)
 	}
-	store, err := storage.OpenStore(dir, opts.poolPages())
+	store, err := storage.OpenStoreFS(fsys, dir, opts.poolPages())
 	if err != nil {
 		return nil, err
 	}
@@ -122,12 +198,54 @@ func Open(dir string, opts Options) (*Repository, error) {
 		store.Close()
 		return nil, err
 	}
+	classes := skeleton.NewClasses(skel, syms)
+	// Reconcile the catalog against the skeleton. The skeleton is the last
+	// file an append commits, so it is the authority: a catalog count above
+	// the skeleton's occurrence count is the half-committed tail of an
+	// append that crashed between its catalog and skeleton commits — roll
+	// it back and the repository reads exactly as before that append. A
+	// catalog count below the skeleton's is lost committed data.
+	for _, id := range classes.TextClasses() {
+		name := classes.VectorName(id)
+		want := classes.Count(id)
+		got, ok := set.Count(name)
+		if !ok {
+			store.Close()
+			return nil, fmt.Errorf("vectorize: open repository: skeleton text class %s (%d occurrences) has no cataloged vector: %w",
+				name, want, storage.ErrCorrupt)
+		}
+		if got < want {
+			store.Close()
+			return nil, fmt.Errorf("vectorize: open repository: vector %q: skeleton references %d values but catalog committed only %d: %w",
+				name, want, got, storage.ErrCorrupt)
+		}
+		if got > want {
+			if err := set.Rollback(name, want); err != nil {
+				store.Close()
+				return nil, err
+			}
+		}
+	}
+	if stale {
+		// The skeleton or catalog on disk is a newer committed version than
+		// the manifest records — an append was interrupted after its last
+		// file commit. The files are authoritative; bring the manifest back
+		// in step.
+		vecPages, err := set.Files()
+		if err == nil {
+			err = writeManifest(fsys, dir, vecPages)
+		}
+		if err != nil {
+			store.Close()
+			return nil, fmt.Errorf("vectorize: repair manifest: %w", err)
+		}
+	}
 	return &Repository{
 		Dir:     dir,
 		Store:   store,
 		Syms:    syms,
 		Skel:    skel,
-		Classes: skeleton.NewClasses(skel, syms),
+		Classes: classes,
 		Vectors: set,
 	}, nil
 }
@@ -180,6 +298,15 @@ func FromString(doc string, syms *xmlmodel.Symbols) (*MemRepository, error) {
 // children of the stored root. Data vectors are extended in place (their
 // positions stay aligned with the grown classes), and the skeleton file
 // is rewritten, which is cheap because skeletons are small.
+//
+// The commit order makes a crash at any point recoverable: vector pages
+// are flushed and their files fsynced first, then the catalog, then the
+// skeleton (each checksummed and renamed into place atomically), then the
+// manifest. Appends only ever extend vector tails that the previous
+// skeleton and catalog never reference, so every prefix of the sequence
+// leaves a repository that opens and queries consistently — either fully
+// pre-append, fully post-append, or post-append with a manifest one step
+// behind, which Open repairs.
 func (r *Repository) Append(frag io.Reader) error {
 	set, ok := r.Vectors.(*vector.DiskSet)
 	if !ok {
@@ -216,20 +343,22 @@ func (r *Repository) Append(frag io.Reader) error {
 	final := skeleton.NewBuilder()
 	newSkel := final.Finish(final.Import(newRoot))
 
-	// Rewrite the skeleton file atomically.
-	tmp := filepath.Join(r.Dir, skeletonFile+".tmp")
-	f, err := os.Create(tmp)
+	// Commit the new skeleton (checksummed, fsynced, renamed into place,
+	// parent directory fsynced), then the manifest. sink.Close above already
+	// committed the vector data and catalog durably in that order.
+	fsys := r.Store.FS()
+	var buf bytes.Buffer
+	if err := skeleton.Encode(&buf, newSkel, r.Syms); err != nil {
+		return err
+	}
+	if err := storage.WriteFileAtomic(fsys, filepath.Join(r.Dir, skeletonFile), buf.Bytes()); err != nil {
+		return err
+	}
+	vecPages, err := set.Files()
 	if err != nil {
 		return err
 	}
-	if err := skeleton.Encode(f, newSkel, r.Syms); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, filepath.Join(r.Dir, skeletonFile)); err != nil {
+	if err := writeManifest(fsys, r.Dir, vecPages); err != nil {
 		return err
 	}
 	r.Skel = newSkel

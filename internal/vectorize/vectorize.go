@@ -219,12 +219,16 @@ func (d *AppendSink) Append(name string, val []byte) error {
 	return w.Append(val)
 }
 
-// Close finalizes all touched vectors and saves the catalog.
+// Close finalizes all touched vectors and saves the catalog durably: the
+// touched vectors' files are fsynced before the catalog commits, so the
+// catalog never records counts whose data could be lost by a crash.
 func (d *AppendSink) Close() error {
+	touched := make([]string, 0, len(d.writers))
 	for name, w := range d.writers {
 		if err := d.Set.CloseVector(name, w); err != nil {
 			return err
 		}
+		touched = append(touched, name)
 	}
-	return d.Set.Save()
+	return d.Set.SaveSync(touched)
 }

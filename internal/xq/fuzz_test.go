@@ -1,6 +1,9 @@
 package xq
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // FuzzParse checks the parser never panics and that anything it accepts
 // re-renders to something it accepts again (String is a fixed point after
@@ -20,6 +23,9 @@ func FuzzParse(f *testing.F) {
 	for _, s := range seeds {
 		f.Add(s)
 	}
+	// Just over the nesting budget: must be a parse error, not a crash.
+	f.Add("/a" + strings.Repeat("[b", maxParseDepth+1))
+	f.Add("for $x in /a return " + strings.Repeat("<t>", maxParseDepth+1))
 	f.Fuzz(func(t *testing.T, src string) {
 		q, err := Parse(src)
 		if err != nil {

@@ -37,10 +37,29 @@ func MustParse(src string) *Query {
 type parser struct {
 	src string
 	pos int
+	// depth counts active recursive productions (nested qualifiers and
+	// nested templates); bounded so adversarial inputs produce a parse
+	// error instead of exhausting the goroutine stack.
+	depth int
 	// substitute rewrites path terms through active let bindings; set
 	// while parsing a FLWR body.
 	substitute func(PathTerm) PathTerm
 }
+
+// maxParseDepth bounds qualifier/template nesting. Real queries nest a
+// handful of levels; the Go runtime kills the whole process on stack
+// overflow, so the parser must refuse pathological nesting itself.
+const maxParseDepth = 512
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return p.errf("query nesting exceeds %d levels", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) errf(format string, args ...interface{}) error {
 	line := 1 + strings.Count(p.src[:p.pos], "\n")
@@ -407,6 +426,10 @@ func (p *parser) parseStep(axis Axis) (Step, error) {
 // comparison to a constant.
 func (p *parser) parseQual() (Qual, error) {
 	var q Qual
+	if err := p.enter(); err != nil {
+		return q, err
+	}
+	defer p.leave()
 	p.skipWS()
 	// Relative path: first step has no leading '/', later ones do.
 	axis := Child
@@ -521,6 +544,10 @@ func (p *parser) parseRetItem() (RetItem, error) {
 
 // parseTemplate parses an element template: <t>text{$x/p}<u/>...</t>.
 func (p *parser) parseTemplate() (RetItem, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	if !p.lit("<") {
 		return nil, p.errf("expected '<'")
 	}

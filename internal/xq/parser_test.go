@@ -323,3 +323,32 @@ func TestLetErrors(t *testing.T) {
 		t.Error("for shadowing let succeeded")
 	}
 }
+
+// TestParseDeepNesting: pathologically nested input must come back as a
+// parse error, not a stack overflow (which kills the whole process — a
+// query server cannot tolerate that from user input).
+func TestParseDeepNesting(t *testing.T) {
+	inputs := map[string]string{
+		"qualifiers": "/a" + strings.Repeat("[b", 200000),
+		"templates":  "for $x in /a return " + strings.Repeat("<t>", 200000),
+	}
+	for name, src := range inputs {
+		t.Run(name, func(t *testing.T) {
+			_, err := Parse(src)
+			if err == nil {
+				t.Fatalf("accepted %d-level nesting", 200000)
+			}
+			if !strings.Contains(err.Error(), "nesting exceeds") {
+				t.Fatalf("wrong error: %v", err)
+			}
+		})
+	}
+}
+
+// TestParseDeepButReasonable: nesting below the budget still parses.
+func TestParseDeepButReasonable(t *testing.T) {
+	src := "/a" + strings.Repeat("[b", 100) + strings.Repeat("]", 100)
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("rejected 100-level nesting: %v", err)
+	}
+}
