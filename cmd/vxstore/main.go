@@ -9,9 +9,10 @@
 //	vxstore reconstruct -repo DIR            emit the stored document as XML
 //	vxstore stats -repo DIR                  skeleton/vector statistics
 //	vxstore fsck -repo DIR                   deep-verify checksums and invariants
-//	vxstore query -repo DIR [-explain] 'for $x in ... return ...'
+//	vxstore query -repo DIR [-explain[=analyze]] 'for $x in ... return ...'
 //	vxstore query -repo DIR -f query.xq
 //	vxstore query -repo DIR -parallel 8 -workers 4 -f query.xq
+//	vxstore serve -repo DIR -addr :8080      HTTP query server with /metrics
 package main
 
 import (
@@ -20,11 +21,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"vxml/internal/core"
 	"vxml/internal/qgraph"
+	"vxml/internal/serve"
 	"vxml/internal/vector"
 	"vxml/internal/vectorize"
 	"vxml/internal/xq"
@@ -49,6 +53,8 @@ func main() {
 		err = cmdAppend(os.Args[2:])
 	case "fsck":
 		err = cmdFsck(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -66,7 +72,8 @@ func usage() {
   vxstore reconstruct -repo DIR
   vxstore stats -repo DIR
   vxstore fsck -repo DIR [-q]
-  vxstore query -repo DIR [-explain] [-parallel N] [-workers N] [-f query.xq | 'query text']`)
+  vxstore query -repo DIR [-explain[=analyze]] [-parallel N] [-workers N] [-f query.xq | 'query text']
+  vxstore serve -repo DIR [-addr :8080] [-timeout 30s] [-slow 1s] [-workers N]`)
 }
 
 func cmdVectorize(args []string) error {
@@ -151,12 +158,45 @@ func printStats(repo *vectorize.Repository) error {
 	return nil
 }
 
+// explainFlag is the -explain flag's value: absent, bare (-explain, plan
+// only), or "analyze" (-explain=analyze, run and annotate with timings).
+type explainFlag struct {
+	set     bool
+	analyze bool
+}
+
+func (e *explainFlag) String() string {
+	switch {
+	case e.analyze:
+		return "analyze"
+	case e.set:
+		return "true"
+	}
+	return ""
+}
+
+func (e *explainFlag) Set(v string) error {
+	switch v {
+	case "", "true":
+		e.set, e.analyze = true, false
+	case "analyze":
+		e.set, e.analyze = true, true
+	default:
+		return fmt.Errorf("-explain accepts no value or 'analyze', got %q", v)
+	}
+	return nil
+}
+
+// IsBoolFlag lets plain -explain (no value) parse as -explain=true.
+func (e *explainFlag) IsBoolFlag() bool { return true }
+
 func cmdQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	repoDir := fs.String("repo", "", "repository directory")
 	pool := fs.Int("pool", 8192, "buffer pool pages")
 	file := fs.String("f", "", "read the query from a file")
-	explain := fs.Bool("explain", false, "print the query graph and plan instead of running")
+	var explain explainFlag
+	fs.Var(&explain, "explain", "print the plan instead of the result; =analyze runs the query and annotates per-op timings and counters")
 	stats := fs.Bool("stats", false, "print evaluation statistics to stderr")
 	parallel := fs.Int("parallel", 1, "serve the query N times from concurrent goroutines (per-query engines)")
 	workers := fs.Int("workers", 0, "intra-query scan worker pool size (0 = GOMAXPROCS)")
@@ -185,7 +225,9 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *explain {
+	if explain.set && !explain.analyze {
+		// Static explain needs no repository: the plan is a pure function
+		// of the query.
 		fmt.Println("query graph:")
 		fmt.Print(qgraph.GraphOf(plan).String())
 		fmt.Println("\nreduction plan:")
@@ -205,6 +247,15 @@ func cmdQuery(args []string) error {
 		defer cancel()
 	}
 	opts := core.Options{Workers: *workers}
+	if explain.analyze {
+		eng := core.NewRepoEngine(repo, opts)
+		out, err := eng.ExplainAnalyze(ctx, plan)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+	}
 	if *parallel > 1 {
 		return queryParallel(ctx, repo, plan, opts, *parallel, *stats)
 	}
@@ -219,10 +270,37 @@ func cmdQuery(args []string) error {
 	fmt.Println()
 	if *stats {
 		s := eng.Stats()
-		fmt.Fprintf(os.Stderr, "tuples=%d vectors-opened=%d values-scanned=%d rows=%d\n",
-			s.Tuples, s.VectorsOpened, s.ValuesScanned, s.RowsProduced)
+		fmt.Fprintf(os.Stderr, "tuples=%d vectors-opened=%d values-scanned=%d rows=%d runs-expanded=%d index-hits=%d memo-hits=%d\n",
+			s.Tuples, s.VectorsOpened, s.ValuesScanned, s.RowsProduced, s.RunsExpanded, s.IndexHits, s.MemoHits)
 	}
 	return nil
+}
+
+// cmdServe runs the HTTP query server until SIGINT/SIGTERM, then drains
+// in-flight requests and exits cleanly.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	repoDir := fs.String("repo", "", "repository directory")
+	pool := fs.Int("pool", 8192, "buffer pool pages")
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "intra-query scan worker pool size (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request evaluation timeout cap (0 = no cap)")
+	slow := fs.Duration("slow", time.Second, "log queries slower than this (0 = off)")
+	fs.Parse(args)
+	repo, err := openRepo(fs, repoDir, pool)
+	if err != nil {
+		return err
+	}
+	defer repo.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := serve.New(serve.Config{
+		Repo:      repo,
+		Workers:   *workers,
+		Timeout:   *timeout,
+		SlowQuery: *slow,
+	})
+	return srv.ListenAndRun(ctx, *addr, nil)
 }
 
 // queryParallel serves the same plan from n concurrent goroutines, each

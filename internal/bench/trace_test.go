@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"vxml/internal/core"
+	"vxml/internal/qgraph"
+	"vxml/internal/vectorize"
+	"vxml/internal/xq"
+)
+
+// traceSetup opens the quick XMark dataset and plans q once, returning a
+// factory for fresh engines (tracing comparisons must not share memo
+// warmth between the traced and untraced runs).
+func traceSetup(t testing.TB, q QueryID) (func() *core.Engine, *qgraph.Plan) {
+	t.Helper()
+	h := quickHarness(t)
+	d, err := h.Dataset(XK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := vectorize.Open(d.RepoDir, vectorize.Options{PoolPages: h.Cfg.PoolPages})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repo.Close() })
+	plan, err := qgraph.Build(xq.MustParse(QuerySources[q]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *core.Engine {
+		return core.NewEngine(repo.Skel, repo.Classes, repo.Vectors, repo.Syms, core.Options{})
+	}
+	return mk, plan
+}
+
+// BenchmarkTraceOverhead measures EvalTraced against Eval on the XMark
+// quick dataset — the number behind the EXPERIMENTS.md claim that tracing
+// is cheap enough to leave on for served queries. Tracing adds one clock
+// read and one stats snapshot per plan op (a handful per query), so the
+// two sub-benchmarks should be within noise of each other.
+func BenchmarkTraceOverhead(b *testing.B) {
+	for _, mode := range []string{"eval", "eval-traced"} {
+		b.Run(mode, func(b *testing.B) {
+			mk, plan := traceSetup(b, KQ1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng := mk()
+				var err error
+				if mode == "eval" {
+					_, err = eng.Eval(context.Background(), plan)
+				} else {
+					_, _, err = eng.EvalTraced(context.Background(), plan)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceOverheadBounded interleaves traced and untraced evaluations and
+// checks the median overhead stays small. The CI assertion is deliberately
+// loose (25%) — shared runners are noisy — while the real measurement for
+// EXPERIMENTS.md comes from BenchmarkTraceOverhead on quiet hardware; this
+// test exists to catch a rewrite that makes tracing accidentally O(rows).
+func TestTraceOverheadBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short")
+	}
+	mk, plan := traceSetup(t, KQ1)
+	const rounds = 15
+	median := func(ds []time.Duration) time.Duration {
+		for i := 1; i < len(ds); i++ {
+			for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+				ds[j], ds[j-1] = ds[j-1], ds[j]
+			}
+		}
+		return ds[len(ds)/2]
+	}
+	var plain, traced []time.Duration
+	for i := 0; i < rounds; i++ {
+		eng := mk()
+		start := time.Now()
+		if _, err := eng.Eval(context.Background(), plan); err != nil {
+			t.Fatal(err)
+		}
+		plain = append(plain, time.Since(start))
+
+		eng = mk()
+		start = time.Now()
+		if _, _, err := eng.EvalTraced(context.Background(), plan); err != nil {
+			t.Fatal(err)
+		}
+		traced = append(traced, time.Since(start))
+	}
+	p, tr := median(plain), median(traced)
+	overhead := float64(tr-p) / float64(p) * 100
+	t.Logf("trace overhead: eval=%s eval-traced=%s overhead=%.1f%%", p, tr, overhead)
+	if overhead > 25 {
+		t.Errorf("median trace overhead %.1f%% exceeds 25%% — tracing is no longer per-op-constant", overhead)
+	}
+}

@@ -19,12 +19,18 @@ import (
 // re-resolve the same pair once per table segment, and concurrent
 // evaluations share the memo under the engine's memo lock.
 func (e *Engine) resolveTargets(src skeleton.ClassID, steps []xq.Step) []skeleton.ClassID {
+	out, _ := e.resolveTargetsHit(src, steps)
+	return out
+}
+
+// resolveTargetsHit additionally reports whether the memo answered.
+func (e *Engine) resolveTargetsHit(src skeleton.ClassID, steps []xq.Step) ([]skeleton.ClassID, bool) {
 	key := targetKey(src, steps)
 	e.memoMu.Lock()
 	out, ok := e.targetMemo[key]
 	e.memoMu.Unlock()
 	if ok {
-		return out
+		return out, true
 	}
 	out = e.resolveTargetsUncached(src, steps)
 	e.memoMu.Lock()
@@ -33,7 +39,7 @@ func (e *Engine) resolveTargets(src skeleton.ClassID, steps []xq.Step) []skeleto
 	}
 	e.targetMemo[key] = out
 	e.memoMu.Unlock()
-	return out
+	return out, false
 }
 
 func targetKey(src skeleton.ClassID, steps []xq.Step) string {

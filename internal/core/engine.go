@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"vxml/internal/qgraph"
 	"vxml/internal/skeleton"
@@ -34,12 +35,41 @@ type Options struct {
 	Workers int
 }
 
-// EvalStats reports what a query evaluation touched.
+// EvalStats reports what a query evaluation touched. Counters are owned
+// by one evalContext; parallel scan fan-outs accumulate into per-chunk
+// slots that merge in chunk order, so the totals equal a serial run.
 type EvalStats struct {
 	VectorsOpened int   // distinct data vectors loaded (lazy loading)
 	ValuesScanned int64 // vector values read across all operations
 	RowsProduced  int64 // instantiation rows created by reduce steps
 	Tuples        int64 // final value tuples passed to the result skeleton
+	RunsExpanded  int64 // rows materialized by expanding run-compressed rows
+	IndexHits     int64 // predicates served from a VectorIndex instead of a scan
+	MemoHits      int64 // target/span/chain resolutions answered from engine memos
+}
+
+// add accumulates another stats snapshot (used to total per-op deltas).
+func (s *EvalStats) add(d EvalStats) {
+	s.VectorsOpened += d.VectorsOpened
+	s.ValuesScanned += d.ValuesScanned
+	s.RowsProduced += d.RowsProduced
+	s.Tuples += d.Tuples
+	s.RunsExpanded += d.RunsExpanded
+	s.IndexHits += d.IndexHits
+	s.MemoHits += d.MemoHits
+}
+
+// delta returns s - prev, field-wise.
+func (s EvalStats) delta(prev EvalStats) EvalStats {
+	return EvalStats{
+		VectorsOpened: s.VectorsOpened - prev.VectorsOpened,
+		ValuesScanned: s.ValuesScanned - prev.ValuesScanned,
+		RowsProduced:  s.RowsProduced - prev.RowsProduced,
+		Tuples:        s.Tuples - prev.Tuples,
+		RunsExpanded:  s.RunsExpanded - prev.RunsExpanded,
+		IndexHits:     s.IndexHits - prev.IndexHits,
+		MemoHits:      s.MemoHits - prev.MemoHits,
+	}
 }
 
 // Engine evaluates plans over one vectorized document.
@@ -110,6 +140,7 @@ type evalContext struct {
 	e     *Engine
 	ctx   context.Context
 	stats EvalStats
+	trace *Trace // nil unless this evaluation is being traced
 
 	vecs    map[skeleton.ClassID]vector.Vector // text class -> opened vector
 	tables  []*Table
@@ -195,6 +226,8 @@ func (x *evalContext) tableOf(v string) (*Table, int, error) {
 }
 
 // run executes the plan's operations, leaving final tables in x.tables.
+// With tracing enabled, each operation records its wall time and the
+// stats counters it moved (including its DropAfter column drops).
 func (x *evalContext) run(plan *qgraph.Plan) error {
 	output := map[string]bool{}
 	for _, v := range plan.OutputVars {
@@ -203,6 +236,11 @@ func (x *evalContext) run(plan *qgraph.Plan) error {
 	for _, op := range plan.Ops {
 		if err := x.ctx.Err(); err != nil {
 			return err
+		}
+		var t0 time.Time
+		var before EvalStats
+		if x.trace != nil {
+			t0, before = time.Now(), x.stats
 		}
 		var err error
 		switch op.Kind {
@@ -236,18 +274,80 @@ func (x *evalContext) run(plan *qgraph.Plan) error {
 		if x.e.Opts.NoRunCompression {
 			x.expandAll()
 		}
+		obsOpCount[op.Kind].Inc()
+		if x.trace != nil {
+			x.trace.Ops = append(x.trace.Ops, OpTrace{
+				Op:       op.String(),
+				Kind:     op.Kind.String(),
+				Wall:     time.Since(t0),
+				Stats:    x.stats.delta(before),
+				LiveRows: x.liveRows(),
+			})
+		}
 	}
 	return nil
 }
 
+// liveRows counts instantiation rows across surviving tables (trace only).
+func (x *evalContext) liveRows() int64 {
+	var n int64
+	for _, t := range x.tables {
+		if t != nil {
+			n += int64(t.NumRows())
+		}
+	}
+	return n
+}
+
 func (x *evalContext) expandAll() {
 	for _, t := range x.tables {
+		if t == nil {
+			continue
+		}
 		for _, s := range t.Segs {
 			if len(s.Classes) > 0 {
-				s.normalizeCol(len(s.Classes) - 1)
+				x.normalizeSeg(s)
 			}
 		}
 	}
+}
+
+// normalizeSeg expands the segment's trailing run column to scalar rows,
+// charging the materialized rows to the RunsExpanded counter. All call
+// sites are in the serial part of an operation, so plain counter writes
+// are race-free.
+func (x *evalContext) normalizeSeg(s *Segment) {
+	before := len(s.Rows)
+	s.normalizeCol(len(s.Classes) - 1)
+	x.stats.RunsExpanded += int64(len(s.Rows) - before)
+}
+
+// Memo-counting wrappers: the engine-level memos are shared across
+// evaluations; these per-eval wrappers record whether this evaluation's
+// lookup was answered from the memo.
+
+func (x *evalContext) resolveTargets(src skeleton.ClassID, steps []xq.Step) []skeleton.ClassID {
+	out, hit := x.e.resolveTargetsHit(src, steps)
+	if hit {
+		x.stats.MemoHits++
+	}
+	return out
+}
+
+func (x *evalContext) cursorsBetween(src, dst skeleton.ClassID) []*skeleton.Cursor {
+	c, hit := x.e.cursorsBetweenHit(src, dst)
+	if hit {
+		x.stats.MemoHits++
+	}
+	return c
+}
+
+func (x *evalContext) nonEmptySpans(src, dst skeleton.ClassID, curs []*skeleton.Cursor) []span {
+	s, hit := x.e.nonEmptySpansHit(src, dst, curs)
+	if hit {
+		x.stats.MemoHits++
+	}
+	return s
 }
 
 // opBind instantiates a variable from the document root.
@@ -352,12 +452,12 @@ func (x *evalContext) opProj(op qgraph.Op) error {
 		if pt, ok := resolved[src]; ok {
 			return pt
 		}
-		pt := &projTargets{classes: x.e.resolveTargets(src, op.Path)}
+		pt := &projTargets{classes: x.resolveTargets(src, op.Path)}
 		pt.curs = make([][]*skeleton.Cursor, len(pt.classes))
 		pt.keep = make([][]span, len(pt.classes))
 		for i, dst := range pt.classes {
-			pt.curs[i] = x.e.cursorsBetween(src, dst)
-			pt.keep[i] = x.e.nonEmptySpans(src, dst, pt.curs[i])
+			pt.curs[i] = x.cursorsBetween(src, dst)
+			pt.keep[i] = x.nonEmptySpans(src, dst, pt.curs[i])
 		}
 		resolved[src] = pt
 		return pt
@@ -428,9 +528,12 @@ func (x *evalContext) projDead(seg *Segment, srcCol int, targets []skeleton.Clas
 			})
 			continue
 		}
-		span := int64(1)
+		// When the source is a middle column, the trailing run belongs to a
+		// different (live) variable and must survive: fanout is uniform
+		// across that run because it depends only on the source occurrence.
+		span, keepRun := int64(1), r.Run
 		if last {
-			span = r.Run
+			span, keepRun = r.Run, 1
 		}
 		for i := int64(0); i < span; i++ {
 			p := r.Occ[srcCol] + i
@@ -445,7 +548,7 @@ func (x *evalContext) projDead(seg *Segment, srcCol int, targets []skeleton.Clas
 			occ := make([]int64, len(r.Occ))
 			copy(occ, r.Occ)
 			occ[srcCol] = p
-			out.Rows = append(out.Rows, Row{Occ: occ, Run: 1, Mult: r.Mult * total})
+			out.Rows = append(out.Rows, Row{Occ: occ, Run: keepRun, Mult: r.Mult * total})
 		}
 	}
 	out.Rows = mergeRows(out.Rows)
@@ -501,7 +604,7 @@ type projTargets struct {
 // memoized whole-class existence pass prunes them before any per-row
 // descent, so the cost tracks matches rather than rows × classes.
 func (x *evalContext) projExpand(seg *Segment, srcCol int, pt *projTargets, srcDies bool) []*Segment {
-	seg.normalizeCol(len(seg.Classes) - 1) // runs only survive on the trailing column
+	x.normalizeSeg(seg) // runs only survive on the trailing column
 	var out []*Segment
 	for di, dst := range pt.classes {
 		curs, keep := pt.curs[di], pt.keep[di]
@@ -556,7 +659,7 @@ func (x *evalContext) projAlias(t *Table, srcCol int, newVar string, srcDies, ta
 		return nil
 	}
 	for _, seg := range t.Segs {
-		seg.normalizeCol(len(seg.Classes) - 1)
+		x.normalizeSeg(seg)
 		seg.Classes = append(seg.Classes, seg.Classes[srcCol])
 		for i := range seg.Rows {
 			seg.Rows[i].Occ = append(seg.Rows[i].Occ, seg.Rows[i].Occ[srcCol])
@@ -597,15 +700,16 @@ func indexOfTable(tables []*Table, t *Table) int {
 	panic("core: table not registered")
 }
 
-// nonEmptySpans returns (memoized) the spans of src-class occurrences
-// that have at least one descendant at dst along the chain.
-func (e *Engine) nonEmptySpans(src, dst skeleton.ClassID, curs []*skeleton.Cursor) []span {
+// nonEmptySpansHit returns (memoized) the spans of src-class occurrences
+// that have at least one descendant at dst along the chain, and whether
+// the answer came from the memo.
+func (e *Engine) nonEmptySpansHit(src, dst skeleton.ClassID, curs []*skeleton.Cursor) ([]span, bool) {
 	key := [2]skeleton.ClassID{src, dst}
 	e.memoMu.Lock()
 	s, ok := e.spanMemo[key]
 	e.memoMu.Unlock()
 	if ok {
-		return s
+		return s, true
 	}
 	total := e.Classes.Count(src)
 	if len(curs) == 0 {
@@ -619,17 +723,22 @@ func (e *Engine) nonEmptySpans(src, dst skeleton.ClassID, curs []*skeleton.Curso
 	}
 	e.spanMemo[key] = s
 	e.memoMu.Unlock()
-	return s
+	return s, false
 }
 
 // cursorsBetween memoizes the cursor chain from src down to dst.
 func (e *Engine) cursorsBetween(src, dst skeleton.ClassID) []*skeleton.Cursor {
+	c, _ := e.cursorsBetweenHit(src, dst)
+	return c
+}
+
+func (e *Engine) cursorsBetweenHit(src, dst skeleton.ClassID) ([]*skeleton.Cursor, bool) {
 	key := [2]skeleton.ClassID{src, dst}
 	e.memoMu.Lock()
 	c, ok := e.chainMemo[key]
 	e.memoMu.Unlock()
 	if ok {
-		return c
+		return c, true
 	}
 	c = e.chainCursors(e.chainBetween(src, dst))
 	e.memoMu.Lock()
@@ -638,7 +747,7 @@ func (e *Engine) cursorsBetween(src, dst skeleton.ClassID) []*skeleton.Cursor {
 	}
 	e.chainMemo[key] = c
 	e.memoMu.Unlock()
-	return c
+	return c, false
 }
 
 // spanContains reports whether sorted spans cover position p.

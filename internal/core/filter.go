@@ -106,9 +106,12 @@ type selChain struct {
 // selChains resolves the chains of a filter operation. For selections the
 // target classes extend to their text child; element targets without text
 // anywhere are skipped (they can never satisfy a value comparison).
-func (e *Engine) selChains(src skeleton.ClassID, op qgraph.Op, wantText bool) []selChain {
+// It is an evalContext method so memoized target resolutions count toward
+// the evaluation's MemoHits.
+func (x *evalContext) selChains(src skeleton.ClassID, op qgraph.Op, wantText bool) []selChain {
+	e := x.e
 	var out []selChain
-	for _, dst := range e.resolveTargets(src, op.Path) {
+	for _, dst := range x.resolveTargets(src, op.Path) {
 		target := dst
 		if wantText {
 			target = e.textTarget(dst)
@@ -138,11 +141,12 @@ func (x *evalContext) opSel(op qgraph.Op) error {
 		return err
 	}
 	for si, seg := range t.Segs {
-		chains := x.e.selChains(seg.Classes[col], op, true)
+		chains := x.selChains(seg.Classes[col], op, true)
 		var keep []span
 		rest := chains[:0]
 		for _, sc := range chains {
 			if s, ok := x.e.indexedSpans(seg, col, sc, op.Cmp, op.Value); ok {
+				x.stats.IndexHits++
 				keep = unionSpans(keep, s)
 				continue
 			}
@@ -170,7 +174,7 @@ func (x *evalContext) opExists(op qgraph.Op) error {
 		return err
 	}
 	for si, seg := range t.Segs {
-		chains := x.e.selChains(seg.Classes[col], op, false)
+		chains := x.selChains(seg.Classes[col], op, false)
 		var keep []span
 		for _, sc := range chains {
 			for _, r := range seg.Rows {

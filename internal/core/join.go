@@ -32,8 +32,8 @@ func (x *evalContext) gatherVals(t *Table, col int, steps []xq.Step, op qgraph.O
 	var out []rowVals
 	nworkers := x.e.workers()
 	for si, seg := range t.Segs {
-		seg.normalizeCol(len(seg.Classes) - 1)
-		chains := x.e.selChains(seg.Classes[col], qgraph.Op{Path: steps}, true)
+		x.normalizeSeg(seg)
+		chains := x.selChains(seg.Classes[col], qgraph.Op{Path: steps}, true)
 		perRow := make([]rowVals, len(seg.Rows))
 		for ri := range seg.Rows {
 			perRow[ri].ref = rowRef{si, ri}
@@ -139,7 +139,7 @@ func (x *evalContext) indexProbeJoin(lt, rt *Table, rcol int, op qgraph.Op, lval
 		return nil, false, nil
 	}
 	seg := rt.Segs[0]
-	chains := x.e.selChains(seg.Classes[rcol], qgraph.Op{Path: op.RPath}, true)
+	chains := x.selChains(seg.Classes[rcol], qgraph.Op{Path: op.RPath}, true)
 	if len(chains) != 1 {
 		return nil, false, nil
 	}
@@ -148,7 +148,8 @@ func (x *evalContext) indexProbeJoin(lt, rt *Table, rcol int, op qgraph.Op, lval
 	if !ok {
 		return nil, false, nil
 	}
-	seg.normalizeCol(len(seg.Classes) - 1)
+	x.stats.IndexHits++
+	x.normalizeSeg(seg)
 	// Map right-variable occurrences to row indices.
 	occRow := make(map[int64]int, len(seg.Rows))
 	for ri, r := range seg.Rows {
@@ -268,7 +269,7 @@ func (x *evalContext) joinMerge(lt, rt *Table, lvals, rvals []rowVals, cmp xq.Cm
 func (x *evalContext) mergePairs(lt, rt *Table, pairs []pair) error {
 	// The left table's trailing runs become middle columns: normalize.
 	for _, seg := range lt.Segs {
-		seg.normalizeCol(len(seg.Classes) - 1)
+		x.normalizeSeg(seg)
 	}
 	merged := &Table{Vars: append(append([]string{}, lt.Vars...), rt.Vars...)}
 	segIndex := map[[2]int]*Segment{}

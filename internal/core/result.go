@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"vxml/internal/qgraph"
 	"vxml/internal/skeleton"
@@ -88,9 +89,27 @@ func (e *Engine) EvalToDir(ctx context.Context, plan *qgraph.Plan, dir string, p
 // final counters are published as the engine's Stats snapshot (also on
 // error, so a failed query still reports what it touched).
 func (e *Engine) evalWithSink(ctx context.Context, plan *qgraph.Plan, sink vectorize.Sink) (*skeleton.Skeleton, error) {
+	return e.evalWithSinkTraced(ctx, plan, sink, nil)
+}
+
+// evalWithSinkTraced is evalWithSink with optional per-op tracing: when
+// trace is non-nil every plan op and the final result-emission phase
+// record wall time and counter deltas into it. Process-wide obs totals
+// are published either way.
+func (e *Engine) evalWithSinkTraced(ctx context.Context, plan *qgraph.Plan, sink vectorize.Sink, trace *Trace) (skel *skeleton.Skeleton, err error) {
 	x := newEvalContext(e, ctx)
-	defer func() { e.setStats(x.stats) }()
-	if err := x.run(plan); err != nil {
+	x.trace = trace
+	start := time.Now()
+	defer func() {
+		e.setStats(x.stats)
+		wall := time.Since(start)
+		if trace != nil {
+			trace.Wall = wall
+			trace.Total = x.stats
+		}
+		publishObs(x.stats, wall, err)
+	}()
+	if err = x.run(plan); err != nil {
 		return nil, err
 	}
 	rb := &resultBuilder{
@@ -101,11 +120,26 @@ func (e *Engine) evalWithSink(ctx context.Context, plan *qgraph.Plan, sink vecto
 		chains:  make(map[[2]skeleton.ClassID][]*skeleton.Cursor),
 		cursors: make(map[skeleton.ClassID]*skeleton.NodeCursor),
 	}
-	if err := rb.emitAll(plan); err != nil {
+	var emitStart time.Time
+	var before EvalStats
+	if trace != nil {
+		emitStart, before = time.Now(), x.stats
+	}
+	if err = rb.emitAll(plan); err != nil {
 		return nil, err
 	}
 	root := rb.builder.Make(e.Syms.Intern(plan.ResultTag), rb.rootEdges)
-	return rb.builder.Finish(root), nil
+	skel = rb.builder.Finish(root)
+	if trace != nil {
+		trace.Ops = append(trace.Ops, OpTrace{
+			Op:       "emit " + plan.ResultTag,
+			Kind:     "emit",
+			Wall:     time.Since(emitStart),
+			Stats:    x.stats.delta(before),
+			LiveRows: x.liveRows(),
+		})
+	}
+	return skel, nil
 }
 
 // resultBuilder holds result-construction state for one evaluation.

@@ -129,6 +129,14 @@ func (ev *Evaluator) evalSteps(ctx []*xmlmodel.Node, steps []xq.Step) ([]*xmlmod
 				ev.collectDescendants(n, s.Name, false, &next)
 			}
 		}
+		if s.Axis == xq.Descendant && len(ctx) > 1 {
+			// A descendant step over a context holding both an ancestor and
+			// one of its descendants reaches the shared subtree once per
+			// context node. Path results are node-sets (each node once), so
+			// deduplicate — this matches both XPath semantics and the
+			// engine's class-set resolution of chained '//' steps.
+			next = dedupNodes(next)
+		}
 		if len(s.Quals) > 0 {
 			var kept []*xmlmodel.Node
 			for _, n := range next {
@@ -145,6 +153,20 @@ func (ev *Evaluator) evalSteps(ctx []*xmlmodel.Node, steps []xq.Step) ([]*xmlmod
 		ctx = next
 	}
 	return ctx, nil
+}
+
+// dedupNodes removes repeated nodes keeping first occurrences (contexts
+// arrive ancestors-first, so first occurrences are in document order).
+func dedupNodes(nodes []*xmlmodel.Node) []*xmlmodel.Node {
+	seen := make(map[*xmlmodel.Node]bool, len(nodes))
+	out := nodes[:0]
+	for _, n := range nodes {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // collectDescendants gathers descendant elements matching name;

@@ -106,3 +106,18 @@ func TestUnboundVariableError(t *testing.T) {
 		t.Error("expected error for unbound variable")
 	}
 }
+
+// TestDescendantNodeSet: path results are node-sets — a node reachable
+// through several '//' intermediate ancestors appears once, matching
+// XPath semantics and the engine's class-set resolution of chained
+// descendant steps.
+func TestDescendantNodeSet(t *testing.T) {
+	doc := `<root><d><d><d>x</d></d></d></root>`
+	got := eval(t, doc, `for $x in /root//d//d return $x`)
+	// Matches: the middle d (via the outer d) and the innermost d
+	// (reachable via both outer d's — still one node).
+	want := `<result><d><d>x</d></d><d>x</d></result>`
+	if got != want {
+		t.Errorf("got %s\nwant %s", got, want)
+	}
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.b") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	snap := r.Snapshot()
+	if snap["a.b"] != 5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	r.Reset()
+	if c.Load() != 0 {
+		t.Fatal("reset did not zero the counter")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for i := 0; i < 99; i++ {
+		h.Observe(50 * time.Microsecond) // first bucket (<=100µs)
+	}
+	h.Observe(3 * time.Second) // overflow bucket
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Quantile(0.5); got != 100 {
+		t.Fatalf("p50 = %dµs, want 100", got)
+	}
+	if got := h.Quantile(0.99); got != 100 {
+		t.Fatalf("p99 = %dµs, want 100 (99 of 100 in first bucket)", got)
+	}
+	if got := h.Quantile(1.0); got != 3_000_000 {
+		t.Fatalf("p100 = %dµs, want exact max 3000000", got)
+	}
+	snap := r.Snapshot()
+	if snap["lat.count"] != 100 || snap["lat.max_us"] != 3_000_000 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if snap["lat.sum_us"] != 99*50+3_000_000 {
+		t.Fatalf("sum_us = %d", snap["lat.sum_us"])
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewRegistry().Histogram("x")
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+// TestExpvarPublished: the default registry is visible on /debug/vars as
+// the "vx" variable and marshals to JSON.
+func TestExpvarPublished(t *testing.T) {
+	GetCounter("test.expvar").Inc()
+	v := expvar.Get("vx")
+	if v == nil {
+		t.Fatal("expvar key vx not published")
+	}
+	var m map[string]int64
+	if err := json.Unmarshal([]byte(v.String()), &m); err != nil {
+		t.Fatalf("vx is not JSON: %v\n%s", err, v.String())
+	}
+	if m["test.expvar"] < 1 {
+		t.Fatalf("published snapshot missing counter: %v", m)
+	}
+}

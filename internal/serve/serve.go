@@ -1,0 +1,310 @@
+// Package serve is the HTTP serving surface over one vectorized
+// repository: POST /query evaluates XQ queries (JSON in, JSON out, with
+// optional per-op traces), GET /metrics exposes the obs registry, and
+// /debug/pprof and /debug/vars mount the stdlib profiling handlers. One
+// engine is built per request (the engine-per-query serving pattern from
+// the concurrency work), so requests never share mutable state beyond
+// the repository's own concurrency-safe read path.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"vxml/internal/core"
+	"vxml/internal/obs"
+	"vxml/internal/qgraph"
+	"vxml/internal/vectorize"
+	"vxml/internal/xq"
+)
+
+// Config configures a Server. Zero values mean: no request timeout cap,
+// no slow-query log, log to the standard logger.
+type Config struct {
+	Repo *vectorize.Repository
+	// Workers is the per-query scan worker pool size (core.Options.Workers).
+	Workers int
+	// Timeout caps each request's evaluation time; requests may ask for
+	// less via timeout_ms but never more. 0 = no cap.
+	Timeout time.Duration
+	// SlowQuery logs any query slower than this. 0 disables the log.
+	SlowQuery time.Duration
+	// Log receives slow-query and server lifecycle lines; nil uses the
+	// process default logger.
+	Log *log.Logger
+}
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	Query string `json:"query"`
+	// TimeoutMS caps this request's evaluation; it is clipped to the
+	// server's Timeout when that is set.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Trace asks for the per-op trace in the response.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// QueryStats mirrors core.EvalStats in the response.
+type QueryStats struct {
+	VectorsOpened int   `json:"vectors_opened"`
+	ValuesScanned int64 `json:"values_scanned"`
+	RowsProduced  int64 `json:"rows_produced"`
+	Tuples        int64 `json:"tuples"`
+	RunsExpanded  int64 `json:"runs_expanded"`
+	IndexHits     int64 `json:"index_hits"`
+	MemoHits      int64 `json:"memo_hits"`
+}
+
+// QueryResponse is the POST /query reply.
+type QueryResponse struct {
+	Result    string     `json:"result"`
+	ElapsedUS int64      `json:"elapsed_us"`
+	Stats     QueryStats `json:"stats"`
+	Trace     []OpTrace  `json:"trace,omitempty"`
+}
+
+// OpTrace is one traced plan operation in the response.
+type OpTrace struct {
+	Op       string     `json:"op"`
+	Kind     string     `json:"kind"`
+	WallUS   int64      `json:"wall_us"`
+	LiveRows int64      `json:"live_rows"`
+	Stats    QueryStats `json:"stats"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server serves queries over one repository.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	obsRequests *obs.Counter
+	obsErrors   *obs.Counter
+	obsSlow     *obs.Counter
+	obsLatency  *obs.Histogram
+}
+
+// New builds a Server for cfg. cfg.Repo must be non-nil.
+func New(cfg Config) *Server {
+	if cfg.Log == nil {
+		cfg.Log = log.Default()
+	}
+	s := &Server{
+		cfg:         cfg,
+		mux:         http.NewServeMux(),
+		obsRequests: obs.GetCounter("serve.requests"),
+		obsErrors:   obs.GetCounter("serve.request_errors"),
+		obsSlow:     obs.GetCounter("serve.slow_queries"),
+		obsLatency:  obs.GetHistogram("serve.request_duration"),
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	return s
+}
+
+// Handler returns the server's routing handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Run serves on ln until ctx is cancelled, then shuts down gracefully
+// (in-flight requests get drainTimeout to finish). It returns nil on a
+// clean shutdown.
+func (s *Server) Run(ctx context.Context, ln net.Listener) error {
+	const drainTimeout = 5 * time.Second
+	srv := &http.Server{
+		Handler: s.mux,
+		BaseContext: func(net.Listener) context.Context {
+			// Request contexts descend from ctx, so cancelling the server
+			// cancels every in-flight evaluation too.
+			return ctx
+		},
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		err := srv.Shutdown(shutCtx)
+		<-errc // Serve returns ErrServerClosed after Shutdown
+		return err
+	}
+}
+
+// ListenAndRun listens on addr and calls Run. The actual address (useful
+// with ":0") is logged and also sent on ready when non-nil.
+func (s *Server) ListenAndRun(ctx context.Context, addr string, ready chan<- net.Addr) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.cfg.Log.Printf("serve: listening on %s", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	return s.Run(ctx, ln)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// handleMetrics serves the obs registry snapshot as a flat JSON object.
+// Keys are stable and values monotonic, so scrapers can diff snapshots.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(obs.Snapshot())
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	s.obsRequests.Inc()
+	req, err := decodeQueryRequest(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := xq.Parse(req.Query)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	plan, err := qgraph.Build(q)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx := r.Context()
+	timeout := s.cfg.Timeout
+	if req.TimeoutMS > 0 {
+		if reqTO := time.Duration(req.TimeoutMS) * time.Millisecond; timeout == 0 || reqTO < timeout {
+			timeout = reqTO
+		}
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	eng := core.NewRepoEngine(s.cfg.Repo, core.Options{Workers: s.cfg.Workers})
+	res, tr, err := eng.EvalTraced(ctx, plan)
+	elapsed := time.Since(start)
+	s.obsLatency.Observe(elapsed)
+	if s.cfg.SlowQuery > 0 && elapsed > s.cfg.SlowQuery {
+		s.obsSlow.Inc()
+		s.cfg.Log.Printf("serve: slow query (%s > %s): %s", elapsed.Round(time.Millisecond), s.cfg.SlowQuery, compactQuery(req.Query))
+	}
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			status = http.StatusGatewayTimeout
+		}
+		s.fail(w, status, err)
+		return
+	}
+	var xml strings.Builder
+	if err := vectorize.ReconstructXML(res.Skel, res.Classes, res.Vectors, res.Syms, &xml); err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := QueryResponse{
+		Result:    xml.String(),
+		ElapsedUS: elapsed.Microseconds(),
+		Stats:     toQueryStats(tr.Total),
+	}
+	if req.Trace {
+		for _, op := range tr.Ops {
+			resp.Trace = append(resp.Trace, OpTrace{
+				Op:       op.Op,
+				Kind:     op.Kind,
+				WallUS:   op.Wall.Microseconds(),
+				LiveRows: op.LiveRows,
+				Stats:    toQueryStats(op.Stats),
+			})
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// decodeQueryRequest accepts either a JSON QueryRequest body or a raw XQ
+// query as plain text (curl-friendly).
+func decodeQueryRequest(r *http.Request) (QueryRequest, error) {
+	const maxBody = 1 << 20
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		return QueryRequest{}, err
+	}
+	if len(body) > maxBody {
+		return QueryRequest{}, fmt.Errorf("request body exceeds %d bytes", maxBody)
+	}
+	trimmed := strings.TrimSpace(string(body))
+	if strings.HasPrefix(trimmed, "{") {
+		var req QueryRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return QueryRequest{}, fmt.Errorf("bad JSON body: %w", err)
+		}
+		if strings.TrimSpace(req.Query) == "" {
+			return QueryRequest{}, errors.New("empty query")
+		}
+		return req, nil
+	}
+	if trimmed == "" {
+		return QueryRequest{}, errors.New("empty query")
+	}
+	return QueryRequest{Query: trimmed}, nil
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	s.obsErrors.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}
+
+func toQueryStats(s core.EvalStats) QueryStats {
+	return QueryStats{
+		VectorsOpened: s.VectorsOpened,
+		ValuesScanned: s.ValuesScanned,
+		RowsProduced:  s.RowsProduced,
+		Tuples:        s.Tuples,
+		RunsExpanded:  s.RunsExpanded,
+		IndexHits:     s.IndexHits,
+		MemoHits:      s.MemoHits,
+	}
+}
+
+// compactQuery folds a query onto one log line.
+func compactQuery(q string) string {
+	return strings.Join(strings.Fields(q), " ")
+}

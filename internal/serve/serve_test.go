@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vxml/internal/vectorize"
+)
+
+const bibXML = `<bib>
+  <book><publisher>SBP</publisher><author>RH</author><title>Curation</title></book>
+  <book><publisher>SBP</publisher><author>RH</author><title>XML</title></book>
+  <book><publisher>AW</publisher><author>SB</author><title>AXML</title></book>
+</bib>`
+
+// startServer builds a disk repository in a temp dir, starts a Server on
+// an ephemeral port, and returns its base URL plus the cancel func and a
+// channel that yields Run's return value after shutdown.
+func startServer(t *testing.T, cfg Config) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	if cfg.Repo == nil {
+		dir := filepath.Join(t.TempDir(), "repo")
+		repo, err := vectorize.Create(strings.NewReader(bibXML), dir, vectorize.Options{})
+		if err != nil {
+			t.Fatalf("create repo: %v", err)
+		}
+		t.Cleanup(func() { repo.Close() })
+		cfg.Repo = repo
+	}
+	if cfg.Log == nil {
+		cfg.Log = log.New(io.Discard, "", 0)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := New(cfg)
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndRun(ctx, "127.0.0.1:0", ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr.String(), cancel, done
+	case err := <-done:
+		cancel()
+		t.Fatalf("server exited before ready: %v", err)
+		return "", nil, nil
+	}
+}
+
+func postQuery(t *testing.T, base string, req QueryRequest) (*http.Response, QueryResponse) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /query: %v", err)
+	}
+	defer resp.Body.Close()
+	var qr QueryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp, qr
+}
+
+func scrapeMetrics(t *testing.T, base string) map[string]int64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var m map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decode metrics: %v", err)
+	}
+	return m
+}
+
+// TestServeQueryEndToEnd: one query over the HTTP surface returns the
+// right XML, sane stats, and a trace when asked for one.
+func TestServeQueryEndToEnd(t *testing.T) {
+	base, cancel, done := startServer(t, Config{})
+	defer func() { cancel(); <-done }()
+
+	resp, qr := postQuery(t, base, QueryRequest{
+		Query: `for $b in /bib/book where $b/publisher = 'SBP' return $b/title`,
+		Trace: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	want := `<result><title>Curation</title><title>XML</title></result>`
+	if qr.Result != want {
+		t.Errorf("result = %s, want %s", qr.Result, want)
+	}
+	if qr.Stats.Tuples != 2 {
+		t.Errorf("tuples = %d, want 2", qr.Stats.Tuples)
+	}
+	if len(qr.Trace) == 0 {
+		t.Error("trace requested but empty")
+	} else if last := qr.Trace[len(qr.Trace)-1]; last.Kind != "emit" {
+		t.Errorf("last trace op kind = %q, want emit", last.Kind)
+	}
+
+	// Plain-text bodies are accepted too (curl-friendly).
+	resp2, err := http.Post(base+"/query", "text/plain",
+		strings.NewReader(`for $b in /bib/book return $b/title`))
+	if err != nil {
+		t.Fatalf("POST plain: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("plain-text query status = %d", resp2.StatusCode)
+	}
+
+	// Bad queries are 400s, not 500s.
+	respBad, _ := postQuery(t, base, QueryRequest{Query: `for $b in`})
+	if respBad.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad query status = %d, want 400", respBad.StatusCode)
+	}
+}
+
+// TestServeConcurrentQueries fires parallel queries at one server (the
+// engine-per-request pattern) and then checks /metrics monotonicity: the
+// request counter must have advanced by at least the queries sent, and no
+// counter may ever decrease between scrapes.
+func TestServeConcurrentQueries(t *testing.T) {
+	base, cancel, done := startServer(t, Config{Workers: 2})
+	defer func() { cancel(); <-done }()
+
+	before := scrapeMetrics(t, base)
+
+	const clients, perClient = 8, 5
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			queries := []string{
+				`for $b in /bib/book where $b/publisher = 'SBP' return $b/title`,
+				`for $b in /bib/book return $b/author`,
+				`for $x in /bib/*//title return $x`,
+			}
+			for i := 0; i < perClient; i++ {
+				q := queries[(c+i)%len(queries)]
+				body, _ := json.Marshal(QueryRequest{Query: q})
+				resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					b, _ := io.ReadAll(resp.Body)
+					errs <- fmt.Errorf("query %q: status %d: %s", q, resp.StatusCode, b)
+				}
+				resp.Body.Close()
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	after := scrapeMetrics(t, base)
+	const sent = clients * perClient
+	if got := after["serve.requests"] - before["serve.requests"]; got < sent {
+		t.Errorf("serve.requests advanced by %d, want >= %d", got, sent)
+	}
+	if got := after["core.queries"] - before["core.queries"]; got < sent {
+		t.Errorf("core.queries advanced by %d, want >= %d", got, sent)
+	}
+	for k, v := range before {
+		if a, ok := after[k]; !ok {
+			t.Errorf("metric %s disappeared between scrapes", k)
+		} else if a < v {
+			t.Errorf("metric %s decreased: %d -> %d", k, v, a)
+		}
+	}
+}
+
+// TestServeCleanShutdown: cancelling the context makes ListenAndRun return
+// nil (graceful drain), and the port stops accepting connections.
+func TestServeCleanShutdown(t *testing.T) {
+	base, cancel, done := startServer(t, Config{})
+
+	if resp, err := http.Get(base + "/healthz"); err != nil {
+		t.Fatalf("healthz: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ListenAndRun returned %v after cancel, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down within 10s of cancel")
+	}
+
+	if _, err := net.DialTimeout("tcp", strings.TrimPrefix(base, "http://"), time.Second); err == nil {
+		t.Error("listener still accepting connections after shutdown")
+	}
+}
+
+// TestServeTimeout: a request-level timeout that cannot possibly be met
+// surfaces as 504, and is capped by the server-level timeout.
+func TestServeTimeout(t *testing.T) {
+	base, cancel, done := startServer(t, Config{})
+	defer func() { cancel(); <-done }()
+
+	// timeout_ms=0 means "no request cap"; 1ms may or may not finish on a
+	// tiny doc, so only assert the status set, not a specific outcome.
+	resp, _ := postQuery(t, base, QueryRequest{
+		Query:     `for $b in /bib/book return $b`,
+		TimeoutMS: 1,
+	})
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("status = %d, want 200 or 504", resp.StatusCode)
+	}
+}

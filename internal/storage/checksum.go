@@ -60,8 +60,10 @@ func verifyPage(buf []byte) error {
 	if !verifyPages.Load() {
 		return nil
 	}
+	obsCkVerified.Inc()
 	want := binary.LittleEndian.Uint32(buf[PageDataSize:PageSize])
 	if got := Checksum(buf[:PageDataSize]); got != want {
+		obsCkFailures.Inc()
 		return fmt.Errorf("page checksum mismatch (stored %08x, computed %08x): %w", want, got, ErrCorrupt)
 	}
 	return nil

@@ -89,6 +89,7 @@ func (f *File) ensureOpen() error {
 			return fmt.Errorf("storage: reopen %s: %w", f.path, err)
 		}
 		f.f = osf
+		obsFDReopens.Inc()
 	}
 	if f.gate == nil {
 		return nil
@@ -113,6 +114,7 @@ func (f *File) park() bool {
 	if f.f != nil {
 		f.f.Close()
 		f.f = nil
+		obsFDParks.Inc()
 	}
 	return true
 }

@@ -64,10 +64,12 @@ func (p *BufferPool) Get(f *File, pageNo int64) (*Frame, error) {
 			fr.elem = nil
 		}
 		atomic.AddInt64(&p.stats.Hits, 1)
+		obsPoolHits.Inc()
 		p.mu.Unlock()
 		return fr, nil
 	}
 	atomic.AddInt64(&p.stats.Misses, 1)
+	obsPoolMisses.Inc()
 	fr, err := p.newFrameLocked(key, f)
 	if err != nil {
 		p.mu.Unlock()
@@ -77,6 +79,7 @@ func (p *BufferPool) Get(f *File, pageNo int64) (*Frame, error) {
 	// an empty frame. I/O under a mutex is coarse, but eviction writes
 	// already happen here and the engine is sequential per query.
 	atomic.AddInt64(&p.stats.PagesRead, 1)
+	obsPoolReads.Inc()
 	if err := f.readPage(pageNo, fr.full); err != nil {
 		p.mu.Unlock()
 		p.release(fr, false)
@@ -132,8 +135,10 @@ func (p *BufferPool) newFrameLocked(key pageKey, f *File) (*Frame, error) {
 		vf.elem = nil
 		delete(p.frames, vf.key)
 		atomic.AddInt64(&p.stats.Evictions, 1)
+		obsPoolEvictions.Inc()
 		if vf.dirty {
 			atomic.AddInt64(&p.stats.PagesWrite, 1)
+			obsPoolWrites.Inc()
 			if err := vf.file.writePage(vf.key.page, vf.full); err != nil {
 				return nil, err
 			}
@@ -185,6 +190,7 @@ func (p *BufferPool) Flush() error {
 	for _, fr := range p.frames {
 		if fr.dirty {
 			atomic.AddInt64(&p.stats.PagesWrite, 1)
+			obsPoolWrites.Inc()
 			if err := fr.file.writePage(fr.key.page, fr.full); err != nil {
 				return err
 			}
@@ -208,6 +214,7 @@ func (p *BufferPool) DropFile(f *File) error {
 		}
 		if fr.dirty {
 			atomic.AddInt64(&p.stats.PagesWrite, 1)
+			obsPoolWrites.Inc()
 			if err := fr.file.writePage(fr.key.page, fr.full); err != nil {
 				return err
 			}

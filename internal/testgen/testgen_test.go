@@ -1,0 +1,111 @@
+package testgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"vxml/internal/qgraph"
+	"vxml/internal/vectorize"
+	"vxml/internal/xmlmodel"
+	"vxml/internal/xq"
+)
+
+// TestQueriesStayInPlannerFragment: every generated query must parse and
+// plan. A planner rejection means the generator stepped outside the
+// supported fragment (nested qualifiers, qualifiers in conditions, ...),
+// which would silently shrink differential coverage.
+func TestQueriesStayInPlannerFragment(t *testing.T) {
+	cfg := DefaultQueryConfig()
+	sawUnordered, sawOrdered, sawTemplate, sawQual := false, false, false, false
+	for seed := int64(0); seed < 2000; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		q := NewQuery(r, cfg)
+		parsed, err := xq.Parse(q.Src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\nquery: %s", seed, err, q.Src)
+		}
+		if _, err := qgraph.Build(parsed); err != nil {
+			t.Fatalf("seed %d: plan: %v\nquery: %s", seed, err, q.Src)
+		}
+		if q.Ordered {
+			sawOrdered = true
+		} else {
+			sawUnordered = true
+		}
+		sawTemplate = sawTemplate || strings.Contains(q.Src, "<item>")
+		sawQual = sawQual || strings.Contains(q.Src, "[")
+	}
+	if !sawOrdered || !sawUnordered || !sawTemplate || !sawQual {
+		t.Errorf("coverage gap: ordered=%v unordered=%v template=%v qualifier=%v",
+			sawOrdered, sawUnordered, sawTemplate, sawQual)
+	}
+}
+
+// TestOrderedFlagIsSound: a query marked Ordered must contain no '*' or
+// '//' anywhere and its bindings must form a chain (each rooted at the
+// variable bound immediately before it) — exactly the constructs that let
+// the engine permute results relative to FLWR nested-loop order.
+func TestOrderedFlagIsSound(t *testing.T) {
+	cfg := DefaultQueryConfig()
+	for seed := int64(5000); seed < 7000; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		q := NewQuery(r, cfg)
+		hasUnorderedStep := strings.Contains(q.Src, "//") || strings.Contains(q.Src, "*")
+		parsed, err := xq.Parse(q.Src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\nquery: %s", seed, err, q.Src)
+		}
+		chain := true
+		for i, b := range parsed.Bindings {
+			if i > 0 && b.Term.Var != parsed.Bindings[i-1].Var {
+				chain = false
+			}
+		}
+		if q.Ordered && (hasUnorderedStep || !chain) {
+			t.Fatalf("seed %d: marked ordered but unordered-shaped (steps=%v chain=%v): %s",
+				seed, hasUnorderedStep, chain, q.Src)
+		}
+		if !q.Ordered && !hasUnorderedStep && chain {
+			t.Fatalf("seed %d: marked unordered but chain-shaped child-axis: %s", seed, q.Src)
+		}
+	}
+}
+
+// TestDocsVectorizeAndRunCompress: every generated document vectorizes,
+// and the MaxRun knob actually produces consecutive same-tag sibling runs
+// (the run-compressible shape) in a healthy fraction of documents.
+func TestDocsVectorizeAndRunCompress(t *testing.T) {
+	cfg := DefaultDocConfig()
+	withRuns := 0
+	const docs = 200
+	for seed := int64(0); seed < docs; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		syms := xmlmodel.NewSymbols()
+		tree := Doc(r, cfg, syms)
+		if _, err := vectorize.FromTree(tree, syms); err != nil {
+			t.Fatalf("seed %d: vectorize: %v", seed, err)
+		}
+		if hasSiblingRun(tree) {
+			withRuns++
+		}
+	}
+	if withRuns < docs/2 {
+		t.Errorf("only %d/%d documents contain a same-tag sibling run; run knob is not biting", withRuns, docs)
+	}
+}
+
+func hasSiblingRun(n *xmlmodel.Node) bool {
+	for i := 1; i < len(n.Kids); i++ {
+		a, b := n.Kids[i-1], n.Kids[i]
+		if !a.IsText() && !b.IsText() && a.Tag == b.Tag {
+			return true
+		}
+	}
+	for _, k := range n.Kids {
+		if hasSiblingRun(k) {
+			return true
+		}
+	}
+	return false
+}

@@ -319,6 +319,8 @@ func (p *CompressedPaged) loadPage(cache *inflateCache, pageNo int64) error {
 		rd.Close()
 	}
 	p.pool.Unpin(fr, false)
+	obsPagesScanned.Inc()
+	obsBytesInflated.Add(int64(len(cache.data)))
 	cache.page, cache.idx, cache.n = pageNo, firstIdx, nrecs
 	return nil
 }

@@ -190,6 +190,7 @@ func (p *Paged) Scan(start, n int64, fn func(pos int64, val []byte) error) error
 		if err != nil {
 			return err
 		}
+		obsPagesScanned.Inc()
 		firstIdx := int64(binary.LittleEndian.Uint64(fr.Data[0:8]))
 		nrecs := int(binary.LittleEndian.Uint16(fr.Data[8:10]))
 		used := int(binary.LittleEndian.Uint16(fr.Data[10:12]))
