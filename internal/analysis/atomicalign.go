@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+var atomic64Re = regexp.MustCompile(`^(Add|Load|Store|Swap|CompareAndSwap)(Int64|Uint64)$`)
+
+// AtomicAlign flags 64-bit sync/atomic operations on struct fields that are
+// not 8-byte aligned under 32-bit (GOARCH=386) layout. On those platforms a
+// misaligned 64-bit atomic panics at runtime; the fix is to move the field
+// to the front of the struct or switch to atomic.Int64/atomic.Uint64, whose
+// alignment the compiler guarantees.
+func AtomicAlign() *Analyzer {
+	a := &Analyzer{
+		Name: "atomicalign",
+		Doc:  "64-bit atomics on struct fields must be 8-aligned under 32-bit layout",
+	}
+	sizes := types.SizesFor("gc", "386")
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.TypesInfo, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" ||
+					!atomic64Re.MatchString(fn.Name()) || len(call.Args) == 0 {
+					return true
+				}
+				// The address argument: &x.field on a plain (non-embedded)
+				// struct field is the case 32-bit layout can misalign.
+				unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok {
+					return true
+				}
+				selExpr, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := pass.TypesInfo.Selections[selExpr]
+				if !ok || len(sel.Index()) != 1 {
+					return true
+				}
+				recv := sel.Recv()
+				if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+					recv = ptr.Elem()
+				}
+				st, ok := recv.Underlying().(*types.Struct)
+				if !ok {
+					return true
+				}
+				fields := make([]*types.Var, st.NumFields())
+				for i := range fields {
+					fields[i] = st.Field(i)
+				}
+				offsets := sizes.Offsetsof(fields)
+				idx := sel.Index()[0]
+				if off := offsets[idx]; off%8 != 0 {
+					pass.Reportf(selExpr.Pos(),
+						"atomic.%s on field %s at 32-bit offset %d (not 8-aligned); move the field first in the struct or use atomic.%s",
+						fn.Name(), sel.Obj().Name(), off, atomicTypeFor(fn.Name()))
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func atomicTypeFor(fnName string) string {
+	if m := atomic64Re.FindStringSubmatch(fnName); m != nil {
+		return m[2]
+	}
+	return "Int64"
+}

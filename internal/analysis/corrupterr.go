@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// corruptMsgRe recognizes error messages describing corrupt input bytes.
+// These are exactly the errors the durability contract (DESIGN.md) requires
+// to wrap storage.ErrCorrupt so that callers can distinguish hostile bytes
+// from I/O failures.
+var corruptMsgRe = regexp.MustCompile(`(?i)corrupt|truncated|checksum|bad magic|malformed|` +
+	`(length|count|size|magic|version) mismatch|` +
+	`invalid (page|frame|record|header|magic|footer|trailer|count|length|version)|` +
+	`short (page|frame|record|file|footer|trailer)`)
+
+// CorruptErr enforces the decode-error contract in the storage, vector and
+// vectorize packages: errors describing corrupt bytes must wrap
+// storage.ErrCorrupt (fmt.Errorf with %w), and no panic may be reachable
+// from hostile input (//vx:unreachable records the exceptions).
+func CorruptErr() *Analyzer {
+	a := &Analyzer{
+		Name:  "corrupterr",
+		Doc:   "decode-path errors must wrap storage.ErrCorrupt; no panic on hostile bytes",
+		Scope: []string{"internal/storage", "internal/vector", "internal/vectorize"},
+	}
+	a.Run = func(pass *Pass) error {
+		ann := NewAnnotations(pass.Fset, pass.Files)
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					switch {
+					case isBuiltin(pass.TypesInfo, call, "panic"):
+						if _, ok := ann.Marked(call.Pos(), "unreachable"); !ok {
+							pass.Reportf(call.Pos(), "panic in decode path: return an error wrapping storage.ErrCorrupt or annotate //vx:unreachable")
+						}
+					case isPkgFunc(pass.TypesInfo, call, "fmt", "Errorf"):
+						if len(call.Args) == 0 {
+							return true
+						}
+						format, ok := constString(pass.TypesInfo, call.Args[0])
+						if !ok || !corruptMsgRe.MatchString(format) {
+							return true
+						}
+						if !strings.Contains(format, "%w") {
+							pass.Reportf(call.Pos(), "corruption error %q must wrap storage.ErrCorrupt (add %%w)", format)
+						}
+					case isPkgFunc(pass.TypesInfo, call, "errors", "New"):
+						if len(call.Args) != 1 {
+							return true
+						}
+						msg, ok := constString(pass.TypesInfo, call.Args[0])
+						if ok && corruptMsgRe.MatchString(msg) {
+							pass.Reportf(call.Pos(), "corruption error %q cannot wrap storage.ErrCorrupt; use fmt.Errorf with %%w", msg)
+						}
+					}
+					return true
+				})
+			}
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CtxPoll enforces the cancellation contract in internal/core (PR 2): hot
+// loops poll ctx.Err() on the cancelCheckStride cadence. Three rules:
+//
+//  1. Raw VectorSet.Vector opens (x.Vectors.Vector(...)) bypass the
+//     cancel-polling wrapper; they need a //vx:rawvector justification on
+//     the enclosing function.
+//  2. The literal 4096 must not appear outside the cancelCheckStride
+//     declaration, so the cadence stays defined in exactly one place.
+//  3. An unbounded `for { ... }` loop must contain a context poll (any
+//     call into package context, e.g. ctx.Err() or ctx.Done()).
+func CtxPoll() *Analyzer {
+	a := &Analyzer{
+		Name:  "ctxpoll",
+		Doc:   "hot loops in internal/core poll ctx on the cancelCheckStride cadence",
+		Scope: []string{"internal/core"},
+	}
+	a.Run = func(pass *Pass) error {
+		// Exempt the 4096 inside `const cancelCheckStride = 4096` itself.
+		exempt := make(map[ast.Node]bool)
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				spec, ok := n.(*ast.ValueSpec)
+				if !ok {
+					return true
+				}
+				for _, name := range spec.Names {
+					if name.Name == "cancelCheckStride" {
+						for _, v := range spec.Values {
+							ast.Inspect(v, func(m ast.Node) bool {
+								if lit, ok := m.(*ast.BasicLit); ok {
+									exempt[lit] = true
+								}
+								return true
+							})
+						}
+					}
+				}
+				return true
+			})
+		}
+		ann := NewAnnotations(pass.Fset, pass.Files)
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				_, rawOK := DocAnnotation(fn.Doc, "rawvector")
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.CallExpr:
+						if isRawVectorOpen(n) && !rawOK {
+							pass.Reportf(n.Pos(), "raw Vectors.Vector open bypasses the cancel-polling wrapper; annotate the function //vx:rawvector with a justification")
+						}
+					case *ast.BasicLit:
+						if n.Value == "4096" && !exempt[n] {
+							pass.Reportf(n.Pos(), "literal 4096: use cancelCheckStride so the polling cadence is defined once")
+						}
+					case *ast.ForStmt:
+						if n.Cond == nil && !pollsContext(pass, n.Body) {
+							if _, ok := ann.Marked(n.Pos(), "unreachable"); !ok {
+								pass.Reportf(n.Pos(), "unbounded for-loop without a context poll; check ctx.Err() on the cancelCheckStride cadence")
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// isRawVectorOpen matches the syntactic shape <expr>.Vectors.Vector(...).
+func isRawVectorOpen(call *ast.CallExpr) bool {
+	outer, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || outer.Sel.Name != "Vector" {
+		return false
+	}
+	inner, ok := ast.Unparen(outer.X).(*ast.SelectorExpr)
+	return ok && inner.Sel.Name == "Vectors"
+}
+
+// pollsContext reports whether body contains any call into package context
+// (ctx.Err(), ctx.Done(), context.Cause, ...).
+func pollsContext(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FsyncOrder enforces the commit-order half of the durability contract
+// (DESIGN.md): in any function that renames a file into place, the file's
+// contents must have been fsynced first (a Sync, WriteFileAtomic or
+// CommitStore call lexically before the first Rename) and the parent
+// directory must be fsynced after (SyncDir after the last Rename).
+// Functions named Rename (filesystem-interface implementations that
+// delegate) are exempt, as are functions annotated //vx:presynced, which
+// records where the earlier sync happened.
+func FsyncOrder() *Analyzer {
+	a := &Analyzer{
+		Name:  "fsyncorder",
+		Doc:   "commit paths Sync before Rename and fsync the directory after",
+		Scope: []string{"internal/storage", "internal/vectorize"},
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || fn.Name.Name == "Rename" {
+					continue
+				}
+				if _, ok := DocAnnotation(fn.Doc, "presynced"); ok {
+					continue
+				}
+				var firstRename, lastRename token.Pos = token.NoPos, token.NoPos
+				var syncBefore, dirSyncAfter bool
+				// Two passes: locate the renames, then order the syncs
+				// around them.
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if sel := lastSelName(call); sel == "Rename" {
+						if firstRename == token.NoPos {
+							firstRename = call.Pos()
+						}
+						lastRename = call.Pos()
+					}
+					return true
+				})
+				if firstRename == token.NoPos {
+					continue
+				}
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					switch lastSelName(call) {
+					case "Sync", "WriteFileAtomic", "CommitStore":
+						if call.Pos() < firstRename {
+							syncBefore = true
+						}
+					case "SyncDir", "syncDir":
+						if call.Pos() > lastRename {
+							dirSyncAfter = true
+						}
+					}
+					return true
+				})
+				if !syncBefore {
+					pass.Reportf(firstRename, "Rename without a preceding Sync: contents may be lost on crash (annotate //vx:presynced if synced elsewhere)")
+				}
+				if !dirSyncAfter {
+					pass.Reportf(lastRename, "Rename without a following directory fsync (SyncDir)")
+				}
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// lastSelName returns the called method/function name: Rename for both
+// os.Rename(...) and fs.Rename(...).
+func lastSelName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

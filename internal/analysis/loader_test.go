@@ -1,0 +1,33 @@
+package analysis
+
+import "testing"
+
+// The loader must type-check a real repo package — including its stdlib
+// dependency closure — with full type information.
+func TestLoaderTypechecksRepoPackage(t *testing.T) {
+	l, roots, err := NewLoader("../..", []string{"./internal/obs"})
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if len(roots) != 1 {
+		t.Fatalf("roots = %v, want exactly one", roots)
+	}
+	pkg, err := l.Load(roots[0])
+	if err != nil {
+		t.Fatalf("Load(%s): %v", roots[0], err)
+	}
+	if pkg.Types == nil || pkg.Types.Name() != "obs" {
+		t.Fatalf("loaded package %v, want package obs with types", pkg.Types)
+	}
+	if pkg.Types.Scope().Lookup("GetCounter") == nil {
+		t.Error("package obs should export GetCounter")
+	}
+	// Memoization: loading again returns the same package object.
+	again, err := l.Load(roots[0])
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if again != pkg {
+		t.Error("Load is not memoized")
+	}
+}

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockGuard checks the `// guarded by <mu>` field annotation: every access
+// to an annotated field must occur while its mutex is held. The analysis is
+// a lexical simulation per function — Lock/RLock calls on <mu> raise a hold
+// count, Unlock/RUnlock lower it (deferred unlocks hold to function end),
+// and each guarded-field access requires a positive count. Mutexes are
+// matched by field name (e.mu and c.mu both count as "mu"), which is exact
+// for the sibling-field idiom the annotation documents.
+//
+// Escape hatches: a //vx:locked <mu> doc annotation declares that every
+// caller already holds <mu>; constructors (New*, new*, init, a value not
+// yet shared) are exempt.
+func LockGuard() *Analyzer {
+	a := &Analyzer{
+		Name: "lockguard",
+		Doc:  "fields annotated `// guarded by <mu>` are only touched with the mutex held",
+	}
+	a.Run = func(pass *Pass) error {
+		guarded := collectGuarded(pass)
+		if len(guarded) == 0 {
+			return nil
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || isConstructor(fn.Name.Name) {
+					continue
+				}
+				checkFunc(pass, fn, guarded)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// collectGuarded maps each annotated field object to its mutex name.
+func collectGuarded(pass *Pass) map[*types.Var]string {
+	guarded := make(map[*types.Var]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := GuardedBy(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guarded[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+func isConstructor(name string) bool {
+	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") || name == "init"
+}
+
+type lockEvent struct {
+	pos   token.Pos
+	delta int    // +1 lock, -1 unlock, 0 access
+	mu    string // mutex name (lock/unlock) or guarding mutex (access)
+	field string // accessed field name, for the diagnostic
+}
+
+// checkFunc simulates lock state through fn in source order.
+func checkFunc(pass *Pass, fn *ast.FuncDecl, guarded map[*types.Var]string) {
+	// Deferred calls release at function end, not at their lexical spot.
+	deferred := make(map[*ast.CallExpr]bool)
+	// Composite-literal keys are initialization, not shared access.
+	litKeys := make(map[*ast.Ident]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						litKeys[id] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	var events []lockEvent
+	// Selector field idents also appear in Uses; count each access once.
+	selIdents := make(map[*ast.Ident]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			var delta int
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				delta = 1
+			case "Unlock", "RUnlock":
+				if deferred[n] {
+					return true // held to function end
+				}
+				delta = -1
+			default:
+				return true
+			}
+			if mu := lastIdent(sel.X); mu != nil {
+				events = append(events, lockEvent{pos: n.Pos(), delta: delta, mu: mu.Name})
+			}
+		case *ast.SelectorExpr:
+			selIdents[n.Sel] = true
+			selInfo, ok := pass.TypesInfo.Selections[n]
+			if !ok {
+				return true
+			}
+			obj, ok := selInfo.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			if mu, ok := guarded[obj]; ok {
+				events = append(events, lockEvent{pos: n.Sel.Pos(), mu: mu, field: obj.Name()})
+			}
+		case *ast.Ident:
+			if litKeys[n] || selIdents[n] {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[n].(*types.Var)
+			if !ok {
+				return true
+			}
+			if mu, ok := guarded[obj]; ok {
+				events = append(events, lockEvent{pos: n.Pos(), mu: mu, field: obj.Name()})
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := make(map[string]int)
+	if arg, ok := DocAnnotation(fn.Doc, "locked"); ok {
+		if mu, _, _ := strings.Cut(arg, " "); mu != "" {
+			held[mu]++
+		}
+	}
+	for _, ev := range events {
+		if ev.delta != 0 {
+			held[ev.mu] += ev.delta
+			continue
+		}
+		if held[ev.mu] <= 0 {
+			pass.Reportf(ev.pos, "access to %s (guarded by %s) without holding the lock; annotate the function //vx:locked %s if every caller holds it",
+				ev.field, ev.mu, ev.mu)
+		}
+	}
+}

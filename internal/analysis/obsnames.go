@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// obsNameRe is the registry naming convention: dotted lowercase segments,
+// which /metrics normalizes to vx_<pkg>_<name>. The first segment must be
+// the registering package's name so that dashboards group by subsystem.
+var obsNameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$`)
+
+// ObsNames checks every obs.GetCounter / obs.GetHistogram registration:
+// the name must be a constant string matching the vx_<pkg>_<name>
+// convention, its first segment must equal the package name, each name is
+// registered exactly once, and registration happens at package scope
+// (package-level var or init) so counters are process-global, not
+// re-created per value.
+func ObsNames() *Analyzer {
+	a := &Analyzer{
+		Name: "obsnames",
+		Doc:  "obs metric names follow vx_<pkg>_<name> and register exactly once at package scope",
+	}
+	a.Run = func(pass *Pass) error {
+		// Positions of registration calls that occur at package scope:
+		// inside a package-level var declaration or an init function.
+		atPkgScope := make(map[*ast.CallExpr]bool)
+		mark := func(n ast.Node) {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					atPkgScope[call] = true
+				}
+				return true
+			})
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.GenDecl:
+					mark(d)
+				case *ast.FuncDecl:
+					if d.Name.Name == "init" && d.Recv == nil && d.Body != nil {
+						mark(d.Body)
+					}
+				}
+			}
+		}
+		seen := make(map[string]bool)
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				isCtr := isPkgFunc(pass.TypesInfo, call, "obs", "GetCounter")
+				isHist := isPkgFunc(pass.TypesInfo, call, "obs", "GetHistogram")
+				if (!isCtr && !isHist) || len(call.Args) == 0 {
+					return true
+				}
+				name, ok := constString(pass.TypesInfo, call.Args[0])
+				if !ok {
+					pass.Reportf(call.Pos(), "metric name must be a constant string")
+					return true
+				}
+				if !obsNameRe.MatchString(name) {
+					pass.Reportf(call.Pos(), "metric name %q does not match the <pkg>.<dotted_name> convention", name)
+					return true
+				}
+				if first := name[:indexByte(name, '.')]; first != pass.Pkg.Name() {
+					pass.Reportf(call.Pos(), "metric name %q: first segment must be the package name %q", name, pass.Pkg.Name())
+				}
+				if seen[name] {
+					pass.Reportf(call.Pos(), "metric %q registered more than once", name)
+				}
+				seen[name] = true
+				if !atPkgScope[call] {
+					pass.Reportf(call.Pos(), "metric %q registered outside a package-level var or init; re-registration per value hides process totals", name)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// indexByte is strings.IndexByte without the import; the regexp above
+// guarantees at least one dot before this is called.
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return len(s)
+}

@@ -1,0 +1,14 @@
+package analysis
+
+// Suite returns every analyzer in the repository's invariant suite, in the
+// order vxlint runs them.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		AtomicAlign(),
+		CorruptErr(),
+		CtxPoll(),
+		FsyncOrder(),
+		LockGuard(),
+		ObsNames(),
+	}
+}

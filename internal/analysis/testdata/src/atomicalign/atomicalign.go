@@ -1,0 +1,29 @@
+// Fixture for the atomicalign analyzer: 64-bit atomics on struct fields
+// that 32-bit (GOARCH=386) layout leaves misaligned.
+package atomicalign
+
+import "sync/atomic"
+
+// counts puts a bool first, so under 32-bit layout n lands at offset 4 and
+// m at offset 12 — both misaligned for 64-bit atomics.
+type counts struct {
+	ready bool
+	n     int64
+	m     uint64
+}
+
+// ok64 keeps the 64-bit field first: offset 0 on every platform.
+type ok64 struct {
+	n    int64
+	flag bool
+}
+
+func bump(c *counts) {
+	atomic.AddInt64(&c.n, 1)  // want `not 8-aligned`
+	atomic.AddUint64(&c.m, 1) // want `not 8-aligned`
+}
+
+func bumpOK(o *ok64) int64 {
+	atomic.AddInt64(&o.n, 1)
+	return atomic.LoadInt64(&o.n)
+}

@@ -1,0 +1,40 @@
+// Fixture for the corrupterr analyzer: decode-path errors must wrap
+// storage.ErrCorrupt, and panics need a //vx:unreachable justification.
+package corrupterr
+
+import (
+	"errors"
+	"fmt"
+
+	"storage"
+)
+
+const pageMagic = 0x56
+
+// decodeBad shows all three violations.
+func decodeBad(b []byte) error {
+	if len(b) < 4 {
+		return fmt.Errorf("truncated page header: %d bytes", len(b)) // want `corruption error .* must wrap storage\.ErrCorrupt`
+	}
+	if b[0] != pageMagic {
+		panic("bad magic") // want `panic in decode path`
+	}
+	return errors.New("checksum mismatch") // want `corruption error .* cannot wrap storage\.ErrCorrupt`
+}
+
+// decodeGood is the compliant twin: wrapped errors, annotated panic.
+func decodeGood(b []byte) error {
+	if len(b) < 4 {
+		return fmt.Errorf("truncated page header (%d bytes): %w", len(b), storage.ErrCorrupt)
+	}
+	if b[0] != pageMagic {
+		//vx:unreachable callers validate the magic before decode
+		panic("bad magic")
+	}
+	return nil
+}
+
+// wrongLength is an ordinary error, not a corruption message: not flagged.
+func wrongLength(n int) error {
+	return fmt.Errorf("need %d workers", n)
+}

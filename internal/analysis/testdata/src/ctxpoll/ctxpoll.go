@@ -1,0 +1,58 @@
+// Fixture for the ctxpoll analyzer: raw vector opens need //vx:rawvector,
+// the 4096 cadence lives only in cancelCheckStride, and unbounded loops
+// must poll the context.
+package ctxpoll
+
+import "context"
+
+const cancelCheckStride = 4096
+
+type vector struct{}
+
+type vecSet struct{}
+
+func (v *vecSet) Vector(name string) *vector { return &vector{} }
+
+type engine struct {
+	Vectors *vecSet
+}
+
+func open(e *engine) *vector {
+	return e.Vectors.Vector("elem") // want `raw Vectors\.Vector open`
+}
+
+//vx:rawvector index build opens outside an evaluation; no ctx in scope
+func openSanctioned(e *engine) *vector {
+	return e.Vectors.Vector("elem")
+}
+
+func strideCopy() int {
+	return 4096 // want `literal 4096`
+}
+
+func spin(ctx context.Context, ch chan int) int {
+	n := 0
+	for { // want `unbounded for-loop without a context poll`
+		v, ok := <-ch
+		if !ok {
+			return n
+		}
+		n += v
+	}
+}
+
+func spinPolled(ctx context.Context, ch chan int) (int, error) {
+	n := 0
+	for {
+		if n%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return n, err
+			}
+		}
+		v, ok := <-ch
+		if !ok {
+			return n, nil
+		}
+		n += v
+	}
+}

@@ -1,0 +1,55 @@
+// Fixture for the fsyncorder analyzer: commit paths fsync file contents
+// before the rename and the directory after it.
+package fsyncorder
+
+import (
+	"os"
+	"path/filepath"
+)
+
+type file interface {
+	Sync() error
+	Close() error
+}
+
+// fsys delegates Rename: filesystem implementations are exempt by name.
+type fsys struct{}
+
+func (fsys) Rename(from, to string) error { return os.Rename(from, to) }
+
+// commitBad renames without syncing the file first or the directory after.
+func commitBad(f file, tmp, dst string) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, dst) // want `Rename without a preceding Sync` `Rename without a following directory fsync`
+}
+
+// commitGood is the full crash-safe sequence.
+func commitGood(f file, tmp, dst string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		return err
+	}
+	return SyncDir(filepath.Dir(dst))
+}
+
+//vx:presynced contents were fsynced by CommitStore before promotion
+func promote(tmp, dst string) error {
+	return os.Rename(tmp, dst)
+}
+
+// SyncDir fsyncs a directory so a rename within it is durable.
+func SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,49 @@
+// Fixture for the lockguard analyzer: `// guarded by mu` fields are only
+// touched with mu held.
+package lockguard
+
+import "sync"
+
+type cache struct {
+	mu      sync.Mutex
+	entries map[string]int // guarded by mu
+	hits    int            // guarded by mu
+}
+
+// get holds the lock across both guarded accesses: clean.
+func (c *cache) get(k string) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.entries[k]
+	if ok {
+		c.hits++
+	}
+	return v, ok
+}
+
+// size reads a guarded field with no lock: flagged.
+func (c *cache) size() int {
+	return len(c.entries) // want `access to entries \(guarded by mu\) without holding the lock`
+}
+
+// put locks and unlocks inline (no defer): clean.
+func (c *cache) put(k string, v int) {
+	c.mu.Lock()
+	c.entries[k] = v
+	c.mu.Unlock()
+}
+
+//vx:locked mu callers hold mu across the compaction loop
+func (c *cache) compactLocked() {
+	for k, v := range c.entries {
+		if v == 0 {
+			delete(c.entries, k)
+		}
+	}
+}
+
+// newCache is a constructor: the value is not shared yet, so writing the
+// guarded field without the lock is fine.
+func newCache() *cache {
+	return &cache{entries: make(map[string]int)}
+}

@@ -1,0 +1,21 @@
+// Package obs is a fixture stub standing in for vxml/internal/obs: the
+// registration entry points the obsnames analyzer watches.
+package obs
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ n int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Histogram records a distribution.
+type Histogram struct{}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {}
+
+// GetCounter registers (or fetches) the named counter.
+func GetCounter(name string) *Counter { return &Counter{} }
+
+// GetHistogram registers (or fetches) the named histogram.
+func GetHistogram(name string) *Histogram { return &Histogram{} }

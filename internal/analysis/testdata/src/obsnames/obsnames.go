@@ -1,0 +1,18 @@
+// Fixture for the obsnames analyzer: metric names are dotted lowercase,
+// start with the package name, register once, and register at package scope.
+package obsnames
+
+import "obs"
+
+var (
+	requests = obs.GetCounter("obsnames.requests")
+	latency  = obs.GetHistogram("obsnames.latency_us")
+	errors   = obs.GetCounter("server.errors")     // want `first segment must be the package name`
+	hits     = obs.GetCounter("ObsNames.Hits")     // want `does not match the <pkg>\.<dotted_name> convention`
+	dup      = obs.GetCounter("obsnames.requests") // want `registered more than once`
+)
+
+func register(name string) {
+	_ = obs.GetCounter(name)            // want `must be a constant string`
+	_ = obs.GetCounter("obsnames.lazy") // want `registered outside a package-level var or init`
+}
