@@ -164,6 +164,7 @@ func (p *BufferPool) release(fr *Frame, dirty bool) {
 	}
 	fr.pins--
 	if fr.pins < 0 {
+		//vx:unreachable pin accounting is caller misuse, not decoded bytes
 		panic("storage: unbalanced Unpin")
 	}
 	if fr.pins == 0 {
