@@ -126,6 +126,8 @@ func CommitStore(store *storage.Store, skel *skeleton.Skeleton, syms *xmlmodel.S
 // place at dir and fsyncs the parent — the single atomic commit point of a
 // bulk build. dir may pre-exist as an empty directory (a caller's mkdir);
 // anything non-empty is refused rather than clobbered.
+//
+//vx:presynced CommitStore fsynced every file in the build dir before promotion
 func PromoteBuild(fsys storage.FS, building, dir string) error {
 	if entries, err := fsys.ReadDir(dir); err == nil {
 		if len(entries) > 0 {
