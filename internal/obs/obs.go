@@ -109,8 +109,8 @@ func (h *Histogram) Quantile(q float64) int64 {
 // call NewRegistry (or use Default).
 type Registry struct {
 	mu    sync.Mutex
-	ctrs  map[string]*Counter
-	hists map[string]*Histogram
+	ctrs  map[string]*Counter   // guarded by mu
+	hists map[string]*Histogram // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

@@ -46,7 +46,7 @@ type Classes struct {
 	infos []classInfo
 
 	mu       sync.Mutex             // guards the lazy fields below and in classInfo
-	descMemo map[[2]int32][]ClassID // (class, step) -> descendant classes
+	descMemo map[[2]int32][]ClassID // (class, step) -> descendants; guarded by mu
 }
 
 // NewClasses builds the class registry for a skeleton.
