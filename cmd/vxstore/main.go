@@ -197,6 +197,7 @@ func cmdQuery(args []string) error {
 	file := fs.String("f", "", "read the query from a file")
 	var explain explainFlag
 	fs.Var(&explain, "explain", "print the plan instead of the result; =analyze runs the query and annotates per-op timings and counters")
+	check := fs.Bool("check", false, "statically check the query against the repository's path catalog without evaluating; exit 1 if it is unsatisfiable")
 	stats := fs.Bool("stats", false, "print evaluation statistics to stderr")
 	parallel := fs.Int("parallel", 1, "serve the query N times from concurrent goroutines (per-query engines)")
 	workers := fs.Int("workers", 0, "intra-query scan worker pool size (0 = GOMAXPROCS)")
@@ -240,6 +241,18 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	defer repo.Close()
+	if *check {
+		// Parse + static validation only: every path edge of the query
+		// graph is matched against the path catalog; nothing is evaluated
+		// and no vector is opened.
+		eng := core.NewRepoEngine(repo, core.Options{})
+		sc := eng.CheckPlan(plan)
+		fmt.Println(sc.String())
+		if sc.Empty {
+			return fmt.Errorf("query is statically empty")
+		}
+		return nil
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc

@@ -88,16 +88,16 @@ type Engine struct {
 	Syms    *xmlmodel.Symbols
 	Opts    Options
 
-	memoMu     sync.Mutex // guards the skeleton-derived memos below
-	targetMemo map[string][]skeleton.ClassID
-	spanMemo   map[[2]skeleton.ClassID][]span
-	chainMemo  map[[2]skeleton.ClassID][]*skeleton.Cursor
+	memoMu     sync.Mutex                                 // guards the skeleton-derived memos below
+	targetMemo map[string][]skeleton.ClassID              // guarded by memoMu
+	spanMemo   map[[2]skeleton.ClassID][]span             // guarded by memoMu
+	chainMemo  map[[2]skeleton.ClassID][]*skeleton.Cursor // guarded by memoMu
 
-	idxMu   sync.RWMutex // guards indexes
-	indexes map[skeleton.ClassID]*VectorIndex
+	idxMu   sync.RWMutex                      // guards indexes
+	indexes map[skeleton.ClassID]*VectorIndex // guarded by idxMu
 
 	statsMu   sync.Mutex
-	lastStats EvalStats
+	lastStats EvalStats // guarded by statsMu
 }
 
 // NewEngine returns an engine over a vectorized document.
@@ -168,6 +168,8 @@ func newEvalContext(e *Engine, ctx context.Context) *evalContext {
 // long chunked scans are exactly where a query spends its time, so this
 // one choke point bounds cancellation latency for every operation.
 // Background contexts get the raw vector: no per-value overhead.
+//
+//vx:rawvector this IS the cancel-polling wrapper every other open goes through
 func (x *evalContext) vectorFor(c skeleton.ClassID) (vector.Vector, error) {
 	if v, ok := x.vecs[c]; ok {
 		return v, nil
@@ -377,6 +379,15 @@ func (x *evalContext) opBind(op qgraph.Op) error {
 // other root; "//author" selects author elements anywhere, including the
 // root itself if it is named author.
 func (e *Engine) resolveFromDoc(steps []xq.Step) []skeleton.ClassID {
+	return e.resolveFromDocFunc(steps, e.resolveTargets)
+}
+
+// resolveFromDocFunc is resolveFromDoc with the relative-path resolver as a
+// parameter: evaluation passes the memoizing resolveTargets, while the
+// static checker (CheckPlan) passes resolveTargetsUncached so that checking
+// a plan never warms the engine's memo caches — a pre-warmed memo would
+// change the MemoHits counters of the evaluation that follows.
+func (e *Engine) resolveFromDocFunc(steps []xq.Step, resolve func(skeleton.ClassID, []xq.Step) []skeleton.ClassID) []skeleton.ClassID {
 	if len(steps) == 0 {
 		return nil
 	}
@@ -401,7 +412,7 @@ func (e *Engine) resolveFromDoc(steps []xq.Step) []skeleton.ClassID {
 	}
 	set := map[skeleton.ClassID]bool{}
 	for _, s := range seeds {
-		for _, t := range e.resolveTargets(s, rest) {
+		for _, t := range resolve(s, rest) {
 			set[t] = true
 		}
 	}

@@ -22,6 +22,8 @@ type VectorIndex struct {
 // BuildVectorIndex sorts one vector's values. Load-time work: build
 // indexes before serving queries. Concurrent builds are safe (the last
 // build of a path wins); queries started before a build may not see it.
+//
+//vx:rawvector index builds run outside any evaluation, with no ctx in scope
 func (e *Engine) BuildVectorIndex(path string) (*VectorIndex, error) {
 	cls := e.Classes.Resolve(path)
 	if cls == skeleton.NoClass {

@@ -109,6 +109,17 @@ func (e *Engine) evalWithSinkTraced(ctx context.Context, plan *qgraph.Plan, sink
 		}
 		publishObs(x.stats, wall, err)
 	}()
+	if sc := e.CheckPlan(plan); sc.Empty {
+		// Statically unsatisfiable: some path edge matches no catalog
+		// path, so the result is a bare root — emitted here without
+		// running a single op or opening a single vector.
+		obsStaticEmpty.Inc()
+		if trace != nil {
+			trace.Static = sc
+		}
+		b := skeleton.NewBuilder()
+		return b.Finish(b.Make(e.Syms.Intern(plan.ResultTag), nil)), nil
+	}
 	if err = x.run(plan); err != nil {
 		return nil, err
 	}

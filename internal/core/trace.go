@@ -31,6 +31,9 @@ type Trace struct {
 	Ops   []OpTrace
 	Wall  time.Duration // whole-evaluation wall time
 	Total EvalStats     // final counters (equals the sum of op deltas)
+	// Static is set when the static checker short-circuited the query:
+	// no ops ran and the counters are all zero.
+	Static *StaticCheck
 }
 
 // String renders the trace with timings — the EXPLAIN ANALYZE body.
@@ -43,8 +46,8 @@ func (t *Trace) Redacted() string { return t.render(true) }
 
 // render emits one line pair per op with a fixed field order:
 //
-//	 1. sel $b/publisher = 'SBP'
-//	    time=182µs scanned=604 rows=+0 live-rows=1 tuples=0 vectors=+1 runs-expanded=0 index-hits=0 memo-hits=0
+//  1. sel $b/publisher = 'SBP'
+//     time=182µs scanned=604 rows=+0 live-rows=1 tuples=0 vectors=+1 runs-expanded=0 index-hits=0 memo-hits=0
 //
 // followed by a total line. The field set and order are stable API for
 // tests and tooling.
@@ -55,6 +58,9 @@ func (t *Trace) render(redact bool) string {
 			return "-"
 		}
 		return d.Round(time.Microsecond).String()
+	}
+	if t.Static != nil && t.Static.Empty {
+		fmt.Fprintf(&b, "statically empty: %s\n", t.Static.Reason)
 	}
 	for i, op := range t.Ops {
 		fmt.Fprintf(&b, "%2d. %s\n", i+1, op.Op)
@@ -70,10 +76,16 @@ func (t *Trace) render(redact bool) string {
 
 // Explain renders the plan as the engine will execute it, without running
 // it: the query graph's ordered reduce steps plus the output variables.
+// When the static checker proves the plan unsatisfiable against this
+// repository's path catalog, a "statically empty" line says so — the plan
+// would short-circuit without opening a vector.
 func (e *Engine) Explain(plan *qgraph.Plan) string {
 	var b strings.Builder
 	b.WriteString("plan:\n")
 	b.WriteString(plan.String())
+	if sc := e.CheckPlan(plan); sc.Empty {
+		fmt.Fprintf(&b, "\nstatic: statically empty: %s", sc.Reason)
+	}
 	return b.String()
 }
 
@@ -120,6 +132,8 @@ var (
 	obsMemoHit  = obs.GetCounter("core.memo_hits")
 	obsRunsExp  = obs.GetCounter("core.runs_expanded")
 	obsQueryDur = obs.GetHistogram("core.query_duration")
+	// obsStaticEmpty counts queries the static checker short-circuited.
+	obsStaticEmpty = obs.GetCounter("core.static_empty")
 
 	obsOpCount = map[qgraph.OpKind]*obs.Counter{
 		qgraph.OpBind:   obs.GetCounter("core.ops.bind"),

@@ -1,0 +1,66 @@
+package qgraph
+
+import (
+	"fmt"
+
+	"vxml/internal/xq"
+)
+
+// A PathEdge is one path-labelled edge of the query graph, extracted from
+// the plan for static checking: the step sequence an operation must be able
+// to traverse through the repository's path catalog for the query to
+// produce anything. Because every plan operation is conjunctive (a bind,
+// projection, selection, existence test, or join can only narrow the
+// instantiation set), a single edge with no matching catalog path makes the
+// whole query statically empty.
+type PathEdge struct {
+	// OpIndex is the position in Plan.Ops this edge came from.
+	OpIndex int
+	Kind    OpKind
+	// Src is the variable the path starts from; "" for a document-rooted
+	// bind. Dst is the variable the edge introduces (bind/proj), else "".
+	Src string
+	Dst string
+	// Path is the edge's step sequence. It may be empty (a join or
+	// selection on the variable's own value).
+	Path []xq.Step
+	// Value reports that the edge compares text values (sel/join): its
+	// targets must have text children, not merely exist.
+	Value bool
+}
+
+// String renders the edge the way the plan renders the operation it came
+// from, e.g. "bind $b := doc/bib/book" or "join $a/title".
+func (pe PathEdge) String() string {
+	switch pe.Kind {
+	case OpBind:
+		return fmt.Sprintf("bind %s := doc%s", pe.Dst, pathString(pe.Path))
+	case OpProj:
+		return fmt.Sprintf("proj %s := %s%s", pe.Dst, pe.Src, pathString(pe.Path))
+	default:
+		return fmt.Sprintf("%s %s%s", pe.Kind, pe.Src, pathString(pe.Path))
+	}
+}
+
+// PathEdges extracts every path edge of the plan, in execution order. Joins
+// contribute two edges (left and right side).
+func (p *Plan) PathEdges() []PathEdge {
+	var edges []PathEdge
+	for i, op := range p.Ops {
+		switch op.Kind {
+		case OpBind:
+			edges = append(edges, PathEdge{OpIndex: i, Kind: OpBind, Dst: op.Var, Path: op.Path})
+		case OpProj:
+			edges = append(edges, PathEdge{OpIndex: i, Kind: OpProj, Src: op.Src, Dst: op.Var, Path: op.Path})
+		case OpSel:
+			edges = append(edges, PathEdge{OpIndex: i, Kind: OpSel, Src: op.Var, Path: op.Path, Value: true})
+		case OpExists:
+			edges = append(edges, PathEdge{OpIndex: i, Kind: OpExists, Src: op.Var, Path: op.Path})
+		case OpJoin:
+			edges = append(edges,
+				PathEdge{OpIndex: i, Kind: OpJoin, Src: op.Var, Path: op.Path, Value: true},
+				PathEdge{OpIndex: i, Kind: OpJoin, Src: op.RVar, Path: op.RPath, Value: true})
+		}
+	}
+	return edges
+}

@@ -1,0 +1,87 @@
+package qgraph
+
+import (
+	"testing"
+
+	"vxml/internal/xq"
+)
+
+func edgesFor(t *testing.T, src string) []PathEdge {
+	t.Helper()
+	q, err := xq.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	plan, err := Build(q)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	return plan.PathEdges()
+}
+
+// Every op kind contributes its path edges, joins two of them, and the
+// rendering matches the plan's own op syntax.
+func TestPathEdges(t *testing.T) {
+	edges := edgesFor(t,
+		`for $b in /bib/book where $b/publisher = 'SBP' return $b/title`)
+	want := []string{
+		"bind $b := doc/bib/book",
+		"sel $b/publisher",
+	}
+	if len(edges) != len(want) {
+		t.Fatalf("got %d edges, want %d: %v", len(edges), len(want), edges)
+	}
+	for i, w := range want {
+		if got := edges[i].String(); got != w {
+			t.Errorf("edge %d = %q, want %q", i, got, w)
+		}
+	}
+	if !edges[1].Value {
+		t.Error("sel edge must be a value edge")
+	}
+	if edges[0].Value {
+		t.Error("bind edge must not be a value edge")
+	}
+}
+
+func TestPathEdgesJoinContributesBothSides(t *testing.T) {
+	edges := edgesFor(t, `for $a in /bib/book, $b in /bib/book
+		where $a/author = $b/author return $a/title`)
+	var joins []PathEdge
+	for _, e := range edges {
+		if e.Kind == OpJoin {
+			joins = append(joins, e)
+		}
+	}
+	if len(joins) != 2 {
+		t.Fatalf("got %d join edges, want 2 (left and right): %v", len(joins), edges)
+	}
+	if joins[0].OpIndex != joins[1].OpIndex {
+		t.Errorf("join edges from different ops: %d vs %d", joins[0].OpIndex, joins[1].OpIndex)
+	}
+	for _, j := range joins {
+		if !j.Value {
+			t.Errorf("join edge %s must be a value edge", j)
+		}
+	}
+}
+
+func TestPathEdgesHiddenVarProjection(t *testing.T) {
+	edges := edgesFor(t, `for $x in /bib/*[author]//title return $x`)
+	want := []string{
+		"bind $.h1 := doc/bib/*",
+		"exists $.h1/author",
+		"proj $x := $.h1//title",
+	}
+	if len(edges) != len(want) {
+		t.Fatalf("got %d edges, want %d: %v", len(edges), len(want), edges)
+	}
+	for i, w := range want {
+		if got := edges[i].String(); got != w {
+			t.Errorf("edge %d = %q, want %q", i, got, w)
+		}
+	}
+	if edges[2].Src != "$.h1" || edges[2].Dst != "$x" {
+		t.Errorf("proj edge src/dst = %q/%q, want $.h1/$x", edges[2].Src, edges[2].Dst)
+	}
+}
