@@ -52,6 +52,11 @@ type QueryRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// Trace asks for the per-op trace in the response.
 	Trace bool `json:"trace,omitempty"`
+	// Check asks for static validation only: the query's path edges are
+	// matched against the repository's path catalog and nothing is
+	// evaluated. The response carries the per-edge report in result and
+	// the verdict in statically_empty.
+	Check bool `json:"check,omitempty"`
 }
 
 // QueryStats mirrors core.EvalStats in the response.
@@ -71,6 +76,10 @@ type QueryResponse struct {
 	ElapsedUS int64      `json:"elapsed_us"`
 	Stats     QueryStats `json:"stats"`
 	Trace     []OpTrace  `json:"trace,omitempty"`
+	// StaticallyEmpty reports the static checker's verdict: the query
+	// matched no catalog path and was answered (or, with Check, would be
+	// answered) without evaluation.
+	StaticallyEmpty bool `json:"statically_empty,omitempty"`
 }
 
 // OpTrace is one traced plan operation in the response.
@@ -90,12 +99,16 @@ type errorResponse struct {
 type Server struct {
 	cfg Config
 	mux *http.ServeMux
-
-	obsRequests *obs.Counter
-	obsErrors   *obs.Counter
-	obsSlow     *obs.Counter
-	obsLatency  *obs.Histogram
 }
+
+// Metrics are process-global (the obs registry aggregates across servers),
+// so they are registered once at package scope, not per Server value.
+var (
+	obsRequests = obs.GetCounter("serve.requests")
+	obsErrors   = obs.GetCounter("serve.request_errors")
+	obsSlow     = obs.GetCounter("serve.slow_queries")
+	obsLatency  = obs.GetHistogram("serve.request_duration")
+)
 
 // New builds a Server for cfg. cfg.Repo must be non-nil.
 func New(cfg Config) *Server {
@@ -103,12 +116,8 @@ func New(cfg Config) *Server {
 		cfg.Log = log.Default()
 	}
 	s := &Server{
-		cfg:         cfg,
-		mux:         http.NewServeMux(),
-		obsRequests: obs.GetCounter("serve.requests"),
-		obsErrors:   obs.GetCounter("serve.request_errors"),
-		obsSlow:     obs.GetCounter("serve.slow_queries"),
-		obsLatency:  obs.GetHistogram("serve.request_duration"),
+		cfg: cfg,
+		mux: http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -185,7 +194,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
-	s.obsRequests.Inc()
+	obsRequests.Inc()
 	req, err := decodeQueryRequest(r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
@@ -199,6 +208,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	plan, err := qgraph.Build(q)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	if req.Check {
+		eng := core.NewRepoEngine(s.cfg.Repo, core.Options{})
+		sc := eng.CheckPlan(plan)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(QueryResponse{
+			Result:          sc.String(),
+			StaticallyEmpty: sc.Empty,
+		})
 		return
 	}
 
@@ -219,9 +239,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	eng := core.NewRepoEngine(s.cfg.Repo, core.Options{Workers: s.cfg.Workers})
 	res, tr, err := eng.EvalTraced(ctx, plan)
 	elapsed := time.Since(start)
-	s.obsLatency.Observe(elapsed)
+	obsLatency.Observe(elapsed)
 	if s.cfg.SlowQuery > 0 && elapsed > s.cfg.SlowQuery {
-		s.obsSlow.Inc()
+		obsSlow.Inc()
 		s.cfg.Log.Printf("serve: slow query (%s > %s): %s", elapsed.Round(time.Millisecond), s.cfg.SlowQuery, compactQuery(req.Query))
 	}
 	if err != nil {
@@ -238,9 +258,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := QueryResponse{
-		Result:    xml.String(),
-		ElapsedUS: elapsed.Microseconds(),
-		Stats:     toQueryStats(tr.Total),
+		Result:          xml.String(),
+		ElapsedUS:       elapsed.Microseconds(),
+		Stats:           toQueryStats(tr.Total),
+		StaticallyEmpty: tr.Static != nil && tr.Static.Empty,
 	}
 	if req.Trace {
 		for _, op := range tr.Ops {
@@ -286,7 +307,7 @@ func decodeQueryRequest(r *http.Request) (QueryRequest, error) {
 }
 
 func (s *Server) fail(w http.ResponseWriter, status int, err error) {
-	s.obsErrors.Inc()
+	obsErrors.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})

@@ -234,3 +234,58 @@ func TestServeTimeout(t *testing.T) {
 		t.Errorf("status = %d, want 200 or 504", resp.StatusCode)
 	}
 }
+
+// TestServeStaticCheck: the check-only request validates without
+// evaluating, and an unsatisfiable evaluated query reports its verdict.
+func TestServeStaticCheck(t *testing.T) {
+	base, cancel, done := startServer(t, Config{})
+	defer func() { cancel(); <-done }()
+
+	// Check-only, satisfiable: a per-edge report, not statically empty.
+	resp, qr := postQuery(t, base, QueryRequest{
+		Query: `for $b in /bib/book return $b/title`,
+		Check: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("check status = %d", resp.StatusCode)
+	}
+	if qr.StaticallyEmpty {
+		t.Errorf("satisfiable query reported statically empty:\n%s", qr.Result)
+	}
+	if !strings.Contains(qr.Result, "bind $b := doc/bib/book") {
+		t.Errorf("check report missing bind edge:\n%s", qr.Result)
+	}
+	if qr.Stats != (QueryStats{}) {
+		t.Errorf("check-only request must not evaluate; stats = %+v", qr.Stats)
+	}
+
+	// Check-only, unsatisfiable.
+	resp, qr = postQuery(t, base, QueryRequest{
+		Query: `for $j in /bib/journal return $j`,
+		Check: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("check status = %d", resp.StatusCode)
+	}
+	if !qr.StaticallyEmpty {
+		t.Errorf("unsatisfiable query not reported statically empty:\n%s", qr.Result)
+	}
+
+	// Full evaluation of the unsatisfiable query: empty result, zero
+	// stats, and the statically_empty marker in the response.
+	resp, qr = postQuery(t, base, QueryRequest{
+		Query: `for $j in /bib/journal return $j`,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("eval status = %d", resp.StatusCode)
+	}
+	if !qr.StaticallyEmpty {
+		t.Error("evaluated unsatisfiable query missing statically_empty marker")
+	}
+	if qr.Stats.VectorsOpened != 0 || qr.Stats.ValuesScanned != 0 {
+		t.Errorf("statically empty eval touched data: %+v", qr.Stats)
+	}
+	if strings.Contains(qr.Result, "<journal") {
+		t.Errorf("result should be empty, got %s", qr.Result)
+	}
+}
