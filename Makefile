@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test race vet bench bench-full fuzz examples clean
+.PHONY: test race vet lint bench bench-full fuzz examples clean
 
 test:
 	go test ./...
@@ -12,6 +12,16 @@ race:
 
 vet:
 	gofmt -l . && go vet ./...
+
+# The full static-analysis gate: the repo's own invariant suite (vxlint,
+# see internal/analysis), formatting, go vet, and — when installed —
+# staticcheck and govulncheck. CI runs this; it must exit 0.
+lint: vet
+	go run ./cmd/vxlint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "lint: staticcheck not installed, skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "lint: govulncheck not installed, skipping"; fi
 
 # The per-table/figure benchmarks at test scale.
 bench:

@@ -43,13 +43,13 @@ type DocConfig struct {
 // repeated siblings.
 func DefaultDocConfig() DocConfig {
 	return DocConfig{
-		RootTag:  "root",
-		Tags:     []string{"a", "b", "c", "d"},
-		Values:   []string{"x", "y", "z", "7", "10", "40"},
-		MaxDepth: 4,
+		RootTag:   "root",
+		Tags:      []string{"a", "b", "c", "d"},
+		Values:    []string{"x", "y", "z", "7", "10", "40"},
+		MaxDepth:  4,
 		MaxGroups: 3,
-		MaxRun:   3,
-		LeafBias: 40,
+		MaxRun:    3,
+		LeafBias:  40,
 	}
 }
 
