@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test race vet lint bench bench-full fuzz examples clean
+.PHONY: test race vet lint bench bench-full bench-snapshot fuzz examples clean
 
 test:
 	go test ./...
@@ -30,6 +30,12 @@ bench:
 # The full-scale experiment suite (Tables 1-3, Figure 8, ablations).
 bench-full:
 	go run ./cmd/vxbench -work bench-work all
+
+# Machine-readable benchmark record for this change: concurrent serving
+# throughput plus the query-scoped telemetry overhead. CI runs this and
+# uploads BENCH_PR5.json as an artifact.
+bench-snapshot:
+	go run ./cmd/vxbench -quick -work bench-work -o BENCH_PR5.json snapshot
 
 fuzz:
 	go test -fuzz FuzzParse -fuzztime 30s ./internal/xq/

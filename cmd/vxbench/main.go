@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	vxbench [-work DIR] [-quick] table1|table2|table3|fig8|ablations|verify|all
+//	vxbench [-work DIR] [-quick] table1|table2|table3|fig8|ablations|verify|snapshot|all
+//
+// The snapshot experiment writes a machine-readable benchmark record
+// (concurrent throughput plus query-scoped telemetry overhead) to the
+// file named by -o, for CI artifact upload and cross-PR comparison.
 //
 // Datasets are generated and vectorized on first use and cached under the
 // work directory, so the first run is slower than subsequent ones.
@@ -28,9 +32,10 @@ func main() {
 	ssRows := flag.Int("ssrows", 0, "SkyServer rows override")
 	ssCols := flag.Int("sscols", 0, "SkyServer columns override")
 	timeout := flag.Duration("timeout", 0, "per-query timeout override")
+	out := flag.String("o", "BENCH_PR5.json", "output file for the snapshot experiment")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: vxbench [flags] table1|table2|table3|fig8|ablations|verify|all")
+		fmt.Fprintln(os.Stderr, "usage: vxbench [flags] table1|table2|table3|fig8|ablations|verify|snapshot|all")
 		os.Exit(2)
 	}
 
@@ -105,6 +110,25 @@ func main() {
 		case "verify":
 			fmt.Println("== VX vs reference interpreter ==")
 			err = h.VerifyVX(os.Stdout)
+		case "snapshot":
+			snap, e := h.Snapshot(bench.KQ1, []int{1, 4, 16}, 48, 51)
+			if e != nil {
+				return e
+			}
+			f, e := os.Create(*out)
+			if e != nil {
+				return e
+			}
+			if e := snap.WriteJSON(f); e != nil {
+				f.Close()
+				return e
+			}
+			if e := f.Close(); e != nil {
+				return e
+			}
+			fmt.Println("== Benchmark snapshot ==")
+			snap.WriteJSON(os.Stdout)
+			fmt.Printf("(written to %s)\n", *out)
 		case "all":
 			for _, sub := range []string{"table1", "table2", "table3", "fig8", "ablations"} {
 				if err := run(sub); err != nil {

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"vxml/internal/core"
+	"vxml/internal/obs"
 	"vxml/internal/qgraph"
 	"vxml/internal/serve"
 	"vxml/internal/vector"
@@ -259,6 +260,9 @@ func cmdQuery(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// Carry the query text so the active-query registry and slow-query
+	// captures show it as typed, not the compiled plan.
+	ctx = obs.WithQueryText(ctx, src)
 	opts := core.Options{Workers: *workers}
 	if explain.analyze {
 		eng := core.NewRepoEngine(repo, opts)
@@ -298,7 +302,9 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "intra-query scan worker pool size (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request evaluation timeout cap (0 = no cap)")
-	slow := fs.Duration("slow", time.Second, "log queries slower than this (0 = off)")
+	slow := fs.Duration("slow", time.Second, "log and capture queries slower than this (0 = off)")
+	slowPages := fs.Int64("slow-pages", 0, "capture queries faulting at least this many pool pages (0 = off)")
+	slowRing := fs.Int("slow-ring", 64, "how many captured slow queries /debug/slow retains")
 	fs.Parse(args)
 	repo, err := openRepo(fs, repoDir, pool)
 	if err != nil {
@@ -308,10 +314,12 @@ func cmdServe(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	srv := serve.New(serve.Config{
-		Repo:      repo,
-		Workers:   *workers,
-		Timeout:   *timeout,
-		SlowQuery: *slow,
+		Repo:         repo,
+		Workers:      *workers,
+		Timeout:      *timeout,
+		SlowQuery:    *slow,
+		SlowPages:    *slowPages,
+		SlowRingSize: *slowRing,
 	})
 	return srv.ListenAndRun(ctx, *addr, nil)
 }

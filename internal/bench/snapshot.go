@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+
+	"vxml/internal/core"
+	"vxml/internal/obs"
+	"vxml/internal/qgraph"
+	"vxml/internal/vectorize"
+	"vxml/internal/xq"
+)
+
+// SnapshotThroughput is one concurrent-throughput measurement in the
+// machine-readable benchmark snapshot.
+type SnapshotThroughput struct {
+	Query      string  `json:"query"`
+	Goroutines int     `json:"goroutines"`
+	Queries    int64   `json:"queries"`
+	ElapsedUS  int64   `json:"elapsed_us"`
+	QPS        float64 `json:"qps"`
+}
+
+// SnapshotTelemetry records the query-scoped telemetry overhead: median
+// evaluation time with the TaskMeter machinery off and on.
+type SnapshotTelemetry struct {
+	Query       string  `json:"query"`
+	Rounds      int     `json:"rounds"`
+	OffMedianUS int64   `json:"off_median_us"`
+	OnMedianUS  int64   `json:"on_median_us"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// Snapshot is the benchmark record written by `make bench-snapshot`
+// (BENCH_PR5.json): concurrent serving throughput plus the per-query
+// telemetry overhead, both on the XMark dataset at the harness scale.
+type Snapshot struct {
+	Throughput []SnapshotThroughput `json:"throughput"`
+	Telemetry  SnapshotTelemetry    `json:"telemetry"`
+}
+
+// Snapshot measures throughput for q at each concurrency level and the
+// telemetry on/off overhead over `rounds` interleaved evaluations.
+func (h *Harness) Snapshot(q QueryID, levels []int, queries, rounds int) (*Snapshot, error) {
+	pts, err := h.ConcurrentSweep(q, levels, queries)
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{}
+	for _, p := range pts {
+		snap.Throughput = append(snap.Throughput, SnapshotThroughput{
+			Query:      string(p.Query),
+			Goroutines: p.Goroutines,
+			Queries:    p.Queries,
+			ElapsedUS:  p.Elapsed.Microseconds(),
+			QPS:        p.QPS(),
+		})
+	}
+	tel, err := h.telemetryOverhead(q, rounds)
+	if err != nil {
+		return nil, err
+	}
+	snap.Telemetry = tel
+	return snap, nil
+}
+
+// telemetryBatch is how many evaluations each overhead round times as
+// one unit: single evaluations are ~100µs at quick scale, well inside
+// scheduler jitter, so per-round batches keep the medians meaningful.
+const telemetryBatch = 16
+
+// telemetryOverhead interleaves telemetry-off and telemetry-on rounds
+// (each a timed batch of evaluations on fresh engines) and reports the
+// median per-evaluation time of each mode.
+func (h *Harness) telemetryOverhead(q QueryID, rounds int) (SnapshotTelemetry, error) {
+	tel := SnapshotTelemetry{Query: string(q), Rounds: rounds}
+	d, err := h.Dataset(DatasetOf(q))
+	if err != nil {
+		return tel, err
+	}
+	repo, err := vectorize.Open(d.RepoDir, vectorize.Options{PoolPages: h.Cfg.PoolPages})
+	if err != nil {
+		return tel, err
+	}
+	defer repo.Close()
+	plan, err := qgraph.Build(xq.MustParse(QuerySources[q]))
+	if err != nil {
+		return tel, err
+	}
+	prev := core.SetTaskTelemetry(false)
+	defer core.SetTaskTelemetry(prev)
+	var off, on []time.Duration
+	for i := 0; i < rounds; i++ {
+		core.SetTaskTelemetry(false)
+		start := time.Now()
+		for j := 0; j < telemetryBatch; j++ {
+			eng := core.NewRepoEngine(repo, core.Options{})
+			if _, err := eng.Eval(context.Background(), plan); err != nil {
+				return tel, err
+			}
+		}
+		off = append(off, time.Since(start)/telemetryBatch)
+
+		core.SetTaskTelemetry(true)
+		start = time.Now()
+		for j := 0; j < telemetryBatch; j++ {
+			eng := core.NewRepoEngine(repo, core.Options{})
+			ctx := obs.WithMeter(context.Background(), &obs.TaskMeter{})
+			if _, err := eng.Eval(ctx, plan); err != nil {
+				return tel, err
+			}
+		}
+		on = append(on, time.Since(start)/telemetryBatch)
+	}
+	median := func(ds []time.Duration) time.Duration {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[len(ds)/2]
+	}
+	o, n := median(off), median(on)
+	tel.OffMedianUS = o.Microseconds()
+	tel.OnMedianUS = n.Microseconds()
+	if o > 0 {
+		tel.OverheadPct = float64(n-o) / float64(o) * 100
+	}
+	return tel, nil
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

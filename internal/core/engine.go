@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"vxml/internal/obs"
 	"vxml/internal/qgraph"
 	"vxml/internal/skeleton"
 	"vxml/internal/vector"
@@ -140,7 +142,8 @@ type evalContext struct {
 	e     *Engine
 	ctx   context.Context
 	stats EvalStats
-	trace *Trace // nil unless this evaluation is being traced
+	trace *Trace         // nil unless this evaluation is being traced
+	meter *obs.TaskMeter // per-query attribution; nil-safe, may be nil
 
 	vecs    map[skeleton.ClassID]vector.Vector // text class -> opened vector
 	tables  []*Table
@@ -154,9 +157,27 @@ func newEvalContext(e *Engine, ctx context.Context) *evalContext {
 	return &evalContext{
 		e:       e,
 		ctx:     ctx,
+		meter:   obs.MeterFrom(ctx),
 		vecs:    make(map[skeleton.ClassID]vector.Vector),
 		varTabs: make(map[string]int),
 	}
+}
+
+// taskTelemetry gates the query-scoped telemetry layer (TaskMeter
+// creation and active-query registration). It exists only so the
+// benchmark harness can measure the layer's cost against the trace
+// budget; production code never turns it off.
+var taskTelemetry atomic.Bool
+
+func init() { taskTelemetry.Store(true) }
+
+// SetTaskTelemetry toggles per-query TaskMeter attribution and
+// active-query registration, returning the previous setting. Benchmark
+// ablation only.
+func SetTaskTelemetry(on bool) bool {
+	prev := taskTelemetry.Load()
+	taskTelemetry.Store(on)
+	return prev
 }
 
 // vectorFor lazily opens the data vector of a text class. It is called
@@ -179,11 +200,15 @@ func (x *evalContext) vectorFor(c skeleton.ClassID) (vector.Vector, error) {
 	if err != nil {
 		return nil, err
 	}
+	if mv, ok := v.(vector.Meterable); ok && x.meter != nil {
+		v = mv.Metered(x.meter)
+	}
 	if x.ctx.Done() != nil {
 		v = &cancelVector{Vector: v, ctx: x.ctx}
 	}
 	x.vecs[c] = v
 	x.stats.VectorsOpened++
+	x.meter.VectorOpen()
 	return v, nil
 }
 
@@ -193,25 +218,36 @@ func (x *evalContext) vectorFor(c skeleton.ClassID) (vector.Vector, error) {
 const cancelCheckStride = 4096
 
 // cancelVector bounds how long a Scan can run past context cancellation.
+// It slices the scan into stride-sized sub-scans with a context check
+// between them, so the value callback passes through unwrapped and
+// cancellability costs nothing per value (the earlier per-value counting
+// closure showed up as ~8% on scan-bound queries).
 type cancelVector struct {
 	vector.Vector
 	ctx context.Context
 }
 
 func (cv *cancelVector) Scan(start, n int64, fn func(pos int64, val []byte) error) error {
-	if err := cv.ctx.Err(); err != nil {
-		return err
+	if start < 0 || n < 0 || start+n > cv.Vector.Len() {
+		// Out-of-range scans surface the implementation's own error before
+		// fn observes any value, exactly as an unwrapped vector would.
+		return cv.Vector.Scan(start, n, fn)
 	}
-	var since int
-	return cv.Vector.Scan(start, n, func(pos int64, val []byte) error {
-		if since++; since >= cancelCheckStride {
-			since = 0
-			if err := cv.ctx.Err(); err != nil {
-				return err
-			}
+	for off := int64(0); ; off += cancelCheckStride {
+		if err := cv.ctx.Err(); err != nil {
+			return err
 		}
-		return fn(pos, val)
-	})
+		chunk := n - off
+		if chunk <= 0 {
+			return nil
+		}
+		if chunk > cancelCheckStride {
+			chunk = cancelCheckStride
+		}
+		if err := cv.Vector.Scan(start+off, chunk, fn); err != nil {
+			return err
+		}
+	}
 }
 
 func (x *evalContext) tableOf(v string) (*Table, int, error) {
@@ -330,26 +366,30 @@ func (x *evalContext) normalizeSeg(s *Segment) {
 
 func (x *evalContext) resolveTargets(src skeleton.ClassID, steps []xq.Step) []skeleton.ClassID {
 	out, hit := x.e.resolveTargetsHit(src, steps)
-	if hit {
-		x.stats.MemoHits++
-	}
+	x.countMemo(hit)
 	return out
 }
 
 func (x *evalContext) cursorsBetween(src, dst skeleton.ClassID) []*skeleton.Cursor {
 	c, hit := x.e.cursorsBetweenHit(src, dst)
-	if hit {
-		x.stats.MemoHits++
-	}
+	x.countMemo(hit)
 	return c
 }
 
 func (x *evalContext) nonEmptySpans(src, dst skeleton.ClassID, curs []*skeleton.Cursor) []span {
 	s, hit := x.e.nonEmptySpansHit(src, dst, curs)
+	x.countMemo(hit)
+	return s
+}
+
+// countMemo folds one memo lookup into the per-eval stats and meter.
+func (x *evalContext) countMemo(hit bool) {
 	if hit {
 		x.stats.MemoHits++
+		x.meter.MemoHit()
+	} else {
+		x.meter.MemoMiss()
 	}
-	return s
 }
 
 // opBind instantiates a variable from the document root.

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
+	"vxml/internal/obs"
 	"vxml/internal/qgraph"
 	"vxml/internal/skeleton"
 	"vxml/internal/storage"
@@ -96,10 +98,44 @@ func (e *Engine) evalWithSink(ctx context.Context, plan *qgraph.Plan, sink vecto
 // trace is non-nil every plan op and the final result-emission phase
 // record wall time and counter deltas into it. Process-wide obs totals
 // are published either way.
+//
+// It is also the query-scoped telemetry choke point — every evaluation
+// (Eval, EvalTraced, EvalToDir) funnels through here: a TaskMeter is
+// attached to the context (unless the caller brought its own), the
+// evaluation registers in obs.ActiveQueries with a cancel func (so
+// /debug/queries can list and cooperatively cancel it through the
+// engine's existing ctx-poll machinery), and on completion queries over
+// the slow thresholds are captured into obs.SlowQueries.
 func (e *Engine) evalWithSinkTraced(ctx context.Context, plan *qgraph.Plan, sink vectorize.Sink, trace *Trace) (skel *skeleton.Skeleton, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	var meter *obs.TaskMeter
+	var regID int64
+	var label func() string
+	if taskTelemetry.Load() {
+		if meter = obs.MeterFrom(ctx); meter == nil {
+			meter = &obs.TaskMeter{}
+			ctx = obs.WithMeter(ctx, meter)
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		// Rendering plan.String() costs more than the whole telemetry layer,
+		// so the fallback label is lazy: it stringifies only when the query
+		// is actually listed or slow-captured.
+		if text := obs.QueryTextFrom(ctx); text != "" {
+			label = func() string { return text }
+		} else {
+			label = sync.OnceValue(func() string {
+				return strings.Join(strings.Fields(plan.String()), " ")
+			})
+		}
+		regID = obs.ActiveQueries.Register(label, meter, cancel)
+	}
 	x := newEvalContext(e, ctx)
 	x.trace = trace
-	start := time.Now()
 	defer func() {
 		e.setStats(x.stats)
 		wall := time.Since(start)
@@ -108,12 +144,33 @@ func (e *Engine) evalWithSinkTraced(ctx context.Context, plan *qgraph.Plan, sink
 			trace.Total = x.stats
 		}
 		publishObs(x.stats, wall, err)
+		if meter == nil {
+			return
+		}
+		obs.ActiveQueries.Finish(regID)
+		if obs.SlowQueries.ShouldCapture(wall, meter.PagesFaulted()) {
+			rec := obs.SlowQueryRecord{
+				ID:       regID,
+				Query:    label(),
+				Start:    start,
+				WallUS:   wall.Microseconds(),
+				Counters: meter.Counters(),
+			}
+			if err != nil {
+				rec.Error = err.Error()
+			}
+			if trace != nil {
+				rec.Trace = trace.Redacted()
+			}
+			obs.SlowQueries.Record(rec)
+		}
 	}()
 	if sc := e.CheckPlan(plan); sc.Empty {
 		// Statically unsatisfiable: some path edge matches no catalog
 		// path, so the result is a bare root — emitted here without
 		// running a single op or opening a single vector.
 		obsStaticEmpty.Inc()
+		x.meter.StaticEmpty()
 		if trace != nil {
 			trace.Static = sc
 		}
@@ -192,6 +249,7 @@ func (rb *resultBuilder) emitAll(plan *qgraph.Plan) error {
 		}
 		if ti == len(tables) {
 			x.stats.Tuples += mult
+			x.meter.Tuples(mult)
 			// Result construction can dominate wide queries; observe
 			// cancellation between tuples.
 			if x.stats.Tuples-rb.lastCtxCheck >= cancelCheckStride {

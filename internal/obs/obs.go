@@ -22,6 +22,7 @@ package obs
 
 import (
 	"expvar"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -83,14 +84,20 @@ func (h *Histogram) SumMicros() int64 { return h.sumUS.Load() }
 
 // Quantile returns an upper bound on the q-quantile (0 < q <= 1) in
 // microseconds, from the bucket boundaries; 0 with no observations.
+// The rank is the ceiling of q*total (nearest-rank definition): for
+// 5 observations p50 is the 3rd smallest, not the 2nd — truncating
+// biases every odd-count quantile one observation low.
 func (h *Histogram) Quantile(q float64) int64 {
 	total := h.count.Load()
 	if total == 0 {
 		return 0
 	}
-	rank := int64(q * float64(total))
+	rank := int64(math.Ceil(q * float64(total)))
 	if rank < 1 {
 		rank = 1
+	}
+	if rank > total {
+		rank = total
 	}
 	var seen int64
 	for i := range h.buckets {
@@ -145,12 +152,12 @@ func (r *Registry) Histogram(name string) *Histogram {
 
 // Snapshot returns a point-in-time copy of every counter, plus derived
 // histogram fields (<name>.count, <name>.sum_us, <name>.p50_us,
-// <name>.p99_us, <name>.max_us). Keys are stable across calls, so two
-// snapshots diff cleanly.
+// <name>.p90_us, <name>.p99_us, <name>.max_us). Keys are stable across
+// calls, so two snapshots diff cleanly.
 func (r *Registry) Snapshot() map[string]int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]int64, len(r.ctrs)+5*len(r.hists))
+	out := make(map[string]int64, len(r.ctrs)+6*len(r.hists))
 	for name, c := range r.ctrs {
 		out[name] = c.Load()
 	}
@@ -158,6 +165,7 @@ func (r *Registry) Snapshot() map[string]int64 {
 		out[name+".count"] = h.Count()
 		out[name+".sum_us"] = h.SumMicros()
 		out[name+".p50_us"] = h.Quantile(0.50)
+		out[name+".p90_us"] = h.Quantile(0.90)
 		out[name+".p99_us"] = h.Quantile(0.99)
 		out[name+".max_us"] = h.maxUS.Load()
 	}

@@ -76,6 +76,122 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileRank pins the nearest-rank (ceiling) semantics on
+// known distributions: with 2 observations in the first bucket and 3 in
+// the overflow bucket, p50 is the 3rd smallest — the overflow bucket —
+// where floor semantics would wrongly pick the 2nd (first bucket).
+func TestHistogramQuantileRank(t *testing.T) {
+	obs := func(h *Histogram, d time.Duration, n int) {
+		for i := 0; i < n; i++ {
+			h.Observe(d)
+		}
+	}
+	cases := []struct {
+		name string
+		fill func(h *Histogram)
+		q    float64
+		want int64
+	}{
+		{"odd-count p50 rounds up", func(h *Histogram) {
+			obs(h, 50*time.Microsecond, 2)
+			obs(h, 3*time.Second, 3)
+		}, 0.50, 3_000_000},
+		{"p50 of five low one high", func(h *Histogram) {
+			obs(h, 50*time.Microsecond, 5)
+			obs(h, 3*time.Second, 1)
+		}, 0.50, 100},
+		{"p99 of 100 picks the 99th", func(h *Histogram) {
+			obs(h, 50*time.Microsecond, 98)
+			obs(h, 3*time.Second, 2)
+		}, 0.99, 3_000_000},
+		{"p99 of 100 spares the overflow", func(h *Histogram) {
+			obs(h, 50*time.Microsecond, 99)
+			obs(h, 3*time.Second, 1)
+		}, 0.99, 100},
+		{"single observation p50", func(h *Histogram) {
+			obs(h, 200*time.Microsecond, 1)
+		}, 0.50, 200},
+		{"p100 is the exact max", func(h *Histogram) {
+			obs(h, 50*time.Microsecond, 9)
+			obs(h, 3*time.Second, 1)
+		}, 1.0, 3_000_000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewRegistry().Histogram("q")
+			tc.fill(h)
+			if got := h.Quantile(tc.q); got != tc.want {
+				t.Errorf("Quantile(%v) = %d, want %d", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSnapshotHistogramKeys: every derived histogram key, including the
+// p90 added for dashboard burn rates, appears in the snapshot.
+func TestSnapshotHistogramKeys(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Microsecond)
+	}
+	snap := r.Snapshot()
+	for _, key := range []string{"lat.count", "lat.sum_us", "lat.p50_us", "lat.p90_us", "lat.p99_us", "lat.max_us"} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("snapshot missing %s: %v", key, snap)
+		}
+	}
+	if snap["lat.p90_us"] != 50 {
+		// All observations are 50µs: the observed max tightens the bucket
+		// upper bound to the exact value.
+		t.Errorf("p90_us = %d, want 50", snap["lat.p90_us"])
+	}
+}
+
+// TestHistogramConcurrent exercises Observe, Quantile and Snapshot from
+// concurrent goroutines — meaningful under -race, and the final counts
+// must still be exact.
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("c")
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent readers while writers observe
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Quantile(0.5)
+				h.Quantile(0.99)
+				r.Snapshot()
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		ww.Add(1)
+		go func(g int) {
+			defer ww.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(50+g) * time.Microsecond)
+			}
+		}(g)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("count = %d, want %d", got, goroutines*per)
+	}
+	if got := h.Quantile(1.0); got != 57 {
+		t.Fatalf("max = %d, want 57", got)
+	}
+}
+
 func TestHistogramEmpty(t *testing.T) {
 	h := NewRegistry().Histogram("x")
 	if h.Quantile(0.5) != 0 || h.Count() != 0 {

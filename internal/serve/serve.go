@@ -1,10 +1,18 @@
 // Package serve is the HTTP serving surface over one vectorized
 // repository: POST /query evaluates XQ queries (JSON in, JSON out, with
-// optional per-op traces), GET /metrics exposes the obs registry, and
+// optional per-op traces), GET /metrics exposes the obs registry (JSON
+// by default, Prometheus text exposition with Accept: text/plain), and
 // /debug/pprof and /debug/vars mount the stdlib profiling handlers. One
 // engine is built per request (the engine-per-query serving pattern from
 // the concurrency work), so requests never share mutable state beyond
 // the repository's own concurrency-safe read path.
+//
+// Query-scoped telemetry rides every request: each evaluation carries a
+// per-query obs.TaskMeter, GET /debug/queries lists the in-flight
+// queries with their live counters, POST /debug/queries/{id}/cancel
+// cancels one cooperatively, and GET /debug/slow serves the ring of
+// recently captured slow queries (over the latency or pages-faulted
+// threshold) with their final counters and redacted traces.
 package serve
 
 import (
@@ -18,6 +26,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -37,8 +47,16 @@ type Config struct {
 	// Timeout caps each request's evaluation time; requests may ask for
 	// less via timeout_ms but never more. 0 = no cap.
 	Timeout time.Duration
-	// SlowQuery logs any query slower than this. 0 disables the log.
+	// SlowQuery logs any query slower than this and captures it into the
+	// slow-query ring (GET /debug/slow). 0 disables the latency trigger.
 	SlowQuery time.Duration
+	// SlowPages captures any query faulting at least this many buffer-pool
+	// pages into the slow-query ring, regardless of latency. 0 disables
+	// the pages trigger.
+	SlowPages int64
+	// SlowRingSize is how many captured slow queries /debug/slow retains
+	// (oldest evicted first). 0 means the default of 64.
+	SlowRingSize int
 	// Log receives slow-query and server lifecycle lines; nil uses the
 	// process default logger.
 	Log *log.Logger
@@ -115,6 +133,12 @@ func New(cfg Config) *Server {
 	if cfg.Log == nil {
 		cfg.Log = log.Default()
 	}
+	if cfg.SlowRingSize == 0 {
+		cfg.SlowRingSize = 64
+	}
+	// The slow ring is process-global (evaluations capture into it from
+	// the engine, below the HTTP layer); the server owns its thresholds.
+	obs.SlowQueries.Configure(cfg.SlowQuery, cfg.SlowPages, cfg.SlowRingSize)
 	s := &Server{
 		cfg: cfg,
 		mux: http.NewServeMux(),
@@ -122,6 +146,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/debug/queries", s.handleQueries)
+	s.mux.HandleFunc("/debug/queries/", s.handleQueryCancel)
+	s.mux.HandleFunc("/debug/slow", s.handleSlow)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -182,11 +209,89 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics serves the obs registry snapshot as a flat JSON object.
 // Keys are stable and values monotonic, so scrapers can diff snapshots.
+// With Accept: text/plain the same snapshot is rendered in Prometheus
+// text exposition format instead (names normalized to vx_<pkg>_<name>).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, obs.Snapshot())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(obs.Snapshot())
+}
+
+// promGaugeSuffixes mark the snapshot keys that are point-in-time values
+// rather than monotonic totals.
+var promGaugeSuffixes = []string{".p50_us", ".p90_us", ".p99_us", ".max_us"}
+
+// writePrometheus renders a registry snapshot in the Prometheus text
+// exposition format: dots become underscores under a vx_ prefix, derived
+// histogram quantiles and maxima are typed gauge, everything else (plain
+// counters, histogram counts and sums) counter.
+func writePrometheus(w io.Writer, snap map[string]int64) {
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		typ := "counter"
+		for _, suf := range promGaugeSuffixes {
+			if strings.HasSuffix(k, suf) {
+				typ = "gauge"
+				break
+			}
+		}
+		name := "vx_" + strings.ReplaceAll(k, ".", "_")
+		fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", name, typ, name, snap[k])
+	}
+}
+
+// handleQueries lists the in-flight queries with their live per-query
+// counters and elapsed time.
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(obs.ActiveQueries.List())
+}
+
+// handleQueryCancel handles POST /debug/queries/{id}/cancel: the named
+// in-flight query's context is cancelled and the evaluation unwinds
+// through the engine's usual cancellation polling.
+func (s *Server) handleQueryCancel(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/debug/queries/")
+	idStr, action, ok := strings.Cut(rest, "/")
+	if !ok || action != "cancel" {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown path %s", r.URL.Path))
+		return
+	}
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	id, err := strconv.ParseInt(idStr, 10, 64)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad query id %q", idStr))
+		return
+	}
+	if !obs.ActiveQueries.Cancel(id) {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("no cancellable query %d", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"cancelled": id})
+}
+
+// handleSlow serves the captured slow queries, most recent first.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(obs.SlowQueries.List())
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -235,6 +340,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	// Attribute the evaluation's work to this request: the engine picks
+	// the meter and query text up from the context, registers the query
+	// in obs.ActiveQueries, and captures it into obs.SlowQueries when it
+	// crosses a threshold.
+	meter := &obs.TaskMeter{}
+	ctx = obs.WithMeter(obs.WithQueryText(ctx, compactQuery(req.Query)), meter)
+
 	start := time.Now()
 	eng := core.NewRepoEngine(s.cfg.Repo, core.Options{Workers: s.cfg.Workers})
 	res, tr, err := eng.EvalTraced(ctx, plan)
@@ -242,7 +354,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	obsLatency.Observe(elapsed)
 	if s.cfg.SlowQuery > 0 && elapsed > s.cfg.SlowQuery {
 		obsSlow.Inc()
-		s.cfg.Log.Printf("serve: slow query (%s > %s): %s", elapsed.Round(time.Millisecond), s.cfg.SlowQuery, compactQuery(req.Query))
+		mc := meter.Counters()
+		s.cfg.Log.Printf("serve: slow_query elapsed_ms=%d threshold_ms=%d pages_faulted=%d bytes_read=%d vector_opens=%d memo_hits=%d tuples=%d query=%q",
+			elapsed.Milliseconds(), s.cfg.SlowQuery.Milliseconds(),
+			mc.PagesFaulted, mc.BytesRead, mc.VectorOpens, mc.MemoHits, mc.Tuples,
+			compactQuery(req.Query))
 	}
 	if err != nil {
 		status := http.StatusInternalServerError

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"vxml/internal/obs"
 	"vxml/internal/vectorize"
 )
 
@@ -184,9 +185,21 @@ func TestServeConcurrentQueries(t *testing.T) {
 		t.Errorf("core.queries advanced by %d, want >= %d", got, sent)
 	}
 	for k, v := range before {
-		if a, ok := after[k]; !ok {
+		a, ok := after[k]
+		if !ok {
 			t.Errorf("metric %s disappeared between scrapes", k)
-		} else if a < v {
+			continue
+		}
+		// Histogram quantiles (and max) are gauges, not monotonic totals: a
+		// burst of fast queries legitimately pulls p90 down between scrapes.
+		gauge := false
+		for _, suf := range promGaugeSuffixes {
+			if strings.HasSuffix(k, suf) {
+				gauge = true
+				break
+			}
+		}
+		if !gauge && a < v {
 			t.Errorf("metric %s decreased: %d -> %d", k, v, a)
 		}
 	}
@@ -232,6 +245,277 @@ func TestServeTimeout(t *testing.T) {
 	})
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusGatewayTimeout {
 		t.Errorf("status = %d, want 200 or 504", resp.StatusCode)
+	}
+}
+
+// genBigBib builds a bib document whose cross joins run long enough to
+// observe and cancel over HTTP (mirrors the core test generator).
+func genBigBib(n int) string {
+	var b strings.Builder
+	b.WriteString("<bib>")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "<book><publisher>P%d</publisher><author>A%d</author><title>Book %d — a title long enough to fill vector pages reasonably fast</title><price>%d</price></book>",
+			i%7, i%13, i, 10+i%50)
+	}
+	for i := 0; i < n/2; i++ {
+		fmt.Fprintf(&b, "<article><author>A%d</author><title>Article %d</title></article>", i%13, i)
+	}
+	b.WriteString("</bib>")
+	return b.String()
+}
+
+// syncBuffer is a mutex-guarded log sink safe to read while the server
+// may still be writing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServeMetricsContentTypes: GET /metrics is JSON by default and
+// Prometheus text exposition under Accept: text/plain, with histogram
+// quantiles present in both renderings.
+func TestServeMetricsContentTypes(t *testing.T) {
+	base, cancel, done := startServer(t, Config{})
+	defer func() { cancel(); <-done }()
+
+	// One query so the request-duration histogram has an observation.
+	if resp, _ := postQuery(t, base, QueryRequest{Query: `for $b in /bib/book return $b/title`}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("default Content-Type = %q, want application/json", ct)
+	}
+	var m map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decode JSON metrics: %v", err)
+	}
+	resp.Body.Close()
+	for _, key := range []string{"serve.requests", "serve.request_duration.p90_us", "serve.request_duration.p50_us"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("JSON metrics missing %s", key)
+		}
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET /metrics (text/plain): %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Prometheus Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE vx_serve_requests counter",
+		"# TYPE vx_serve_request_duration_p90_us gauge",
+		"vx_serve_request_duration_p90_us ",
+		"# TYPE vx_core_queries counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Prometheus exposition missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, ".") && strings.Contains(text, "vx_serve_requests.") {
+		t.Error("Prometheus names must not contain dots")
+	}
+}
+
+// TestServeDebugQueriesCancel: a long-running query shows up in GET
+// /debug/queries with live counters, POST /debug/queries/{id}/cancel
+// terminates it, and the query request surfaces the cancellation as 504.
+func TestServeDebugQueriesCancel(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "repo")
+	repo, err := vectorize.Create(strings.NewReader(genBigBib(2500)), dir, vectorize.Options{})
+	if err != nil {
+		t.Fatalf("create repo: %v", err)
+	}
+	t.Cleanup(func() { repo.Close() })
+	base, cancel, done := startServer(t, Config{Repo: repo})
+	defer func() { cancel(); <-done }()
+
+	// ~3.1M-tuple cross join: many seconds of emit work if never cancelled.
+	const marker = "cancel_me_cross_join"
+	query := `<` + marker + `> for $b in /bib/book, $a in /bib/article return $b/title, $a/title </` + marker + `>`
+	status := make(chan int, 1)
+	go func() {
+		body, _ := json.Marshal(QueryRequest{Query: query})
+		resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			status <- -1
+			return
+		}
+		resp.Body.Close()
+		status <- resp.StatusCode
+	}()
+
+	listQueries := func() []obs.ActiveQueryInfo {
+		resp, err := http.Get(base + "/debug/queries")
+		if err != nil {
+			t.Fatalf("GET /debug/queries: %v", err)
+		}
+		defer resp.Body.Close()
+		var qs []obs.ActiveQueryInfo
+		if err := json.NewDecoder(resp.Body).Decode(&qs); err != nil {
+			t.Fatalf("decode /debug/queries: %v", err)
+		}
+		return qs
+	}
+
+	var id int64
+	deadline := time.Now().Add(10 * time.Second)
+	for id == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("query never appeared in /debug/queries")
+		}
+		for _, q := range listQueries() {
+			if strings.Contains(q.Query, marker) {
+				id = q.ID
+			}
+		}
+		if id == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// The live counters advance while the query runs.
+	for tuples := int64(0); tuples == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("live tuple counter never advanced")
+		}
+		for _, q := range listQueries() {
+			if q.ID == id {
+				tuples = q.Counters.Tuples
+			}
+		}
+		if tuples == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Wrong method and unknown id fail cleanly.
+	if resp, err := http.Get(fmt.Sprintf("%s/debug/queries/%d/cancel", base, id)); err != nil {
+		t.Fatalf("GET cancel: %v", err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET cancel status = %d, want 405", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Post(base+"/debug/queries/999999/cancel", "", nil); err != nil {
+		t.Fatalf("POST bad cancel: %v", err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown-id cancel status = %d, want 404", resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Post(fmt.Sprintf("%s/debug/queries/%d/cancel", base, id), "", nil)
+	if err != nil {
+		t.Fatalf("POST cancel: %v", err)
+	}
+	var cancelled struct {
+		Cancelled int64 `json:"cancelled"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cancelled); err != nil {
+		t.Fatalf("decode cancel response: %v", err)
+	}
+	resp.Body.Close()
+	if cancelled.Cancelled != id {
+		t.Errorf("cancel reply id = %d, want %d", cancelled.Cancelled, id)
+	}
+
+	select {
+	case code := <-status:
+		if code != http.StatusGatewayTimeout {
+			t.Errorf("cancelled query status = %d, want 504", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("query request did not return after cancel")
+	}
+	for _, q := range listQueries() {
+		if q.ID == id {
+			t.Errorf("query %d still listed after cancellation", id)
+		}
+	}
+}
+
+// TestServeSlowCapture: a query over the latency threshold lands in GET
+// /debug/slow with its final counters and redacted trace, and the slow
+// log line carries the structured counter fields.
+func TestServeSlowCapture(t *testing.T) {
+	var logBuf syncBuffer
+	base, cancel, done := startServer(t, Config{
+		SlowQuery:    time.Microsecond, // every real query is slower than this
+		SlowRingSize: 8,
+		Log:          log.New(&logBuf, "", 0),
+	})
+	defer func() { cancel(); <-done }()
+
+	query := `for $b in /bib/book where $b/publisher = 'SBP' return $b/title`
+	if resp, _ := postQuery(t, base, QueryRequest{Query: query}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(base + "/debug/slow")
+	if err != nil {
+		t.Fatalf("GET /debug/slow: %v", err)
+	}
+	defer resp.Body.Close()
+	var recs []obs.SlowQueryRecord
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		t.Fatalf("decode /debug/slow: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("slow ring empty after over-threshold query")
+	}
+	var rec *obs.SlowQueryRecord
+	for i := range recs {
+		if strings.Contains(recs[i].Query, "'SBP'") {
+			rec = &recs[i]
+		}
+	}
+	if rec == nil {
+		t.Fatalf("captured records missing the query: %+v", recs)
+	}
+	if rec.WallUS <= 0 {
+		t.Errorf("captured wall_us = %d, want > 0", rec.WallUS)
+	}
+	if rec.Counters.Tuples == 0 {
+		t.Errorf("captured counters have no tuples: %+v", rec.Counters)
+	}
+	if rec.Trace == "" {
+		t.Error("captured record missing redacted trace")
+	}
+	if rec.Error != "" {
+		t.Errorf("successful query captured with error %q", rec.Error)
+	}
+
+	logged := logBuf.String()
+	for _, want := range []string{"slow_query", "pages_faulted=", "tuples=", "elapsed_ms="} {
+		if !strings.Contains(logged, want) {
+			t.Errorf("slow log missing %q:\n%s", want, logged)
+		}
 	}
 }
 

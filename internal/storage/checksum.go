@@ -50,6 +50,10 @@ func SetVerifyChecksums(on bool) bool {
 	return prev
 }
 
+// checksumVerifyEnabled reports whether read-side page verification is
+// on, so per-query meters charge verifies only when they actually ran.
+func checksumVerifyEnabled() bool { return verifyPages.Load() }
+
 // stampPage writes the CRC32C trailer of a full PageSize buffer.
 func stampPage(buf []byte) {
 	binary.LittleEndian.PutUint32(buf[PageDataSize:PageSize], Checksum(buf[:PageDataSize]))

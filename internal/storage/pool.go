@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"vxml/internal/obs"
 )
 
 type pageKey struct {
@@ -55,6 +57,14 @@ func (p *BufferPool) Capacity() int { return p.capacity }
 // Get pins the given page of file into the pool, reading it from disk on a
 // miss. The caller must Unpin the returned frame.
 func (p *BufferPool) Get(f *File, pageNo int64) (*Frame, error) {
+	return p.GetMetered(f, pageNo, nil)
+}
+
+// GetMetered is Get with per-query attribution: a miss (a page fault-in
+// from disk) is additionally charged to m — pages faulted, page bytes
+// read, and the trailer verification when checksum verification is on.
+// A nil meter makes it exactly Get.
+func (p *BufferPool) GetMetered(f *File, pageNo int64, m *obs.TaskMeter) (*Frame, error) {
 	key := pageKey{f.id, pageNo}
 	p.mu.Lock()
 	if fr, ok := p.frames[key]; ok {
@@ -87,6 +97,7 @@ func (p *BufferPool) Get(f *File, pageNo int64) (*Frame, error) {
 		return nil, err
 	}
 	p.mu.Unlock()
+	m.PageFault(PageSize, checksumVerifyEnabled())
 	return fr, nil
 }
 

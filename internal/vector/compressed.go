@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 
+	"vxml/internal/obs"
 	"vxml/internal/storage"
 )
 
@@ -199,6 +200,15 @@ type CompressedPaged struct {
 	file  *storage.File
 	count int64
 	bytes int64
+	meter *obs.TaskMeter // nil on shared readers; set on Metered views
+}
+
+// Metered implements Meterable: the returned view charges page faults to
+// m. The receiver is unchanged, so the shared reader stays unattributed.
+func (p *CompressedPaged) Metered(m *obs.TaskMeter) Vector {
+	v := *p
+	v.meter = m
+	return &v
 }
 
 // OpenCompressed opens a finalized compressed vector file.
@@ -286,7 +296,7 @@ func (p *CompressedPaged) loadPage(cache *inflateCache, pageNo int64) error {
 	if cache.page == pageNo {
 		return nil
 	}
-	fr, err := p.pool.Get(p.file, pageNo)
+	fr, err := p.pool.GetMetered(p.file, pageNo, p.meter)
 	if err != nil {
 		return err
 	}
@@ -330,7 +340,7 @@ func (p *CompressedPaged) findPage(pos int64) (int64, error) {
 	lo, hi := int64(1), p.file.NumPages()-1
 	var ioErr error
 	firstIdxOf := func(pg int64) int64 {
-		fr, err := p.pool.Get(p.file, pg)
+		fr, err := p.pool.GetMetered(p.file, pg, p.meter)
 		if err != nil {
 			ioErr = err
 			return 0

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"vxml/internal/obs"
 	"vxml/internal/storage"
 )
 
@@ -210,6 +211,15 @@ type clamped struct {
 }
 
 func (c *clamped) Len() int64 { return c.n }
+
+// Metered implements Meterable by forwarding to the wrapped vector's
+// Metered (both disk formats implement it), keeping the clamp.
+func (c *clamped) Metered(m *obs.TaskMeter) Vector {
+	if mv, ok := c.Vector.(Meterable); ok {
+		return &clamped{Vector: mv.Metered(m), n: c.n}
+	}
+	return c
+}
 
 func (c *clamped) Scan(start, n int64, fn func(pos int64, val []byte) error) error {
 	if start < 0 || start+n > c.n {

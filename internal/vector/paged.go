@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"vxml/internal/obs"
 	"vxml/internal/storage"
 )
 
@@ -144,6 +145,15 @@ type Paged struct {
 	file  *storage.File
 	count int64
 	bytes int64
+	meter *obs.TaskMeter // nil on shared readers; set on Metered views
+}
+
+// Metered implements Meterable: the returned view charges page faults to
+// m. The receiver is unchanged, so the shared reader stays unattributed.
+func (p *Paged) Metered(m *obs.TaskMeter) Vector {
+	v := *p
+	v.meter = m
+	return &v
 }
 
 // OpenPaged opens a finalized vector file.
@@ -186,7 +196,7 @@ func (p *Paged) Scan(start, n int64, fn func(pos int64, val []byte) error) error
 	pos := int64(-1)
 	end := start + n
 	for pageNo < p.file.NumPages() {
-		fr, err := p.pool.Get(p.file, pageNo)
+		fr, err := p.pool.GetMetered(p.file, pageNo, p.meter)
 		if err != nil {
 			return err
 		}
@@ -237,7 +247,7 @@ func (p *Paged) findPage(pos int64) (int64, error) {
 	lo, hi := int64(1), p.file.NumPages()-1
 	var scanErr error
 	firstIdxOf := func(pg int64) int64 {
-		fr, err := p.pool.Get(p.file, pg)
+		fr, err := p.pool.GetMetered(p.file, pg, p.meter)
 		if err != nil {
 			scanErr = err
 			return 0

@@ -13,6 +13,8 @@ package vector
 import (
 	"fmt"
 	"sort"
+
+	"vxml/internal/obs"
 )
 
 // Vector is a read-only sequence of values addressed by position.
@@ -22,6 +24,16 @@ type Vector interface {
 	// Scan calls fn for positions [start, start+n) in order. The val slice
 	// is only valid during the call; fn must copy it to retain it.
 	Scan(start, n int64, fn func(pos int64, val []byte) error) error
+}
+
+// Meterable is implemented by disk-backed vectors that can charge their
+// page faults to a per-query obs.TaskMeter. Metered returns a view of
+// the same vector attributing I/O to m — a cheap shallow copy, so the
+// shared reader stays meter-free while each evaluation holds its own
+// attributed view. Implementations accept a nil meter (the view then
+// behaves exactly like the receiver).
+type Meterable interface {
+	Metered(m *obs.TaskMeter) Vector
 }
 
 // Get is a convenience positional read returning a copy of one value.
