@@ -33,9 +33,9 @@ bench-full:
 
 # Machine-readable benchmark record for this change: concurrent serving
 # throughput plus the query-scoped telemetry overhead. CI runs this and
-# uploads BENCH_PR5.json as an artifact.
+# uploads BENCH_PR6.json as an artifact.
 bench-snapshot:
-	go run ./cmd/vxbench -quick -work bench-work -o BENCH_PR5.json snapshot
+	go run ./cmd/vxbench -quick -work bench-work -o BENCH_PR6.json snapshot
 
 fuzz:
 	go test -fuzz FuzzParse -fuzztime 30s ./internal/xq/

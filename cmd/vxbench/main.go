@@ -32,7 +32,7 @@ func main() {
 	ssRows := flag.Int("ssrows", 0, "SkyServer rows override")
 	ssCols := flag.Int("sscols", 0, "SkyServer columns override")
 	timeout := flag.Duration("timeout", 0, "per-query timeout override")
-	out := flag.String("o", "BENCH_PR5.json", "output file for the snapshot experiment")
+	out := flag.String("o", "BENCH_PR6.json", "output file for the snapshot experiment")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: vxbench [flags] table1|table2|table3|fig8|ablations|verify|snapshot|all")
@@ -111,7 +111,7 @@ func main() {
 			fmt.Println("== VX vs reference interpreter ==")
 			err = h.VerifyVX(os.Stdout)
 		case "snapshot":
-			snap, e := h.Snapshot(bench.KQ1, []int{1, 4, 16}, 48, 51)
+			snap, e := h.Snapshot(bench.KQ1, []int{1, 4, 16}, 51)
 			if e != nil {
 				return e
 			}

@@ -74,7 +74,9 @@ func usage() {
   vxstore stats -repo DIR
   vxstore fsck -repo DIR [-q]
   vxstore query -repo DIR [-explain[=analyze]] [-parallel N] [-workers N] [-f query.xq | 'query text']
-  vxstore serve -repo DIR [-addr :8080] [-timeout 30s] [-slow 1s] [-workers N]`)
+  vxstore serve -repo DIR [-addr :8080] [-timeout 30s] [-slow 1s] [-workers N]
+                [-plan-cache 256] [-result-cache 1024]
+                [-max-inflight N] [-max-inflight-pages N] [-admit-wait 5ms]`)
 }
 
 func cmdVectorize(args []string) error {
@@ -305,6 +307,11 @@ func cmdServe(args []string) error {
 	slow := fs.Duration("slow", time.Second, "log and capture queries slower than this (0 = off)")
 	slowPages := fs.Int64("slow-pages", 0, "capture queries faulting at least this many pool pages (0 = off)")
 	slowRing := fs.Int("slow-ring", 64, "how many captured slow queries /debug/slow retains")
+	planCache := fs.Int("plan-cache", 256, "plan cache entries (0 = off)")
+	resultCache := fs.Int("result-cache", 1024, "result cache entries, invalidated by append epoch (0 = off)")
+	maxInflight := fs.Int("max-inflight", 0, "max concurrently evaluating queries before 429 (0 = no cap)")
+	maxInflightPages := fs.Int64("max-inflight-pages", 0, "shed new queries while in-flight queries have faulted this many pages (0 = no cap)")
+	admitWait := fs.Duration("admit-wait", 5*time.Millisecond, "how long an over-budget query queues before the 429")
 	fs.Parse(args)
 	repo, err := openRepo(fs, repoDir, pool)
 	if err != nil {
@@ -314,12 +321,17 @@ func cmdServe(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	srv := serve.New(serve.Config{
-		Repo:         repo,
-		Workers:      *workers,
-		Timeout:      *timeout,
-		SlowQuery:    *slow,
-		SlowPages:    *slowPages,
-		SlowRingSize: *slowRing,
+		Repo:             repo,
+		Workers:          *workers,
+		Timeout:          *timeout,
+		SlowQuery:        *slow,
+		SlowPages:        *slowPages,
+		SlowRingSize:     *slowRing,
+		PlanCacheSize:    *planCache,
+		ResultCacheSize:  *resultCache,
+		MaxInflight:      *maxInflight,
+		MaxInflightPages: *maxInflightPages,
+		AdmitWait:        *admitWait,
 	})
 	return srv.ListenAndRun(ctx, *addr, nil)
 }

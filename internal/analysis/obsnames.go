@@ -10,12 +10,12 @@ import (
 // the registering package's name so that dashboards group by subsystem.
 var obsNameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$`)
 
-// ObsNames checks every obs.GetCounter / obs.GetHistogram registration:
-// the name must be a constant string matching the vx_<pkg>_<name>
-// convention, its first segment must equal the package name, each name is
-// registered exactly once, and registration happens at package scope
-// (package-level var or init) so counters are process-global, not
-// re-created per value.
+// ObsNames checks every obs.GetCounter / obs.GetHistogram / obs.GetGauge
+// registration: the name must be a constant string matching the
+// vx_<pkg>_<name> convention, its first segment must equal the package
+// name, each name is registered exactly once, and registration happens at
+// package scope (package-level var or init) so counters are
+// process-global, not re-created per value.
 func ObsNames() *Analyzer {
 	a := &Analyzer{
 		Name: "obsnames",
@@ -54,7 +54,8 @@ func ObsNames() *Analyzer {
 				}
 				isCtr := isPkgFunc(pass.TypesInfo, call, "obs", "GetCounter")
 				isHist := isPkgFunc(pass.TypesInfo, call, "obs", "GetHistogram")
-				if (!isCtr && !isHist) || len(call.Args) == 0 {
+				isGauge := isPkgFunc(pass.TypesInfo, call, "obs", "GetGauge")
+				if (!isCtr && !isHist && !isGauge) || len(call.Args) == 0 {
 					return true
 				}
 				name, ok := constString(pass.TypesInfo, call.Args[0])

@@ -34,12 +34,24 @@ func (p ThroughputPoint) QPS() float64 {
 }
 
 // ConcurrentThroughput opens the dataset's repository once and serves
-// `queries` evaluations of q from `goroutines` concurrent clients. Each
-// client draws work from a shared counter and evaluates through its own
-// engine (core.NewRepoEngine), the per-query-engine serving pattern: the
-// repository and its buffer pool are shared, engine state is not.
+// exactly `queries` evaluations of q from `goroutines` concurrent
+// clients. Prefer ConcurrentThroughputTimed for measurements: a fixed
+// small count finishes in milliseconds and reports scheduler noise as
+// throughput.
 func (d *Dataset) ConcurrentThroughput(q QueryID, goroutines, queries int) (ThroughputPoint, error) {
-	pt := ThroughputPoint{Query: q, Goroutines: goroutines, Queries: int64(queries)}
+	return d.ConcurrentThroughputTimed(q, goroutines, queries, 0)
+}
+
+// ConcurrentThroughputTimed opens the dataset's repository once and
+// serves evaluations of q from `goroutines` concurrent clients until at
+// least minQueries have completed AND at least minElapsed has passed —
+// whichever takes longer — so every point spans enough wall time to
+// average out scheduler jitter. Each client draws work from a shared
+// counter and evaluates through its own engine (core.NewRepoEngine), the
+// per-query-engine serving pattern: the repository and its buffer pool
+// are shared, engine state is not.
+func (d *Dataset) ConcurrentThroughputTimed(q QueryID, goroutines, minQueries int, minElapsed time.Duration) (ThroughputPoint, error) {
+	pt := ThroughputPoint{Query: q, Goroutines: goroutines}
 	repo, err := vectorize.Open(d.RepoDir, vectorize.Options{PoolPages: d.h.Cfg.PoolPages})
 	if err != nil {
 		return pt, err
@@ -65,6 +77,7 @@ func (d *Dataset) ConcurrentThroughput(q QueryID, goroutines, queries int) (Thro
 
 	var (
 		next    atomic.Int64
+		done    atomic.Int64
 		wg      sync.WaitGroup
 		mu      sync.Mutex
 		firstEr error
@@ -74,7 +87,12 @@ func (d *Dataset) ConcurrentThroughput(q QueryID, goroutines, queries int) (Thro
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for next.Add(1) <= int64(queries) {
+			for {
+				// The first minQueries claims must run; past the floor,
+				// keep going only until the point has spanned minElapsed.
+				if next.Add(1) > int64(minQueries) && time.Since(start) >= minElapsed {
+					return
+				}
 				eng := core.NewRepoEngine(repo, core.Options{})
 				res, err := eng.Eval(context.Background(), plan)
 				if err == nil && rootChildren(res.Skel) != pt.Results {
@@ -89,25 +107,35 @@ func (d *Dataset) ConcurrentThroughput(q QueryID, goroutines, queries int) (Thro
 					mu.Unlock()
 					return
 				}
+				done.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
 	pt.Elapsed = time.Since(start)
+	pt.Queries = done.Load()
 	return pt, firstEr
 }
 
 // ConcurrentSweep measures q at each concurrency level against one
-// prepared dataset (the tentpole experiment: queries/sec at 1, 4 and 16
-// goroutines on XMark).
+// prepared dataset with exactly `queries` evaluations per point. Prefer
+// ConcurrentSweepTimed for recorded numbers.
 func (h *Harness) ConcurrentSweep(q QueryID, levels []int, queries int) ([]ThroughputPoint, error) {
+	return h.ConcurrentSweepTimed(q, levels, queries, 0)
+}
+
+// ConcurrentSweepTimed measures q at each concurrency level against one
+// prepared dataset (the tentpole experiment: queries/sec at 1, 4 and 16
+// goroutines on XMark), each point time-bounded per
+// ConcurrentThroughputTimed.
+func (h *Harness) ConcurrentSweepTimed(q QueryID, levels []int, minQueries int, minElapsed time.Duration) ([]ThroughputPoint, error) {
 	d, err := h.Dataset(DatasetOf(q))
 	if err != nil {
 		return nil, err
 	}
 	pts := make([]ThroughputPoint, 0, len(levels))
 	for _, n := range levels {
-		pt, err := d.ConcurrentThroughput(q, n, queries)
+		pt, err := d.ConcurrentThroughputTimed(q, n, minQueries, minElapsed)
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s at %d goroutines: %w", q, n, err)
 		}

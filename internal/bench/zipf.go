@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vxml/internal/core"
+	"vxml/internal/obs"
+	"vxml/internal/vectorize"
+)
+
+// The Zipf-skewed serving mix: real query traffic repeats — a few hot
+// queries dominate with a long tail of variants — which is exactly the
+// shape the serving layer's plan/result caches and single-flight
+// collapsing are built for. This benchmark drives a core.Service with a
+// Zipf-distributed choice among query variants and reports throughput,
+// latency quantiles and cache hit rates.
+
+// zipfDistinct is how many query variants the mix draws from; zipfS is
+// the Zipf exponent (rank-k probability ∝ 1/(1+k)^s), skewed enough
+// that the top handful of variants carry most of the traffic while the
+// tail still forces real evaluations.
+const (
+	zipfDistinct = 64
+	zipfS        = 1.3
+)
+
+// SnapshotZipf is one cached-serving measurement under the Zipf-skewed
+// query mix.
+type SnapshotZipf struct {
+	Query      string  `json:"query"`
+	Distinct   int     `json:"distinct_queries"`
+	Goroutines int     `json:"goroutines"`
+	Queries    int64   `json:"queries"`
+	ElapsedUS  int64   `json:"elapsed_us"`
+	QPS        float64 `json:"qps"`
+	P50US      int64   `json:"p50_us"`
+	P99US      int64   `json:"p99_us"`
+	// PlanCacheHitRate is the fraction of queries whose plan came from
+	// the plan cache.
+	PlanCacheHitRate float64 `json:"plan_cache_hit_rate"`
+	// ResultCacheHitRate is the fraction of queries answered without
+	// evaluating: result-cache hits plus single-flight followers.
+	ResultCacheHitRate float64 `json:"result_cache_hit_rate"`
+}
+
+// zipfVariants renders the distinct query texts of the mix: the base
+// query plus threshold variants (rank 0 is the workload query itself).
+// Only KQ1 — a selection whose constant varies naturally — has a variant
+// family.
+func zipfVariants(q QueryID, n int) ([]string, error) {
+	if q != KQ1 {
+		return nil, fmt.Errorf("bench: no Zipf variant family for %s", q)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = fmt.Sprintf(
+			"for $t in /site/closed_auctions/closed_auction where $t/price >= %d return $t/price", 40+i)
+	}
+	return out, nil
+}
+
+// ZipfThroughput serves the Zipf mix of q variants from `goroutines`
+// concurrent clients through one core.Service with plan and result
+// caches on, until at least minQueries have completed and minElapsed has
+// passed. Per-goroutine RNGs are seeded deterministically, so the mix is
+// reproducible.
+func (h *Harness) ZipfThroughput(q QueryID, goroutines, minQueries int, minElapsed time.Duration) (SnapshotZipf, error) {
+	zp := SnapshotZipf{Query: string(q), Distinct: zipfDistinct, Goroutines: goroutines}
+	variants, err := zipfVariants(q, zipfDistinct)
+	if err != nil {
+		return zp, err
+	}
+	d, err := h.Dataset(DatasetOf(q))
+	if err != nil {
+		return zp, err
+	}
+	repo, err := vectorize.Open(d.RepoDir, vectorize.Options{PoolPages: h.Cfg.PoolPages})
+	if err != nil {
+		return zp, err
+	}
+	defer repo.Close()
+	svc := core.NewService(repo, core.ServiceConfig{
+		PlanCacheSize:   4 * zipfDistinct,
+		ResultCacheSize: 4 * zipfDistinct,
+	})
+
+	before := obs.Snapshot()
+	var (
+		next    atomic.Int64
+		done    atomic.Int64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstEr error
+	)
+	lats := make([][]time.Duration, goroutines)
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(9001 + g)))
+			z := rand.NewZipf(rng, zipfS, 1, uint64(zipfDistinct-1))
+			for {
+				if next.Add(1) > int64(minQueries) && time.Since(start) >= minElapsed {
+					return
+				}
+				query := variants[z.Uint64()]
+				qs := time.Now()
+				_, _, err := svc.Query(context.Background(), query)
+				if err != nil {
+					mu.Lock()
+					if firstEr == nil {
+						firstEr = err
+					}
+					mu.Unlock()
+					return
+				}
+				lats[g] = append(lats[g], time.Since(qs))
+				done.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstEr != nil {
+		return zp, firstEr
+	}
+	after := obs.Snapshot()
+
+	total := done.Load()
+	if total <= 0 || elapsed <= 0 {
+		return zp, fmt.Errorf("bench: degenerate Zipf point (%d queries in %s)", total, elapsed)
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	nearestRank := func(q float64) int64 {
+		rank := int(math.Ceil(q * float64(len(all))))
+		if rank < 1 {
+			rank = 1
+		}
+		return all[rank-1].Microseconds()
+	}
+	delta := func(name string) float64 { return float64(after[name] - before[name]) }
+	zp.Queries = total
+	zp.ElapsedUS = elapsed.Microseconds()
+	zp.QPS = float64(total) / elapsed.Seconds()
+	zp.P50US = nearestRank(0.50)
+	zp.P99US = nearestRank(0.99)
+	zp.PlanCacheHitRate = delta("core.plan_cache_hits") / float64(total)
+	zp.ResultCacheHitRate = (delta("core.result_cache_hits") + delta("core.singleflight_followers")) / float64(total)
+	return zp, nil
+}
+
+// PrintZipf renders the Zipf mix measurements.
+func PrintZipf(w io.Writer, pts []SnapshotZipf) {
+	fmt.Fprintf(w, "%-6s %10s %8s %10s %8s %8s %10s %10s\n",
+		"Query", "Goroutines", "Queries", "QPS", "p50µs", "p99µs", "plan-hit", "result-hit")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-6s %10d %8d %10.1f %8d %8d %9.1f%% %9.1f%%\n",
+			p.Query, p.Goroutines, p.Queries, p.QPS, p.P50US, p.P99US,
+			100*p.PlanCacheHitRate, 100*p.ResultCacheHitRate)
+	}
+}

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestZipfThroughputSmoke: a short Zipf mix run completes, reports sane
+// quantiles and hit rates, and actually exercises the caches (a skewed
+// mix over a cached service must hit the result cache).
+func TestZipfThroughputSmoke(t *testing.T) {
+	h := quickHarness(t)
+	zp, err := h.ZipfThroughput(KQ1, 4, 64, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("zipf: %d queries, %.0f qps, p50=%dµs p99=%dµs plan-hit=%.2f result-hit=%.2f",
+		zp.Queries, zp.QPS, zp.P50US, zp.P99US, zp.PlanCacheHitRate, zp.ResultCacheHitRate)
+	if zp.Queries < 64 {
+		t.Errorf("completed %d queries, want >= 64", zp.Queries)
+	}
+	if zp.QPS <= 0 {
+		t.Errorf("qps = %f, want > 0", zp.QPS)
+	}
+	if zp.P50US > zp.P99US {
+		t.Errorf("p50 (%dµs) > p99 (%dµs)", zp.P50US, zp.P99US)
+	}
+	for name, rate := range map[string]float64{
+		"plan":   zp.PlanCacheHitRate,
+		"result": zp.ResultCacheHitRate,
+	} {
+		if rate < 0 || rate > 1 {
+			t.Errorf("%s-cache hit rate = %f, want within [0,1]", name, rate)
+		}
+	}
+	if zp.ResultCacheHitRate == 0 {
+		t.Error("Zipf mix never hit the result cache — the serving layer is not caching")
+	}
+}

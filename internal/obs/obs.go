@@ -43,6 +43,23 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// Gauge is an atomic level — a value that goes up and down, unlike the
+// monotonic Counter. Admission control publishes its in-flight and queued
+// levels through gauges so scrapers see the instantaneous state rather
+// than a rate.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the level by n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // histBuckets are the histogram's upper bounds in microseconds, roughly
 // quadrupling: 100µs .. ~26s, plus a catch-all overflow bucket.
 const numHistBuckets = 10
@@ -115,14 +132,19 @@ func (h *Histogram) Quantile(q float64) int64 {
 // Registry names counters and histograms. The zero Registry is not usable;
 // call NewRegistry (or use Default).
 type Registry struct {
-	mu    sync.Mutex
-	ctrs  map[string]*Counter   // guarded by mu
-	hists map[string]*Histogram // guarded by mu
+	mu     sync.Mutex
+	ctrs   map[string]*Counter   // guarded by mu
+	hists  map[string]*Histogram // guarded by mu
+	gauges map[string]*Gauge     // guarded by mu
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{ctrs: make(map[string]*Counter), hists: make(map[string]*Histogram)}
+	return &Registry{
+		ctrs:   make(map[string]*Counter),
+		hists:  make(map[string]*Histogram),
+		gauges: make(map[string]*Gauge),
+	}
 }
 
 // Counter returns the named counter, creating it on first use. Resolve
@@ -150,6 +172,27 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// IsGauge reports whether name is registered as a gauge — exporters use
+// this to emit the right metric type.
+func (r *Registry) IsGauge(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.gauges[name]
+	return ok
+}
+
 // Snapshot returns a point-in-time copy of every counter, plus derived
 // histogram fields (<name>.count, <name>.sum_us, <name>.p50_us,
 // <name>.p90_us, <name>.p99_us, <name>.max_us). Keys are stable across
@@ -157,9 +200,12 @@ func (r *Registry) Histogram(name string) *Histogram {
 func (r *Registry) Snapshot() map[string]int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]int64, len(r.ctrs)+6*len(r.hists))
+	out := make(map[string]int64, len(r.ctrs)+len(r.gauges)+6*len(r.hists))
 	for name, c := range r.ctrs {
 		out[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Load()
 	}
 	for name, h := range r.hists {
 		out[name+".count"] = h.Count()
@@ -177,8 +223,11 @@ func (r *Registry) Snapshot() map[string]int64 {
 func (r *Registry) Names() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]string, 0, len(r.ctrs)+len(r.hists))
+	out := make([]string, 0, len(r.ctrs)+len(r.gauges)+len(r.hists))
 	for n := range r.ctrs {
+		out = append(out, n)
+	}
+	for n := range r.gauges {
 		out = append(out, n)
 	}
 	for n := range r.hists {
@@ -195,6 +244,9 @@ func (r *Registry) Reset() {
 	defer r.mu.Unlock()
 	for _, c := range r.ctrs {
 		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
 	}
 	for _, h := range r.hists {
 		for i := range h.buckets {
@@ -214,6 +266,12 @@ func GetCounter(name string) *Counter { return Default.Counter(name) }
 
 // GetHistogram returns a histogram from the default registry.
 func GetHistogram(name string) *Histogram { return Default.Histogram(name) }
+
+// GetGauge returns a gauge from the default registry.
+func GetGauge(name string) *Gauge { return Default.Gauge(name) }
+
+// IsGauge reports whether name names a gauge in the default registry.
+func IsGauge(name string) bool { return Default.IsGauge(name) }
 
 // Snapshot snapshots the default registry.
 func Snapshot() map[string]int64 { return Default.Snapshot() }

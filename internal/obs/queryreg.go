@@ -79,6 +79,18 @@ func (r *QueryRegistry) Cancel(id int64) bool {
 	return true
 }
 
+// Inflight returns the number of live queries and the pages they have
+// faulted so far — the live load signal admission control budgets
+// against. One locked map walk; cheap at serving concurrency levels.
+func (r *QueryRegistry) Inflight() (queries int, pagesFaulted int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, q := range r.active {
+		pagesFaulted += q.meter.PagesFaulted()
+	}
+	return len(r.active), pagesFaulted
+}
+
 // ActiveQueryInfo is one live query as the debug endpoint serves it: the
 // meter counters are a live snapshot, not final totals.
 type ActiveQueryInfo struct {

@@ -21,6 +21,7 @@ type TaskMeter struct {
 	memoMisses       atomic.Int64
 	tuples           atomic.Int64
 	staticEmpty      atomic.Int64
+	cacheHits        atomic.Int64
 }
 
 // PageFault charges one buffer-pool fault-in of n page bytes, plus the
@@ -64,6 +65,15 @@ func (m *TaskMeter) Tuples(n int64) {
 	}
 }
 
+// CacheHit charges one answer served from the result cache or a shared
+// single-flight evaluation — the request did its work by reading a cached
+// result, so every other counter legitimately stays zero.
+func (m *TaskMeter) CacheHit() {
+	if m != nil {
+		m.cacheHits.Add(1)
+	}
+}
+
 // StaticEmpty charges one static-checker short-circuit.
 func (m *TaskMeter) StaticEmpty() {
 	if m != nil {
@@ -91,6 +101,7 @@ type TaskCounters struct {
 	MemoMisses       int64 `json:"memo_misses"`
 	Tuples           int64 `json:"tuples"`
 	StaticEmpty      int64 `json:"static_empty"`
+	CacheHits        int64 `json:"cache_hits"`
 }
 
 // Counters snapshots the meter. A nil meter reads as all zeros.
@@ -107,6 +118,7 @@ func (m *TaskMeter) Counters() TaskCounters {
 		MemoMisses:       m.memoMisses.Load(),
 		Tuples:           m.tuples.Load(),
 		StaticEmpty:      m.staticEmpty.Load(),
+		CacheHits:        m.cacheHits.Load(),
 	}
 }
 

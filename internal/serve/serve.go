@@ -33,9 +33,7 @@ import (
 
 	"vxml/internal/core"
 	"vxml/internal/obs"
-	"vxml/internal/qgraph"
 	"vxml/internal/vectorize"
-	"vxml/internal/xq"
 )
 
 // Config configures a Server. Zero values mean: no request timeout cap,
@@ -60,6 +58,20 @@ type Config struct {
 	// Log receives slow-query and server lifecycle lines; nil uses the
 	// process default logger.
 	Log *log.Logger
+	// PlanCacheSize bounds the plan cache in entries; 0 disables it.
+	PlanCacheSize int
+	// ResultCacheSize bounds the result cache in entries; 0 disables it.
+	// Entries are invalidated structurally by the repository's append
+	// epoch, so a cached answer is never stale.
+	ResultCacheSize int
+	// MaxInflight caps concurrently evaluating queries; over the cap new
+	// queries queue for AdmitWait and are then shed with 429. 0 = no cap.
+	MaxInflight int
+	// MaxInflightPages sheds new evaluations while in-flight queries have
+	// faulted at least this many pages between them. 0 = no cap.
+	MaxInflightPages int64
+	// AdmitWait is how long an over-budget query queues before the 429.
+	AdmitWait time.Duration
 }
 
 // QueryRequest is the POST /query body.
@@ -98,6 +110,12 @@ type QueryResponse struct {
 	// matched no catalog path and was answered (or, with Check, would be
 	// answered) without evaluation.
 	StaticallyEmpty bool `json:"statically_empty,omitempty"`
+	// Cached reports that the answer was served without evaluating:
+	// from the result cache or from an identical in-flight evaluation.
+	Cached bool `json:"cached,omitempty"`
+	// Source says how the answer was produced: "eval", "result-cache" or
+	// "single-flight".
+	Source string `json:"source,omitempty"`
 }
 
 // OpTrace is one traced plan operation in the response.
@@ -116,6 +134,7 @@ type errorResponse struct {
 // Server serves queries over one repository.
 type Server struct {
 	cfg Config
+	svc *core.Service
 	mux *http.ServeMux
 }
 
@@ -125,6 +144,7 @@ var (
 	obsRequests = obs.GetCounter("serve.requests")
 	obsErrors   = obs.GetCounter("serve.request_errors")
 	obsSlow     = obs.GetCounter("serve.slow_queries")
+	obsShed     = obs.GetCounter("serve.queries_shed")
 	obsLatency  = obs.GetHistogram("serve.request_duration")
 )
 
@@ -141,6 +161,14 @@ func New(cfg Config) *Server {
 	obs.SlowQueries.Configure(cfg.SlowQuery, cfg.SlowPages, cfg.SlowRingSize)
 	s := &Server{
 		cfg: cfg,
+		svc: core.NewService(cfg.Repo, core.ServiceConfig{
+			Opts:             core.Options{Workers: cfg.Workers},
+			PlanCacheSize:    cfg.PlanCacheSize,
+			ResultCacheSize:  cfg.ResultCacheSize,
+			MaxInflight:      cfg.MaxInflight,
+			MaxInflightPages: cfg.MaxInflightPages,
+			AdmitWait:        cfg.AdmitWait,
+		}),
 		mux: http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
@@ -229,8 +257,9 @@ var promGaugeSuffixes = []string{".p50_us", ".p90_us", ".p99_us", ".max_us"}
 
 // writePrometheus renders a registry snapshot in the Prometheus text
 // exposition format: dots become underscores under a vx_ prefix, derived
-// histogram quantiles and maxima are typed gauge, everything else (plain
-// counters, histogram counts and sums) counter.
+// histogram quantiles and maxima plus registered obs gauges are typed
+// gauge, everything else (plain counters, histogram counts and sums)
+// counter.
 func writePrometheus(w io.Writer, snap map[string]int64) {
 	keys := make([]string, 0, len(snap))
 	for k := range snap {
@@ -239,6 +268,9 @@ func writePrometheus(w io.Writer, snap map[string]int64) {
 	sort.Strings(keys)
 	for _, k := range keys {
 		typ := "counter"
+		if obs.IsGauge(k) {
+			typ = "gauge"
+		}
 		for _, suf := range promGaugeSuffixes {
 			if strings.HasSuffix(k, suf) {
 				typ = "gauge"
@@ -305,12 +337,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	q, err := xq.Parse(req.Query)
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
-		return
-	}
-	plan, err := qgraph.Build(q)
+	// Parse and plan through the service's plan cache; malformed queries
+	// fail here with a 400 before any evaluation work.
+	plan, err := s.svc.Plan(req.Query)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
@@ -348,8 +377,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx = obs.WithMeter(obs.WithQueryText(ctx, compactQuery(req.Query)), meter)
 
 	start := time.Now()
-	eng := core.NewRepoEngine(s.cfg.Repo, core.Options{Workers: s.cfg.Workers})
-	res, tr, err := eng.EvalTraced(ctx, plan)
+	res, src, err := s.svc.Query(ctx, req.Query)
 	elapsed := time.Since(start)
 	obsLatency.Observe(elapsed)
 	if s.cfg.SlowQuery > 0 && elapsed > s.cfg.SlowQuery {
@@ -362,25 +390,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		status := http.StatusInternalServerError
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		switch {
+		case errors.Is(err, core.ErrOverloaded):
+			status = http.StatusTooManyRequests
+			obsShed.Inc()
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 			status = http.StatusGatewayTimeout
 		}
 		s.fail(w, status, err)
 		return
 	}
-	var xml strings.Builder
-	if err := vectorize.ReconstructXML(res.Skel, res.Classes, res.Vectors, res.Syms, &xml); err != nil {
+	xml, err := res.XML()
+	if err != nil {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
 	resp := QueryResponse{
-		Result:          xml.String(),
+		Result:          xml,
 		ElapsedUS:       elapsed.Microseconds(),
-		Stats:           toQueryStats(tr.Total),
-		StaticallyEmpty: tr.Static != nil && tr.Static.Empty,
+		Stats:           toQueryStats(res.Stats),
+		StaticallyEmpty: res.StaticallyEmpty,
+		Cached:          src.Cached(),
+		Source:          src.String(),
 	}
-	if req.Trace {
-		for _, op := range tr.Ops {
+	if req.Trace && res.Trace != nil {
+		for _, op := range res.Trace.Ops {
 			resp.Trace = append(resp.Trace, OpTrace{
 				Op:       op.Op,
 				Kind:     op.Kind,

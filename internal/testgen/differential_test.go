@@ -104,6 +104,47 @@ func diffPair(t *testing.T, seed int64) bool {
 
 	got, want := eb.String(), nb.String()
 
+	// Serving-layer coherence under randomized load: the same pair through
+	// a cached core.Service must evaluate once, serve the repeat from the
+	// result cache, and return byte-identical XML both times (and the same
+	// bytes the bare engine produced).
+	svc := core.NewMemService(repo, core.ServiceConfig{PlanCacheSize: 4, ResultCacheSize: 4})
+	cold, coldSrc, err := svc.Query(context.Background(), q.Src)
+	if err != nil {
+		t.Errorf("pair seed %d: service cold query: %v\nquery: %s", seed, err, q.Src)
+		return false
+	}
+	coldXML, err := cold.XML()
+	if err != nil {
+		t.Errorf("pair seed %d: service cold XML: %v", seed, err)
+		return false
+	}
+	cached, cachedSrc, err := svc.Query(context.Background(), q.Src)
+	if err != nil {
+		t.Errorf("pair seed %d: service cached query: %v\nquery: %s", seed, err, q.Src)
+		return false
+	}
+	cachedXML, err := cached.XML()
+	if err != nil {
+		t.Errorf("pair seed %d: service cached XML: %v", seed, err)
+		return false
+	}
+	if coldSrc != core.SourceEval || !cachedSrc.Cached() {
+		t.Errorf("pair seed %d: service sources cold=%v cached=%v, want eval then cached\nquery: %s",
+			seed, coldSrc, cachedSrc, q.Src)
+		return false
+	}
+	if coldXML != got {
+		t.Errorf("pair seed %d: service result diverged from engine result\nquery: %s\nservice: %s\nengine:  %s",
+			seed, q.Src, coldXML, got)
+		return false
+	}
+	if cachedXML != coldXML {
+		t.Errorf("pair seed %d: cached result not byte-identical to cold result\nquery: %s\ncold:   %s\ncached: %s",
+			seed, q.Src, coldXML, cachedXML)
+		return false
+	}
+
 	// Static-checker soundness under randomized load: CheckPlan may only
 	// call a query statically empty when the naive baseline also answers
 	// with a bare result root. A rejection of any non-empty answer is a

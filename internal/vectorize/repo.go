@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"vxml/internal/skeleton"
 	"vxml/internal/storage"
@@ -32,7 +33,18 @@ type Repository struct {
 	Skel    *skeleton.Skeleton
 	Classes *skeleton.Classes
 	Vectors vector.Set
+
+	// epoch counts committed mutations since Open: Append bumps it after
+	// its last durable commit step. A query result is valid exactly for
+	// the epoch it was evaluated under, which is what lets result caches
+	// key on (query, epoch) and never serve a pre-append answer
+	// post-append.
+	epoch atomic.Uint64
 }
+
+// Epoch returns the repository's append epoch: 0 at Open, incremented by
+// every committed Append. Safe to read concurrently with queries.
+func (r *Repository) Epoch() uint64 { return r.epoch.Load() }
 
 const skeletonFile = "skeleton.bin"
 
@@ -365,5 +377,8 @@ func (r *Repository) Append(frag io.Reader) error {
 	}
 	r.Skel = newSkel
 	r.Classes = skeleton.NewClasses(newSkel, r.Syms)
+	// The append is fully committed; results evaluated before this point
+	// belong to the previous epoch.
+	r.epoch.Add(1)
 	return nil
 }

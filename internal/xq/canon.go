@@ -1,0 +1,127 @@
+package xq
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Canonical renders the query as an unambiguous normalization key for
+// caching: two query texts share a canonical form exactly when they parse
+// to the same evaluation, regardless of insignificant whitespace or
+// variable spelling.
+//
+// String is unsuitable as a key because it re-renders constants and
+// template text bare, so a constant containing quote characters can
+// imitate surrounding syntax (a single condition against the constant
+// "v' and $x/q = 'w" renders identically to two conditions). Canonical
+// Go-quotes every free-form string (constants, qualifier values, literal
+// template text) and prefixes every return item with its kind, so no
+// content can masquerade as structure. For-variables are renamed to
+// positional names unless the query shadows a name, in which case the
+// original names are kept — a smaller cache-key equivalence class is
+// always sound.
+func (q *Query) Canonical() string {
+	rename := make(map[string]string, len(q.Bindings))
+	for i, bnd := range q.Bindings {
+		if _, dup := rename[bnd.Var]; dup {
+			rename = nil
+			break
+		}
+		rename[bnd.Var] = "$v" + strconv.Itoa(i)
+	}
+	ren := func(v string) string {
+		if n, ok := rename[v]; ok {
+			return n
+		}
+		return v
+	}
+	var b strings.Builder
+	b.WriteString("elem ")
+	b.WriteString(strconv.Quote(q.ResultTag))
+	for _, bnd := range q.Bindings {
+		b.WriteString(" for ")
+		b.WriteString(ren(bnd.Var))
+		b.WriteString(" in ")
+		canonTerm(&b, bnd.Term, ren)
+		b.WriteString(";")
+	}
+	for _, c := range q.Conds {
+		b.WriteString(" where ")
+		canonOperand(&b, c.Left, ren)
+		b.WriteString(" ")
+		b.WriteString(c.Op.String())
+		b.WriteString(" ")
+		canonOperand(&b, c.Right, ren)
+		b.WriteString(";")
+	}
+	b.WriteString(" return ")
+	for i, r := range q.Return {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		canonRet(&b, r, ren)
+	}
+	return b.String()
+}
+
+func canonTerm(b *strings.Builder, t PathTerm, ren func(string) string) {
+	if t.Var != "" {
+		b.WriteString(ren(t.Var))
+	} else {
+		b.WriteString("doc")
+	}
+	canonPath(b, t.Path)
+}
+
+func canonPath(b *strings.Builder, p Path) {
+	for _, s := range p.Steps {
+		if s.Axis == Descendant {
+			b.WriteString("//")
+		} else {
+			b.WriteString("/")
+		}
+		b.WriteString(strconv.Quote(s.Name))
+		for _, q := range s.Quals {
+			b.WriteString("[")
+			canonPath(b, q.Path)
+			if q.Op != OpNone {
+				b.WriteString(" ")
+				b.WriteString(q.Op.String())
+				b.WriteString(" ")
+				b.WriteString(strconv.Quote(q.Value))
+			}
+			b.WriteString("]")
+		}
+	}
+}
+
+func canonOperand(b *strings.Builder, o Operand, ren func(string) string) {
+	if o.Term != nil {
+		canonTerm(b, *o.Term, ren)
+		return
+	}
+	b.WriteString("c:")
+	b.WriteString(strconv.Quote(o.Const))
+}
+
+func canonRet(b *strings.Builder, r RetItem, ren func(string) string) {
+	switch r := r.(type) {
+	case RetPath:
+		b.WriteString("p:")
+		canonTerm(b, r.Term, ren)
+	case RetText:
+		b.WriteString("t:")
+		b.WriteString(strconv.Quote(r.Text))
+	case RetElem:
+		b.WriteString("e:")
+		b.WriteString(strconv.Quote(r.Tag))
+		b.WriteString("(")
+		for i, k := range r.Kids {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			canonRet(b, k, ren)
+		}
+		b.WriteString(")")
+	}
+}

@@ -1,0 +1,78 @@
+package xq
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q
+}
+
+func TestCanonicalWhitespaceInsensitive(t *testing.T) {
+	a := mustParse(t, `<r> for $x in doc("")/site/item where $x/price >= 40 return $x/name </r>`)
+	b := mustParse(t, "<r>\n\tfor   $x   in doc(\"\")/site/item\n  where $x/price>=40\nreturn\n$x/name</r>")
+	if a.Canonical() != b.Canonical() {
+		t.Errorf("whitespace-only variants got distinct keys:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+}
+
+func TestCanonicalVariableRenaming(t *testing.T) {
+	a := mustParse(t, `<r>for $x in doc("")/a, $y in $x/b where $y/c = '1' return $y</r>`)
+	b := mustParse(t, `<r>for $item in doc("")/a, $z in $item/b where $z/c = '1' return $z</r>`)
+	if a.Canonical() != b.Canonical() {
+		t.Errorf("alpha-equivalent queries got distinct keys:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+}
+
+func TestCanonicalConstantsSignificant(t *testing.T) {
+	a := mustParse(t, `<r>for $x in doc("")/a where $x/p = 'v w' return $x</r>`)
+	b := mustParse(t, `<r>for $x in doc("")/a where $x/p = 'v  w' return $x</r>`)
+	if a.Canonical() == b.Canonical() {
+		t.Errorf("distinct constants share a key: %s", a.Canonical())
+	}
+}
+
+func TestCanonicalTemplateTextSignificant(t *testing.T) {
+	a := mustParse(t, `<r>for $x in doc("")/a return <b>one {$x/p}</b></r>`)
+	b := mustParse(t, `<r>for $x in doc("")/a return <b>one  {$x/p}</b></r>`)
+	if a.Canonical() == b.Canonical() {
+		t.Errorf("distinct template text shares a key: %s", a.Canonical())
+	}
+}
+
+// A constant containing quote characters can make String render two
+// different queries identically — the reason Canonical exists. The
+// double-quoted constant below embeds "' and ... = '" so the re-rendered
+// single condition reads exactly like the genuine two-condition query.
+func TestCanonicalDisambiguatesEmbeddedQuotes(t *testing.T) {
+	one := mustParse(t, `<r>for $x in doc("")/a where $x/p = "v' and $x/q = 'w" return $x</r>`)
+	two := mustParse(t, `<r>for $x in doc("")/a where $x/p = 'v' and $x/q = 'w' return $x</r>`)
+	if len(one.Conds) != 1 || len(two.Conds) != 2 {
+		t.Fatalf("setup: expected 1 and 2 conditions, got %d and %d", len(one.Conds), len(two.Conds))
+	}
+	if one.String() != two.String() {
+		t.Logf("note: String now distinguishes these; Canonical must regardless")
+	}
+	if one.Canonical() == two.Canonical() {
+		t.Errorf("embedded-quote constant collides with two-condition query: %s", one.Canonical())
+	}
+}
+
+func TestCanonicalShadowedVariablesKeepNames(t *testing.T) {
+	// A query binding the same variable twice must not be renamed into
+	// colliding with a straightforward two-variable query.
+	src := `<r>for $x in doc("")/a, $x in doc("")/b return $x</r>`
+	q, err := Parse(src)
+	if err != nil {
+		t.Skipf("parser rejects shadowed bindings: %v", err)
+	}
+	if !strings.Contains(q.Canonical(), "$x") {
+		t.Errorf("shadowed query was renamed: %s", q.Canonical())
+	}
+}
