@@ -13,15 +13,19 @@
 //	vxstore query -repo DIR -f query.xq
 //	vxstore query -repo DIR -parallel 8 -workers 4 -f query.xq
 //	vxstore serve -repo DIR -addr :8080      HTTP query server with /metrics
+//	vxstore quarantine -addr HOST:PORT       list or clear quarantined vectors
 package main
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -30,6 +34,7 @@ import (
 	"vxml/internal/obs"
 	"vxml/internal/qgraph"
 	"vxml/internal/serve"
+	"vxml/internal/storage"
 	"vxml/internal/vector"
 	"vxml/internal/vectorize"
 	"vxml/internal/xq"
@@ -56,6 +61,8 @@ func main() {
 		err = cmdFsck(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "quarantine":
+		err = cmdQuarantine(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -76,7 +83,9 @@ func usage() {
   vxstore query -repo DIR [-explain[=analyze]] [-parallel N] [-workers N] [-f query.xq | 'query text']
   vxstore serve -repo DIR [-addr :8080] [-timeout 30s] [-slow 1s] [-workers N]
                 [-plan-cache 256] [-result-cache 1024]
-                [-max-inflight N] [-max-inflight-pages N] [-admit-wait 5ms]`)
+                [-max-inflight N] [-max-inflight-pages N] [-admit-wait 5ms]
+                [-read-retries N] [-retry-backoff 2ms]
+  vxstore quarantine -addr HOST:PORT [list | clear]`)
 }
 
 func cmdVectorize(args []string) error {
@@ -312,6 +321,8 @@ func cmdServe(args []string) error {
 	maxInflight := fs.Int("max-inflight", 0, "max concurrently evaluating queries before 429 (0 = no cap)")
 	maxInflightPages := fs.Int64("max-inflight-pages", 0, "shed new queries while in-flight queries have faulted this many pages (0 = no cap)")
 	admitWait := fs.Duration("admit-wait", 5*time.Millisecond, "how long an over-budget query queues before the 429")
+	readRetries := fs.Int("read-retries", 0, "transient page-read retries before failing the query (0 = storage default, -1 = no retries)")
+	retryBackoff := fs.Duration("retry-backoff", 0, "initial retry backoff, doubling per attempt with jitter (0 = storage default)")
 	fs.Parse(args)
 	repo, err := openRepo(fs, repoDir, pool)
 	if err != nil {
@@ -332,8 +343,85 @@ func cmdServe(args []string) error {
 		MaxInflight:      *maxInflight,
 		MaxInflightPages: *maxInflightPages,
 		AdmitWait:        *admitWait,
+		ReadRetries:      *readRetries,
+		RetryBackoff:     *retryBackoff,
 	})
 	return srv.ListenAndRun(ctx, *addr, nil)
+}
+
+// cmdQuarantine is the operator's view of a running server's corruption
+// quarantine. "list" (the default) prints /healthz; "clear" asks the
+// server to re-verify every quarantined vector from disk and prints which
+// came back clean and which are still corrupt. A non-empty kept set (or a
+// degraded listing) exits non-zero so scripts can alert on it.
+func cmdQuarantine(args []string) error {
+	fs := flag.NewFlagSet("quarantine", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8080", "address of a running vxstore serve")
+	fs.Parse(args)
+	action := "list"
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		action = fs.Arg(0)
+	default:
+		return fmt.Errorf("quarantine takes at most one action (list or clear)")
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	switch action {
+	case "list":
+		resp, err := client.Get(base + "/healthz")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		var health struct {
+			Status      string                    `json:"status"`
+			Quarantined []storage.QuarantineEntry `json:"quarantined"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+			return fmt.Errorf("decode /healthz: %w", err)
+		}
+		fmt.Printf("status: %s\n", health.Status)
+		for _, e := range health.Quarantined {
+			fmt.Printf("  %-50s since %s  %s\n", e.Vector, e.Since.Format(time.RFC3339), e.Reason)
+		}
+		if len(health.Quarantined) > 0 {
+			return fmt.Errorf("%d vector(s) quarantined", len(health.Quarantined))
+		}
+		return nil
+	case "clear":
+		resp, err := client.Post(base+"/debug/quarantine/clear", "application/json", nil)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("server returned %s", resp.Status)
+		}
+		var out struct {
+			Cleared []string `json:"cleared"`
+			Kept    []string `json:"kept"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return fmt.Errorf("decode response: %w", err)
+		}
+		for _, v := range out.Cleared {
+			fmt.Printf("cleared: %s\n", v)
+		}
+		for _, v := range out.Kept {
+			fmt.Printf("kept:    %s (still corrupt on disk)\n", v)
+		}
+		if len(out.Kept) > 0 {
+			return fmt.Errorf("%d vector(s) still quarantined after re-verify", len(out.Kept))
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown quarantine action %q (want list or clear)", action)
+	}
 }
 
 // queryParallel serves the same plan from n concurrent goroutines, each

@@ -5,12 +5,13 @@ import "testing"
 // One fixture per analyzer, each with at least one flagged and one clean
 // case (see testdata/src/<name>/).
 
-func TestCorruptErrFixture(t *testing.T)  { RunFixture(t, CorruptErr(), "corrupterr") }
-func TestLockGuardFixture(t *testing.T)   { RunFixture(t, LockGuard(), "lockguard") }
-func TestCtxPollFixture(t *testing.T)     { RunFixture(t, CtxPoll(), "ctxpoll") }
-func TestFsyncOrderFixture(t *testing.T)  { RunFixture(t, FsyncOrder(), "fsyncorder") }
-func TestObsNamesFixture(t *testing.T)    { RunFixture(t, ObsNames(), "obsnames") }
-func TestAtomicAlignFixture(t *testing.T) { RunFixture(t, AtomicAlign(), "atomicalign") }
+func TestCorruptErrFixture(t *testing.T)   { RunFixture(t, CorruptErr(), "corrupterr") }
+func TestLockGuardFixture(t *testing.T)    { RunFixture(t, LockGuard(), "lockguard") }
+func TestCtxPollFixture(t *testing.T)      { RunFixture(t, CtxPoll(), "ctxpoll") }
+func TestFsyncOrderFixture(t *testing.T)   { RunFixture(t, FsyncOrder(), "fsyncorder") }
+func TestObsNamesFixture(t *testing.T)     { RunFixture(t, ObsNames(), "obsnames") }
+func TestAtomicAlignFixture(t *testing.T)  { RunFixture(t, AtomicAlign(), "atomicalign") }
+func TestRecoverScopeFixture(t *testing.T) { RunFixture(t, RecoverScope(), "recoverscope") }
 
 // TestSuiteCleanOnRepo is `make lint` as a test: the full suite over the
 // full repository must report nothing. Any finding here is either a real

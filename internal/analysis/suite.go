@@ -10,5 +10,6 @@ func Suite() []*Analyzer {
 		FsyncOrder(),
 		LockGuard(),
 		ObsNames(),
+		RecoverScope(),
 	}
 }

@@ -1,0 +1,55 @@
+// Fixture for the recoverscope analyzer: recover() only at annotated
+// //vx:recover-boundary choke points, which must capture the stack.
+package recoverscope
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// swallow recovers without any annotation: flagged.
+func swallow() {
+	defer func() {
+		if r := recover(); r != nil { // want `recover\(\) outside a //vx:recover-boundary choke point`
+			fmt.Println("ignored:", r)
+		}
+	}()
+	panic("boom")
+}
+
+// noStack is annotated but drops the stack: flagged.
+func noStack() (err error) {
+	defer func() {
+		//vx:recover-boundary but forgets the stack
+		if r := recover(); r != nil { // want `recover boundary must capture the stack`
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return nil
+}
+
+// boundary is the compliant shape: annotated, and the innermost function
+// holding the recover also captures debug.Stack.
+func boundary() (err error) {
+	defer func() {
+		//vx:recover-boundary the sanctioned choke point
+		r := recover()
+		if r == nil {
+			return
+		}
+		stack := debug.Stack()
+		err = fmt.Errorf("panic: %v\n%s", r, stack)
+	}()
+	return nil
+}
+
+// outerStack shows the stack must be in the SAME function as the recover:
+// a debug.Stack in the enclosing function does not count. The inner
+// closure's recover is annotated but stackless — flagged.
+func outerStack() {
+	_ = debug.Stack()
+	defer func() {
+		//vx:recover-boundary annotated, stack captured elsewhere
+		_ = recover() // want `recover boundary must capture the stack`
+	}()
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"vxml/internal/obs"
 	"vxml/internal/qgraph"
 	"vxml/internal/skeleton"
+	"vxml/internal/storage"
 	"vxml/internal/vector"
 	"vxml/internal/vectorize"
 	"vxml/internal/xmlmodel"
@@ -90,6 +92,13 @@ type Engine struct {
 	Syms    *xmlmodel.Symbols
 	Opts    Options
 
+	// Health is the owning repository's quarantine table; queries touching
+	// a quarantined vector fail fast with ErrQuarantined, and scans that
+	// observe persistent corruption add to it. Nil (ad-hoc engines, memory
+	// repositories) disables both — every storage.Health method is
+	// nil-safe.
+	Health *storage.Health
+
 	memoMu     sync.Mutex                                 // guards the skeleton-derived memos below
 	targetMemo map[string][]skeleton.ClassID              // guarded by memoMu
 	spanMemo   map[[2]skeleton.ClassID][]span             // guarded by memoMu
@@ -112,7 +121,9 @@ func NewEngine(skel *skeleton.Skeleton, cls *skeleton.Classes, vecs vector.Set, 
 // Repository concurrently; per-query engines additionally isolate index
 // builds and statistics.
 func NewRepoEngine(r *vectorize.Repository, opts Options) *Engine {
-	return NewEngine(r.Skel, r.Classes, r.Vectors, r.Syms, opts)
+	e := NewEngine(r.Skel, r.Classes, r.Vectors, r.Syms, opts)
+	e.Health = r.Health
+	return e
 }
 
 // NewMemEngine returns a fresh engine over an in-memory repository.
@@ -196,12 +207,32 @@ func (x *evalContext) vectorFor(c skeleton.ClassID) (vector.Vector, error) {
 		return v, nil
 	}
 	e := x.e
-	v, err := e.Vectors.Vector(e.Classes.VectorName(c))
+	name := e.Classes.VectorName(c)
+	if reason, ok := e.Health.Quarantined(name); ok {
+		// Fail fast before any I/O: the bad page stays untouched until an
+		// operator re-verify clears the quarantine.
+		obsQuarantinedQueries.Inc()
+		return nil, &QuarantinedError{Vector: name, Reason: reason}
+	}
+	v, err := e.Vectors.Vector(name)
 	if err != nil {
+		if errors.Is(err, storage.ErrCorrupt) {
+			// The open itself hit persistent corruption (bad meta page, count
+			// mismatch) — quarantine on the same terms as a scan failure.
+			e.Health.Quarantine(name, err.Error())
+		}
 		return nil, err
 	}
 	if mv, ok := v.(vector.Meterable); ok && x.meter != nil {
 		v = mv.Metered(x.meter)
+	}
+	if x.ctx.Done() != nil {
+		if cv, ok := v.(vector.Contextual); ok {
+			v = cv.WithContext(x.ctx)
+		}
+	}
+	if e.Health != nil {
+		v = &quarantineVector{Vector: v, health: e.Health, name: name}
 	}
 	if x.ctx.Done() != nil {
 		v = &cancelVector{Vector: v, ctx: x.ctx}

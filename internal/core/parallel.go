@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -72,6 +73,23 @@ func parallelFor(ctx context.Context, workers, n int, fn func(i int) error) erro
 		errIdx  = n
 		firstEr error
 	)
+	// A panic on a worker goroutine cannot unwind to the evaluation's
+	// recover boundary (recover only sees the panicking goroutine), so it
+	// is converted to a *PanicError here and forwarded through the normal
+	// first-error channel; the boundary in evalWithSinkTraced records it
+	// exactly as if the panic had happened inline.
+	call := func(i int) (err error) {
+		defer func() {
+			//vx:recover-boundary worker panics forward as errors to the eval boundary
+			r := recover()
+			if r == nil {
+				return
+			}
+			stack := debug.Stack()
+			err = &PanicError{Value: r, Stack: stack}
+		}()
+		return fn(i)
+	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -84,7 +102,7 @@ func parallelFor(ctx context.Context, workers, n int, fn func(i int) error) erro
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := call(i); err != nil {
 					mu.Lock()
 					if i < errIdx {
 						errIdx, firstEr = i, err

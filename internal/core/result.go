@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
@@ -164,6 +166,38 @@ func (e *Engine) evalWithSinkTraced(ctx context.Context, plan *qgraph.Plan, sink
 			}
 			obs.SlowQueries.Record(rec)
 		}
+	}()
+	// Panic isolation: a panic anywhere in this evaluation dies HERE, as a
+	// typed *PanicError on this query alone — the process and every other
+	// in-flight query survive. Declared after the telemetry defer so LIFO
+	// runs it first: by the time the telemetry defer publishes, err already
+	// holds the converted panic. Worker-goroutine panics arrive as an
+	// already-converted *PanicError in err (see parallelFor) and are
+	// recorded on the same terms.
+	defer func() {
+		var pe *PanicError
+		//vx:recover-boundary the engine's sanctioned eval recover choke point
+		if r := recover(); r != nil {
+			stack := debug.Stack()
+			pe = &PanicError{Value: r, Stack: stack}
+			skel = nil
+			err = pe
+		} else if !errors.As(err, &pe) {
+			return
+		}
+		obsQueryPanics.Inc()
+		var q string
+		if label != nil {
+			q = label()
+		} else if text := obs.QueryTextFrom(ctx); text != "" {
+			q = text
+		}
+		obs.Panics.Record(obs.PanicRecord{
+			Query: q,
+			Time:  start,
+			Value: fmt.Sprint(pe.Value),
+			Stack: string(pe.Stack),
+		})
 	}()
 	if sc := e.CheckPlan(plan); sc.Empty {
 		// Statically unsatisfiable: some path edge matches no catalog

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+var obsPanicsCaptured = GetCounter("obs.panics_captured")
+
+// Panics is the process-wide panic capture ring, populated by the
+// engine's recover boundary and served at /debug/panics. Panics should
+// be rare enough that a small ring holds the full history of interest;
+// if it ever wraps, the newest captures are the ones kept.
+var Panics = NewPanicRing(32)
+
+// PanicRecord is one captured panic: which query, when, what was thrown,
+// and the panicking goroutine's stack.
+type PanicRecord struct {
+	Query string    `json:"query"`
+	Time  time.Time `json:"time"`
+	Value string    `json:"value"`
+	Stack string    `json:"stack"`
+}
+
+// PanicRing is a fixed-capacity ring of panic captures, newest-first on
+// List. The shape mirrors SlowRing; panics have no admission threshold —
+// every one is captured.
+type PanicRing struct {
+	mu   sync.Mutex
+	buf  []PanicRecord // guarded by mu
+	next int           // guarded by mu
+	size int           // guarded by mu
+}
+
+// NewPanicRing returns a ring keeping the last n captures.
+func NewPanicRing(n int) *PanicRing {
+	if n < 1 {
+		n = 1
+	}
+	return &PanicRing{buf: make([]PanicRecord, n)}
+}
+
+// Record captures one panic, evicting the oldest when full.
+func (p *PanicRing) Record(rec PanicRecord) {
+	obsPanicsCaptured.Inc()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.buf[p.next] = rec
+	p.next = (p.next + 1) % len(p.buf)
+	if p.size < len(p.buf) {
+		p.size++
+	}
+}
+
+// List returns the captures, newest first.
+func (p *PanicRing) List() []PanicRecord {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PanicRecord, 0, p.size)
+	for i := 0; i < p.size; i++ {
+		j := (p.next - 1 - i + len(p.buf)) % len(p.buf)
+		out = append(out, p.buf[j])
+	}
+	return out
+}

@@ -22,6 +22,7 @@ type TaskMeter struct {
 	tuples           atomic.Int64
 	staticEmpty      atomic.Int64
 	cacheHits        atomic.Int64
+	readRetries      atomic.Int64
 }
 
 // PageFault charges one buffer-pool fault-in of n page bytes, plus the
@@ -81,6 +82,23 @@ func (m *TaskMeter) StaticEmpty() {
 	}
 }
 
+// ReadRetry charges one transient-read retry performed by the buffer
+// pool on this query's behalf.
+func (m *TaskMeter) ReadRetry() {
+	if m != nil {
+		m.readRetries.Add(1)
+	}
+}
+
+// ReadRetries returns the retries charged so far — the buffer pool's
+// per-query retry budget reads it before sleeping again.
+func (m *TaskMeter) ReadRetries() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.readRetries.Load()
+}
+
 // PagesFaulted returns the pages faulted so far (the slow-capture
 // threshold input).
 func (m *TaskMeter) PagesFaulted() int64 {
@@ -102,6 +120,7 @@ type TaskCounters struct {
 	Tuples           int64 `json:"tuples"`
 	StaticEmpty      int64 `json:"static_empty"`
 	CacheHits        int64 `json:"cache_hits"`
+	ReadRetries      int64 `json:"read_retries"`
 }
 
 // Counters snapshots the meter. A nil meter reads as all zeros.
@@ -119,6 +138,7 @@ func (m *TaskMeter) Counters() TaskCounters {
 		Tuples:           m.tuples.Load(),
 		StaticEmpty:      m.staticEmpty.Load(),
 		CacheHits:        m.cacheHits.Load(),
+		ReadRetries:      m.readRetries.Load(),
 	}
 }
 

@@ -29,10 +29,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"vxml/internal/core"
 	"vxml/internal/obs"
+	"vxml/internal/storage"
 	"vxml/internal/vectorize"
 )
 
@@ -72,6 +74,12 @@ type Config struct {
 	MaxInflightPages int64
 	// AdmitWait is how long an over-budget query queues before the 429.
 	AdmitWait time.Duration
+	// ReadRetries overrides the buffer pool's transient-read retry count:
+	// > 0 sets it, < 0 disables retrying, 0 keeps the storage default.
+	ReadRetries int
+	// RetryBackoff overrides the initial retry backoff; 0 keeps the
+	// storage default.
+	RetryBackoff time.Duration
 }
 
 // QueryRequest is the POST /query body.
@@ -136,6 +144,10 @@ type Server struct {
 	cfg Config
 	svc *core.Service
 	mux *http.ServeMux
+	// draining flips when graceful shutdown begins: /healthz answers 503
+	// from then on so load balancers stop routing while in-flight
+	// requests finish.
+	draining atomic.Bool
 }
 
 // Metrics are process-global (the obs registry aggregates across servers),
@@ -159,6 +171,19 @@ func New(cfg Config) *Server {
 	// The slow ring is process-global (evaluations capture into it from
 	// the engine, below the HTTP layer); the server owns its thresholds.
 	obs.SlowQueries.Configure(cfg.SlowQuery, cfg.SlowPages, cfg.SlowRingSize)
+	if cfg.Repo != nil && (cfg.ReadRetries != 0 || cfg.RetryBackoff != 0) {
+		rp := storage.DefaultRetryPolicy
+		switch {
+		case cfg.ReadRetries < 0:
+			rp.Retries = 0
+		case cfg.ReadRetries > 0:
+			rp.Retries = cfg.ReadRetries
+		}
+		if cfg.RetryBackoff > 0 {
+			rp.Backoff = cfg.RetryBackoff
+		}
+		cfg.Repo.Store.Pool().SetRetryPolicy(rp)
+	}
 	s := &Server{
 		cfg: cfg,
 		svc: core.NewService(cfg.Repo, core.ServiceConfig{
@@ -177,6 +202,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/debug/queries", s.handleQueries)
 	s.mux.HandleFunc("/debug/queries/", s.handleQueryCancel)
 	s.mux.HandleFunc("/debug/slow", s.handleSlow)
+	s.mux.HandleFunc("/debug/panics", s.handlePanics)
+	s.mux.HandleFunc("/debug/quarantine/clear", s.handleQuarantineClear)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -208,6 +235,9 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		// Flip /healthz to draining before Shutdown so load balancers see
+		// the 503 for the whole drain window.
+		s.draining.Store(true)
 		shutCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
 		err := srv.Shutdown(shutCtx)
@@ -230,9 +260,66 @@ func (s *Server) ListenAndRun(ctx context.Context, addr string, ready chan<- net
 	return s.Run(ctx, ln)
 }
 
+// healthResponse is the GET /healthz body.
+type healthResponse struct {
+	// Status is "ok", "degraded" (quarantined vectors exist; still
+	// serving — queries not touching them succeed) or "draining"
+	// (graceful shutdown in progress; served with 503 so load balancers
+	// stop routing).
+	Status      string                    `json:"status"`
+	Quarantined []storage.QuarantineEntry `json:"quarantined,omitempty"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n")
+	resp := healthResponse{Status: "ok"}
+	status := http.StatusOK
+	if s.cfg.Repo != nil {
+		if q := s.cfg.Repo.Health.List(); len(q) > 0 {
+			resp.Status = "degraded"
+			resp.Quarantined = q
+		}
+	}
+	if s.draining.Load() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}
+
+// handlePanics serves the captured query panics, most recent first.
+func (s *Server) handlePanics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(obs.Panics.List())
+}
+
+// handleQuarantineClear handles POST /debug/quarantine/clear: every
+// quarantined vector is re-verified from disk, the clean ones re-admitted
+// and the still-corrupt ones kept. The response lists both sets, so the
+// operator knows exactly what came back.
+func (s *Server) handleQuarantineClear(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	if s.cfg.Repo == nil {
+		s.fail(w, http.StatusUnprocessableEntity, errors.New("no repository"))
+		return
+	}
+	cleared, kept := s.cfg.Repo.ReverifyQuarantined()
+	if cleared == nil {
+		cleared = []string{}
+	}
+	if kept == nil {
+		kept = []string{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string][]string{"cleared": cleared, "kept": kept})
 }
 
 // handleMetrics serves the obs registry snapshot as a flat JSON object.
@@ -394,6 +481,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, core.ErrOverloaded):
 			status = http.StatusTooManyRequests
 			obsShed.Inc()
+		case errors.Is(err, core.ErrQuarantined):
+			// Distinct from 429: the data is fenced off until an operator
+			// re-verify, not merely busy. Retry-After points clients at a
+			// plausible re-check interval rather than an immediate hammer.
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "60")
 		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 			status = http.StatusGatewayTimeout
 		}

@@ -2,8 +2,10 @@ package storage
 
 import (
 	"errors"
+	"math/rand"
 	"os"
 	"sync"
+	"time"
 )
 
 // ErrInjected marks a fault injected by FaultFS. Tests assert that it
@@ -21,6 +23,12 @@ var ErrInjected = errors.New("injected I/O fault")
 //   - one-shot errors (FailNthRead/FailNthWrite/FailNthSync): the Nth
 //     operation of that kind fails once, exercising error paths without a
 //     crash.
+//   - chaos (SetChaos): seedable probabilistic transient read faults,
+//     injected read latency, and read-side bit-flip corruption — flaky
+//     media for soak tests. Corruption flips bits in the bytes *returned*
+//     to the reader, never in the underlying FS, modelling in-transit
+//     corruption: the disk stays clean, so a re-verify after injection
+//     stops legitimately passes.
 //
 // Mutating operations are counted before they execute, so a budget of N
 // lets exactly N mutations reach the underlying FS.
@@ -35,6 +43,57 @@ type FaultFS struct {
 	failWrite int64
 	failSync  int64
 	syncs     int64
+
+	chaos          Chaos      // guarded by mu
+	chaosRng       *rand.Rand // guarded by mu
+	injectedReads  int64      // chaos-injected read faults; guarded by mu
+	corruptedReads int64      // chaos bit-flipped reads; guarded by mu
+}
+
+// Chaos configures probabilistic fault injection on the read path. The
+// one-shot FailNthRead takes precedence over the dice on any given read;
+// a read never both faults and corrupts (a fault means no bytes arrived).
+type Chaos struct {
+	// Seed makes a run reproducible; soaks print it on failure.
+	Seed int64
+	// ReadFaultProb is the probability ∈ [0,1] that a read fails with
+	// ErrInjected.
+	ReadFaultProb float64
+	// CorruptProb is the probability ∈ [0,1] that a successful read has
+	// one random bit flipped in the returned bytes.
+	CorruptProb float64
+	// ReadLatency is added to every read (fault or not), outside any
+	// FaultFS lock.
+	ReadLatency time.Duration
+}
+
+// SetChaos installs (or, with the zero Chaos, removes) probabilistic
+// fault injection, resetting the chaos counters and reseeding the dice.
+func (f *FaultFS) SetChaos(c Chaos) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.chaos = c
+	f.injectedReads, f.corruptedReads = 0, 0
+	if c.ReadFaultProb > 0 || c.CorruptProb > 0 {
+		f.chaosRng = rand.New(rand.NewSource(c.Seed))
+	} else {
+		f.chaosRng = nil
+	}
+}
+
+// InjectedReads returns the chaos-injected transient read faults since
+// SetChaos.
+func (f *FaultFS) InjectedReads() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injectedReads
+}
+
+// CorruptedReads returns the chaos bit-flipped reads since SetChaos.
+func (f *FaultFS) CorruptedReads() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.corruptedReads
 }
 
 // NewFaultFS wraps inner with an unlimited write budget.
@@ -95,15 +154,44 @@ func (f *FaultFS) write() error {
 	return nil
 }
 
-func (f *FaultFS) read() error {
+// read accounts one read and rolls the chaos dice for it. The returned
+// delay is slept by the caller outside f.mu (latency applies to faulted
+// reads too — a timeout-then-error is exactly how flaky media behaves);
+// corrupt tells the caller to flip one bit in the bytes it returns.
+func (f *FaultFS) read() (corrupt bool, delay time.Duration, err error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.reads++
+	delay = f.chaos.ReadLatency
 	if f.failRead > 0 && f.reads == f.failRead {
 		f.failRead = 0
-		return ErrInjected
+		return false, delay, ErrInjected
 	}
-	return nil
+	if f.chaosRng != nil {
+		if f.chaos.ReadFaultProb > 0 && f.chaosRng.Float64() < f.chaos.ReadFaultProb {
+			f.injectedReads++
+			return false, delay, ErrInjected
+		}
+		if f.chaos.CorruptProb > 0 && f.chaosRng.Float64() < f.chaos.CorruptProb {
+			f.corruptedReads++
+			corrupt = true
+		}
+	}
+	return corrupt, delay, nil
+}
+
+// flipBit flips one seeded-random bit of b in place.
+func (f *FaultFS) flipBit(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.chaosRng == nil {
+		return
+	}
+	i := f.chaosRng.Intn(len(b) * 8)
+	b[i/8] ^= 1 << (i % 8)
 }
 
 func (f *FaultFS) sync() error {
@@ -137,10 +225,24 @@ func (f *FaultFS) OpenFile(path string, flag int, perm os.FileMode) (FSFile, err
 }
 
 func (f *FaultFS) ReadFile(path string) ([]byte, error) {
-	if err := f.read(); err != nil {
+	corrupt, delay, err := f.read()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err != nil {
 		return nil, err
 	}
-	return f.inner.ReadFile(path)
+	b, err := f.inner.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if corrupt && len(b) > 0 {
+		// Flip a bit in a private copy — an inner FS is allowed to hand
+		// back bytes it still owns, and chaos must never dirty those.
+		b = append([]byte(nil), b...)
+		f.flipBit(b)
+	}
+	return b, nil
 }
 
 func (f *FaultFS) Stat(path string) (os.FileInfo, error) { return f.inner.Stat(path) }
@@ -186,10 +288,20 @@ type faultFile struct {
 }
 
 func (h *faultFile) ReadAt(p []byte, off int64) (int, error) {
-	if err := h.fs.read(); err != nil {
+	corrupt, delay, err := h.fs.read()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err != nil {
 		return 0, err
 	}
-	return h.inner.ReadAt(p, off)
+	n, rerr := h.inner.ReadAt(p, off)
+	if corrupt && n > 0 {
+		// p is the caller's buffer: the flip corrupts what the reader
+		// sees, not what the disk holds.
+		h.fs.flipBit(p[:n])
+	}
+	return n, rerr
 }
 
 func (h *faultFile) WriteAt(p []byte, off int64) (int, error) {

@@ -1,0 +1,214 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+	"time"
+)
+
+func writeInnerFile(t testing.TB, fsys FS, path string, data []byte) {
+	t.Helper()
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultFSFailNthReadFile(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	writeInnerFile(t, mem, "a", []byte("alpha"))
+
+	ffs.FailNthRead(2)
+	if _, err := ffs.ReadFile("a"); err != nil {
+		t.Fatalf("read 1: %v", err)
+	}
+	if _, err := ffs.ReadFile("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read 2 = %v, want ErrInjected", err)
+	}
+	// One-shot: the third read is clean again.
+	if b, err := ffs.ReadFile("a"); err != nil || string(b) != "alpha" {
+		t.Fatalf("read 3 = %q, %v", b, err)
+	}
+}
+
+func TestFaultFSRenameCountsAgainstWriteBudget(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	writeInnerFile(t, mem, "a", []byte("alpha"))
+	writeInnerFile(t, mem, "b", []byte("beta"))
+
+	ffs.CrashAfterWrites(1)
+	if err := ffs.Rename("a", "a2"); err != nil {
+		t.Fatalf("rename within budget: %v", err)
+	}
+	if err := ffs.Rename("b", "b2"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename past budget = %v, want ErrInjected", err)
+	}
+	// The refused rename never reached the inner FS.
+	if _, err := mem.Stat("b"); err != nil {
+		t.Errorf("source of refused rename gone: %v", err)
+	}
+	if got := ffs.Writes(); got != 2 {
+		t.Errorf("Writes() = %d, want 2 (both attempts counted)", got)
+	}
+}
+
+func TestFaultFSFailNthSyncDir(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	if err := ffs.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.FailNthSync(1)
+	if err := ffs.SyncDir("d"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("SyncDir = %v, want ErrInjected", err)
+	}
+	if err := ffs.SyncDir("d"); err != nil {
+		t.Fatalf("second SyncDir: %v", err)
+	}
+}
+
+func TestChaosReadFaultProbOne(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	writeInnerFile(t, mem, "a", []byte("alpha"))
+
+	ffs.SetChaos(Chaos{Seed: 42, ReadFaultProb: 1})
+	if _, err := ffs.ReadFile("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("ReadFile = %v, want ErrInjected", err)
+	}
+	f, err := ffs.OpenFile("a", os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.ReadAt(make([]byte, 5), 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("ReadAt = %v, want ErrInjected", err)
+	}
+	if got := ffs.InjectedReads(); got != 2 {
+		t.Errorf("InjectedReads = %d, want 2", got)
+	}
+
+	// Turning chaos off resets the dice and the counters.
+	ffs.SetChaos(Chaos{})
+	if b, err := ffs.ReadFile("a"); err != nil || string(b) != "alpha" {
+		t.Fatalf("post-chaos ReadFile = %q, %v", b, err)
+	}
+	if got := ffs.InjectedReads(); got != 0 {
+		t.Errorf("InjectedReads after SetChaos reset = %d, want 0", got)
+	}
+}
+
+func TestChaosCorruptionIsReadSideOnly(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	original := []byte("pristine bytes on the quiet disk")
+	writeInnerFile(t, mem, "a", original)
+
+	ffs.SetChaos(Chaos{Seed: 7, CorruptProb: 1})
+	got, err := ffs.ReadFile("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, original) {
+		t.Error("CorruptProb=1 read returned uncorrupted bytes")
+	}
+	if n := ffs.CorruptedReads(); n != 1 {
+		t.Errorf("CorruptedReads = %d, want 1", n)
+	}
+	// The flip happened in the returned copy: the inner FS still holds
+	// the original, so a read after injection stops is clean.
+	if inner, err := mem.ReadFile("a"); err != nil || !bytes.Equal(inner, original) {
+		t.Fatalf("inner FS bytes changed: %q, %v", inner, err)
+	}
+	ffs.SetChaos(Chaos{})
+	if clean, err := ffs.ReadFile("a"); err != nil || !bytes.Equal(clean, original) {
+		t.Fatalf("post-chaos read = %q, %v, want original", clean, err)
+	}
+
+	// Same read-side contract on the ReadAt path: the caller's buffer is
+	// corrupted, the disk is not.
+	ffs.SetChaos(Chaos{Seed: 7, CorruptProb: 1})
+	f, err := ffs.OpenFile("a", os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, len(original))
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf, original) {
+		t.Error("CorruptProb=1 ReadAt returned uncorrupted bytes")
+	}
+	if inner, err := mem.ReadFile("a"); err != nil || !bytes.Equal(inner, original) {
+		t.Fatalf("inner FS bytes changed after ReadAt: %q, %v", inner, err)
+	}
+}
+
+func TestChaosReadLatency(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	writeInnerFile(t, mem, "a", []byte("alpha"))
+
+	const latency = 20 * time.Millisecond
+	ffs.SetChaos(Chaos{Seed: 1, ReadLatency: latency})
+	start := time.Now()
+	if _, err := ffs.ReadFile("a"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < latency {
+		t.Errorf("ReadFile took %v, want >= %v", elapsed, latency)
+	}
+
+	// Latency applies to faulted reads too: flaky media times out, then
+	// errors.
+	ffs.SetChaos(Chaos{Seed: 1, ReadFaultProb: 1, ReadLatency: latency})
+	start = time.Now()
+	if _, err := ffs.ReadFile("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("ReadFile = %v, want ErrInjected", err)
+	}
+	if elapsed := time.Since(start); elapsed < latency {
+		t.Errorf("faulted ReadFile took %v, want >= %v", elapsed, latency)
+	}
+}
+
+func TestChaosSeedIsReproducible(t *testing.T) {
+	run := func(seed int64) []bool {
+		mem := NewMemFS()
+		ffs := NewFaultFS(mem)
+		writeInnerFile(t, mem, "a", []byte("alpha"))
+		ffs.SetChaos(Chaos{Seed: seed, ReadFaultProb: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			_, err := ffs.ReadFile("a")
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at read %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	faults := 0
+	for _, f := range a {
+		if f {
+			faults++
+		}
+	}
+	if faults == 0 || faults == len(a) {
+		t.Errorf("ReadFaultProb=0.5 produced %d/%d faults: dice not rolling", faults, len(a))
+	}
+}

@@ -1,0 +1,112 @@
+package storage
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Health is a repository's degraded-state table: the set of data vectors
+// quarantined after an integrity failure survived the pool's immediate
+// re-read. Quarantine is deliberately coarse — path-class (one vector
+// file) granularity — because a vector with one provably bad page has
+// lost the reader's trust wholesale, and per-page bookkeeping would buy
+// nothing: the engine opens and scans vectors, not pages.
+//
+// A quarantined vector makes later queries that touch it fail fast with
+// a typed error before any disk I/O, instead of re-reading the bad page
+// (and re-failing its checksum) once per query. The table is in-memory
+// per process: quarantine describes what this process has *observed*,
+// and a restart legitimately starts trusting the disk again until it
+// re-observes the failure. Durable repair is fsck's job, not Health's.
+//
+// All methods are safe on a nil receiver (reads report healthy, writes
+// are dropped), so engines over ad-hoc repositories need no wiring.
+type Health struct {
+	mu          sync.Mutex
+	quarantined map[string]QuarantineEntry // vector name → entry; guarded by mu
+}
+
+// QuarantineEntry records one quarantined vector.
+type QuarantineEntry struct {
+	Vector string    `json:"vector"`
+	Reason string    `json:"reason"`
+	Since  time.Time `json:"since"`
+}
+
+// NewHealth returns an empty (healthy) table.
+func NewHealth() *Health {
+	return &Health{quarantined: make(map[string]QuarantineEntry)}
+}
+
+// Quarantine marks a vector untrusted, reporting whether it was newly
+// added (false: already quarantined; the original entry and its Since
+// stand, so flapping failures do not reset the clock).
+func (h *Health) Quarantine(vector, reason string) bool {
+	if h == nil {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.quarantined[vector]; ok {
+		return false
+	}
+	h.quarantined[vector] = QuarantineEntry{Vector: vector, Reason: reason, Since: time.Now()}
+	obsQuarantineAdded.Inc()
+	obsQuarantined.Add(1)
+	return true
+}
+
+// Quarantined reports whether the vector is quarantined, and why.
+func (h *Health) Quarantined(vector string) (reason string, ok bool) {
+	if h == nil {
+		return "", false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e, ok := h.quarantined[vector]
+	return e.Reason, ok
+}
+
+// Clear re-admits a vector, reporting whether it was quarantined. Callers
+// must re-verify the vector's bytes first (vxstore quarantine / the
+// repository's re-verify path); Clear itself only trusts them again.
+func (h *Health) Clear(vector string) bool {
+	if h == nil {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.quarantined[vector]; !ok {
+		return false
+	}
+	delete(h.quarantined, vector)
+	obsQuarantined.Add(-1)
+	return true
+}
+
+// List returns the quarantined vectors sorted by name — the /healthz
+// payload.
+func (h *Health) List() []QuarantineEntry {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]QuarantineEntry, 0, len(h.quarantined))
+	for _, e := range h.quarantined {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Vector < out[j].Vector })
+	return out
+}
+
+// Len returns the number of quarantined vectors; 0 means healthy.
+func (h *Health) Len() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.quarantined)
+}

@@ -1,0 +1,77 @@
+package storage
+
+import "testing"
+
+func TestHealthNilReceiverIsHealthy(t *testing.T) {
+	var h *Health
+	if h.Quarantine("v", "why") {
+		t.Error("nil Health accepted a quarantine")
+	}
+	if _, ok := h.Quarantined("v"); ok {
+		t.Error("nil Health reports a quarantined vector")
+	}
+	if h.Clear("v") {
+		t.Error("nil Health cleared a vector")
+	}
+	if got := h.List(); got != nil {
+		t.Errorf("nil Health List = %v, want nil", got)
+	}
+	if got := h.Len(); got != 0 {
+		t.Errorf("nil Health Len = %d, want 0", got)
+	}
+}
+
+func TestHealthQuarantineLifecycle(t *testing.T) {
+	h := NewHealth()
+	added0 := obsQuarantineAdded.Load()
+	gauge0 := obsQuarantined.Load()
+
+	if !h.Quarantine("data/b", "page 3 checksum") {
+		t.Fatal("first Quarantine = false, want true")
+	}
+	if h.Quarantine("data/b", "page 9 checksum") {
+		t.Error("repeat Quarantine = true, want false")
+	}
+	// The original entry stands: flapping failures do not reset the clock
+	// or rewrite the first observed reason.
+	if reason, ok := h.Quarantined("data/b"); !ok || reason != "page 3 checksum" {
+		t.Errorf("Quarantined = %q, %v; want original reason", reason, ok)
+	}
+	h.Quarantine("data/a", "torn page")
+	if got := h.Len(); got != 2 {
+		t.Errorf("Len = %d, want 2", got)
+	}
+	if d := obsQuarantineAdded.Load() - added0; d != 2 {
+		t.Errorf("storage.quarantine_added delta = %d, want 2 (repeat not counted)", d)
+	}
+	if d := obsQuarantined.Load() - gauge0; d != 2 {
+		t.Errorf("storage.quarantined gauge delta = %d, want 2", d)
+	}
+
+	list := h.List()
+	if len(list) != 2 || list[0].Vector != "data/a" || list[1].Vector != "data/b" {
+		t.Errorf("List = %v, want sorted [data/a data/b]", list)
+	}
+	for _, e := range list {
+		if e.Since.IsZero() {
+			t.Errorf("entry %s has zero Since", e.Vector)
+		}
+	}
+
+	if !h.Clear("data/b") {
+		t.Error("Clear of quarantined vector = false")
+	}
+	if h.Clear("data/b") {
+		t.Error("second Clear = true, want false")
+	}
+	if _, ok := h.Quarantined("data/b"); ok {
+		t.Error("cleared vector still quarantined")
+	}
+	h.Clear("data/a")
+	if got := h.Len(); got != 0 {
+		t.Errorf("Len after clears = %d, want 0", got)
+	}
+	if d := obsQuarantined.Load() - gauge0; d != 0 {
+		t.Errorf("storage.quarantined gauge delta = %d, want 0 after clears", d)
+	}
+}

@@ -17,4 +17,10 @@ var (
 	obsFDReopens     = obs.GetCounter("storage.fd.reopens")
 	obsCkVerified    = obs.GetCounter("storage.checksum.pages_verified")
 	obsCkFailures    = obs.GetCounter("storage.checksum.failures")
+
+	obsReadRetries        = obs.GetCounter("storage.read_retries")
+	obsReadRetryExhausted = obs.GetCounter("storage.read_retry_exhausted")
+	obsCorruptRereads     = obs.GetCounter("storage.corrupt_rereads")
+	obsQuarantineAdded    = obs.GetCounter("storage.quarantine_added")
+	obsQuarantined        = obs.GetGauge("storage.quarantined")
 )

@@ -2,6 +2,8 @@ package storage
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -37,6 +39,7 @@ type BufferPool struct {
 	frames   map[pageKey]*Frame
 	lru      *list.List // unpinned frames, front = least recently used
 	stats    Stats
+	retry    RetryPolicy // guarded by mu
 }
 
 // NewBufferPool returns a pool holding at most capacity pages.
@@ -48,11 +51,26 @@ func NewBufferPool(capacity int) *BufferPool {
 		capacity: capacity,
 		frames:   make(map[pageKey]*Frame, capacity),
 		lru:      list.New(),
+		retry:    DefaultRetryPolicy,
 	}
 }
 
 // Capacity returns the pool capacity in pages.
 func (p *BufferPool) Capacity() int { return p.capacity }
+
+// SetRetryPolicy replaces the pool's transient-read retry policy (see
+// RetryPolicy; new pools start with DefaultRetryPolicy).
+func (p *BufferPool) SetRetryPolicy(rp RetryPolicy) {
+	p.mu.Lock()
+	p.retry = rp
+	p.mu.Unlock()
+}
+
+func (p *BufferPool) retryPolicy() RetryPolicy {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.retry
+}
 
 // Get pins the given page of file into the pool, reading it from disk on a
 // miss. The caller must Unpin the returned frame.
@@ -65,6 +83,60 @@ func (p *BufferPool) Get(f *File, pageNo int64) (*Frame, error) {
 // read, and the trailer verification when checksum verification is on.
 // A nil meter makes it exactly Get.
 func (p *BufferPool) GetMetered(f *File, pageNo int64, m *obs.TaskMeter) (*Frame, error) {
+	return p.GetMeteredCtx(context.Background(), f, pageNo, m)
+}
+
+// GetMeteredCtx is GetMetered with the fault-tolerant read path: a page
+// fill that fails with a transient I/O error (IsTransientRead) is retried
+// up to the pool's RetryPolicy with exponential backoff + jitter, each
+// retry charged to the meter and to storage.read_retries. The backoff
+// sleeps outside the pool lock and respects ctx cancellation mid-sleep.
+// When retries (or the meter's per-query budget) run out the LAST
+// underlying error is returned wrapped, so callers still see the real
+// fault, and storage.read_retry_exhausted counts the give-up.
+//
+// Integrity failures are never backoff-retried: a checksum mismatch gets
+// exactly one immediate re-read (corruption in transit, not on disk,
+// reads clean the second time) inside the fill, and an error wrapping
+// ErrCorrupt after that surfaces unchanged for the caller to quarantine.
+func (p *BufferPool) GetMeteredCtx(ctx context.Context, f *File, pageNo int64, m *obs.TaskMeter) (*Frame, error) {
+	rp := p.retryPolicy()
+	var attempt int
+	for {
+		fr, err := p.getOnce(f, pageNo, m)
+		if err == nil {
+			return fr, nil
+		}
+		if !IsTransientRead(err) {
+			return nil, err
+		}
+		if attempt >= rp.Retries {
+			if rp.Retries > 0 {
+				obsReadRetryExhausted.Inc()
+				return nil, fmt.Errorf("storage: read %s page %d: %d retries exhausted: %w", f.path, pageNo, attempt, err)
+			}
+			return nil, err
+		}
+		if rp.Budget > 0 && m.ReadRetries() >= rp.Budget {
+			obsReadRetryExhausted.Inc()
+			return nil, fmt.Errorf("storage: read %s page %d: per-query retry budget (%d) exhausted: %w", f.path, pageNo, rp.Budget, err)
+		}
+		m.ReadRetry()
+		obsReadRetries.Inc()
+		if serr := sleepBackoff(ctx, rp.backoffFor(attempt)); serr != nil {
+			// Cancelled mid-backoff: the caller's context error wins, with
+			// the fault that sent us to sleep attached for the log line.
+			return nil, fmt.Errorf("%w (while retrying: %v)", serr, err)
+		}
+		attempt++
+	}
+}
+
+// getOnce is one pin-or-fill attempt. A failed fill discards the frame
+// while still under the pool lock, so between attempts the pool holds no
+// trace of the page and concurrent Gets race only against a consistent
+// pool — a frame is either absent or verified-full, never empty.
+func (p *BufferPool) getOnce(f *File, pageNo int64, m *obs.TaskMeter) (*Frame, error) {
 	key := pageKey{f.id, pageNo}
 	p.mu.Lock()
 	if fr, ok := p.frames[key]; ok {
@@ -90,10 +162,25 @@ func (p *BufferPool) GetMetered(f *File, pageNo int64, m *obs.TaskMeter) (*Frame
 	// already happen here and the engine is sequential per query.
 	atomic.AddInt64(&p.stats.PagesRead, 1)
 	obsPoolReads.Inc()
-	if err := f.readPage(pageNo, fr.full); err != nil {
+	err = f.readPage(pageNo, fr.full)
+	if err != nil && errors.Is(err, ErrCorrupt) {
+		// One immediate re-read: corruption in transit (not on the disk)
+		// reads clean the second time; persistent corruption does not and
+		// gets no further disk traffic from this pool.
+		obsCorruptRereads.Inc()
+		atomic.AddInt64(&p.stats.PagesRead, 1)
+		obsPoolReads.Inc()
+		err = f.readPage(pageNo, fr.full)
+	}
+	if err != nil {
+		// Discard the frame BEFORE releasing the lock. It holds our only
+		// pin and was never on the LRU, so deleting it here is complete —
+		// and doing it after unlock would open a window where a concurrent
+		// Get finds the never-filled frame in the table and serves zeroed
+		// page data as a hit (and, having pinned it, keeps the poison
+		// frame alive past any later drop).
+		delete(p.frames, key)
 		p.mu.Unlock()
-		p.release(fr, false)
-		p.drop(key)
 		return nil, err
 	}
 	p.mu.Unlock()
@@ -180,17 +267,6 @@ func (p *BufferPool) release(fr *Frame, dirty bool) {
 	}
 	if fr.pins == 0 {
 		fr.elem = p.lru.PushBack(fr)
-	}
-}
-
-func (p *BufferPool) drop(key pageKey) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if fr, ok := p.frames[key]; ok && fr.pins == 0 {
-		if fr.elem != nil {
-			p.lru.Remove(fr.elem)
-		}
-		delete(p.frames, key)
 	}
 }
 

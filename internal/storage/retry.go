@@ -1,0 +1,129 @@
+package storage
+
+// The read-fault taxonomy and the bounded-retry policy of the buffer
+// pool's fault path. Storage read failures split into two classes with
+// opposite remedies:
+//
+//   - transient I/O faults (EINTR-class errors, injected faults, flaky
+//     media): retrying after a short backoff usually succeeds, so the
+//     pool retries them with bounded exponential backoff + jitter;
+//   - integrity failures (errors wrapping ErrCorrupt): the bytes on disk
+//     are wrong, so a retry re-reads the same wrong bytes. They are
+//     NEVER backoff-retried. The pool performs exactly one immediate
+//     re-read — ruling out corruption in transit (a bit flipped on the
+//     bus or in a DMA buffer) — and a failure that survives it is
+//     reported up for quarantine.
+//
+// Context and budget errors (cancellation, deadline, pool exhaustion)
+// are neither: they describe the caller, not the medium, and also never
+// retry.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+)
+
+// RetryPolicy bounds the buffer pool's transient-read retries.
+type RetryPolicy struct {
+	// Retries is the maximum retry attempts per page read beyond the
+	// first try; 0 disables retrying.
+	Retries int
+	// Backoff is the sleep before the first retry; each further retry
+	// doubles it up to MaxBackoff. Jitter of ±50% is applied.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth. 0 means Backoff (no
+	// growth).
+	MaxBackoff time.Duration
+	// Budget caps the total retries charged to one query's TaskMeter;
+	// a query that spent its budget fails on the next transient fault
+	// instead of retrying. 0 means no per-query cap.
+	Budget int64
+}
+
+// DefaultRetryPolicy is the policy new buffer pools start with: three
+// retries starting at 1ms, capped at 50ms, with a generous per-query
+// budget. Flags (-read-retries, -retry-backoff) override it in vxstore.
+var DefaultRetryPolicy = RetryPolicy{
+	Retries:    3,
+	Backoff:    time.Millisecond,
+	MaxBackoff: 50 * time.Millisecond,
+	Budget:     256,
+}
+
+// IsTransientRead classifies a page-read error: true means a retry may
+// succeed (an I/O hiccup), false means retrying is wrong or useless —
+// integrity failures (ErrCorrupt: same bytes, same failure), context
+// errors (the caller is gone) and missing files (the namespace, not the
+// medium).
+func IsTransientRead(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrCorrupt) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, os.ErrNotExist) {
+		return false
+	}
+	return true
+}
+
+// backoffFor returns the sleep before retry attempt n (0-based), with
+// ±50% jitter so synchronized queries hitting one flaky device do not
+// retry in lockstep.
+func (p RetryPolicy) backoffFor(attempt int) time.Duration {
+	d := p.Backoff
+	if d <= 0 {
+		return 0
+	}
+	max := p.MaxBackoff
+	if max < d {
+		max = d
+	}
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// Jitter in [d/2, 3d/2).
+	return d/2 + time.Duration(retryRand(int64(d)))
+}
+
+var (
+	retryRandMu  sync.Mutex
+	retryRandSrc = rand.New(rand.NewSource(time.Now().UnixNano())) // guarded by retryRandMu
+)
+
+func retryRand(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	retryRandMu.Lock()
+	defer retryRandMu.Unlock()
+	return retryRandSrc.Int63n(n)
+}
+
+// sleepBackoff sleeps for d or until ctx is done, returning ctx's error
+// in the latter case — a query cancelled mid-backoff unwinds immediately
+// instead of finishing its sleep.
+func sleepBackoff(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

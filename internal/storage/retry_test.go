@@ -1,0 +1,343 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vxml/internal/obs"
+)
+
+// newFaultStore opens a store on a FaultFS over a MemFS, returning all
+// three layers so tests can inject faults and inspect the clean bytes
+// underneath.
+func newFaultStore(t testing.TB, poolPages int) (*Store, *FaultFS, *MemFS) {
+	t.Helper()
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	s, err := OpenStoreFS(ffs, "repo", poolPages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, ffs, mem
+}
+
+// writeOnePage allocates page 0 of name with the given payload, flushes
+// it and drops it from the pool, so the next Get must read the disk.
+func writeOnePage(t testing.TB, s *Store, name string, payload []byte) *File {
+	t.Helper()
+	f, err := s.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, pageNo, err := s.Pool().Alloc(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pageNo != 0 {
+		t.Fatalf("first page = %d, want 0", pageNo)
+	}
+	copy(fr.Data, payload)
+	s.Pool().Unpin(fr, true)
+	if err := s.Pool().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Pool().DropFile(f); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestIsTransientRead(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"corrupt", ErrCorrupt, false},
+		{"wrapped corrupt", errors.Join(errors.New("read page 3"), ErrCorrupt), false},
+		{"canceled", context.Canceled, false},
+		{"deadline", context.DeadlineExceeded, false},
+		{"not exist", os.ErrNotExist, false},
+		{"injected", ErrInjected, true},
+		{"generic io", errors.New("read: input/output error"), true},
+	} {
+		if got := IsTransientRead(tc.err); got != tc.want {
+			t.Errorf("IsTransientRead(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestBackoffForGrowthAndJitter(t *testing.T) {
+	p := RetryPolicy{Backoff: 4 * time.Millisecond, MaxBackoff: 16 * time.Millisecond}
+	// Nominal (pre-jitter) delays double per attempt up to the cap:
+	// 4ms, 8ms, 16ms, 16ms, ... Jitter keeps each in [d/2, 3d/2).
+	for attempt, nominal := range []time.Duration{
+		4 * time.Millisecond, 8 * time.Millisecond, 16 * time.Millisecond, 16 * time.Millisecond,
+	} {
+		for i := 0; i < 50; i++ {
+			d := p.backoffFor(attempt)
+			if d < nominal/2 || d >= nominal+nominal/2 {
+				t.Fatalf("backoffFor(%d) = %v outside [%v, %v)", attempt, d, nominal/2, nominal+nominal/2)
+			}
+		}
+	}
+	if d := (RetryPolicy{}).backoffFor(0); d != 0 {
+		t.Errorf("zero policy backoff = %v, want 0", d)
+	}
+}
+
+func TestSleepBackoffCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := sleepBackoff(ctx, time.Hour)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("sleepBackoff = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancel took %v, backoff did not unwind mid-sleep", elapsed)
+	}
+	// A zero sleep still reports an already-dead context.
+	if err := sleepBackoff(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sleepBackoff(dead ctx, 0) = %v, want context.Canceled", err)
+	}
+}
+
+func TestTransientReadRetriedThenSucceeds(t *testing.T) {
+	s, ffs, _ := newFaultStore(t, 4)
+	f := writeOnePage(t, s, "v1", []byte("survives one fault"))
+	s.Pool().SetRetryPolicy(RetryPolicy{Retries: 3, Backoff: 50 * time.Microsecond, MaxBackoff: time.Millisecond, Budget: 16})
+
+	retries0 := obsReadRetries.Load()
+	exhausted0 := obsReadRetryExhausted.Load()
+	m := new(obs.TaskMeter)
+	ffs.FailNthRead(1)
+	fr, err := s.Pool().GetMeteredCtx(context.Background(), f, 0, m)
+	if err != nil {
+		t.Fatalf("Get after one transient fault: %v", err)
+	}
+	defer s.Pool().Unpin(fr, false)
+	if got := string(fr.Data[:18]); got != "survives one fault" {
+		t.Errorf("read back %q", got)
+	}
+	if n := m.ReadRetries(); n != 1 {
+		t.Errorf("meter ReadRetries = %d, want 1", n)
+	}
+	if d := obsReadRetries.Load() - retries0; d != 1 {
+		t.Errorf("storage.read_retries delta = %d, want 1", d)
+	}
+	if d := obsReadRetryExhausted.Load() - exhausted0; d != 0 {
+		t.Errorf("storage.read_retry_exhausted delta = %d, want 0", d)
+	}
+}
+
+func TestRetryExhaustionWrapsLastError(t *testing.T) {
+	s, ffs, _ := newFaultStore(t, 4)
+	f := writeOnePage(t, s, "v1", []byte("never arrives"))
+	s.Pool().SetRetryPolicy(RetryPolicy{Retries: 2, Backoff: 50 * time.Microsecond, MaxBackoff: time.Millisecond})
+	ffs.SetChaos(Chaos{Seed: 1, ReadFaultProb: 1}) // every read faults
+	defer ffs.SetChaos(Chaos{})
+
+	exhausted0 := obsReadRetryExhausted.Load()
+	m := new(obs.TaskMeter)
+	_, err := s.Pool().GetMeteredCtx(context.Background(), f, 0, m)
+	if err == nil {
+		t.Fatal("Get succeeded with every read faulting")
+	}
+	// The real fault must survive the exhaustion wrap — callers (and
+	// quarantine) classify by errors.Is, not by message.
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("exhaustion error %v does not wrap the last underlying ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "retries exhausted") {
+		t.Errorf("error %q does not mention retries exhausted", err)
+	}
+	if n := m.ReadRetries(); n != 2 {
+		t.Errorf("meter ReadRetries = %d, want 2", n)
+	}
+	if d := obsReadRetryExhausted.Load() - exhausted0; d != 1 {
+		t.Errorf("storage.read_retry_exhausted delta = %d, want 1", d)
+	}
+}
+
+func TestRetryBudgetExhaustionWrapsLastError(t *testing.T) {
+	s, ffs, _ := newFaultStore(t, 4)
+	f := writeOnePage(t, s, "v1", []byte("never arrives"))
+	// Generous attempt cap, tiny per-query budget: the budget trips first.
+	s.Pool().SetRetryPolicy(RetryPolicy{Retries: 10, Backoff: 50 * time.Microsecond, Budget: 2})
+	ffs.SetChaos(Chaos{Seed: 1, ReadFaultProb: 1})
+	defer ffs.SetChaos(Chaos{})
+
+	m := new(obs.TaskMeter)
+	_, err := s.Pool().GetMeteredCtx(context.Background(), f, 0, m)
+	if err == nil {
+		t.Fatal("Get succeeded with every read faulting")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("budget-exhaustion error %v does not wrap the last underlying ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "retry budget") {
+		t.Errorf("error %q does not mention the retry budget", err)
+	}
+	if n := m.ReadRetries(); n != 2 {
+		t.Errorf("meter ReadRetries = %d, want 2 (the whole budget, no more)", n)
+	}
+}
+
+func TestRetryRespectsContextCancelMidBackoff(t *testing.T) {
+	s, ffs, _ := newFaultStore(t, 4)
+	f := writeOnePage(t, s, "v1", []byte("never arrives"))
+	// An hour-long backoff: only cancellation can end the sleep.
+	s.Pool().SetRetryPolicy(RetryPolicy{Retries: 3, Backoff: time.Hour, MaxBackoff: time.Hour})
+	ffs.SetChaos(Chaos{Seed: 1, ReadFaultProb: 1})
+	defer ffs.SetChaos(Chaos{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := s.Pool().GetMeteredCtx(ctx, f, 0, new(obs.TaskMeter))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Get = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancel took %v, retry slept through it", elapsed)
+	}
+}
+
+func TestDisabledRetriesSurfaceFaultUnwrapped(t *testing.T) {
+	s, ffs, _ := newFaultStore(t, 4)
+	f := writeOnePage(t, s, "v1", []byte("no second chances"))
+	s.Pool().SetRetryPolicy(RetryPolicy{}) // Retries: 0
+
+	exhausted0 := obsReadRetryExhausted.Load()
+	ffs.FailNthRead(1)
+	_, err := s.Pool().Get(f, 0)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Get = %v, want ErrInjected", err)
+	}
+	if strings.Contains(err.Error(), "exhausted") {
+		t.Errorf("retries disabled, but error %q claims exhaustion", err)
+	}
+	if d := obsReadRetryExhausted.Load() - exhausted0; d != 0 {
+		t.Errorf("storage.read_retry_exhausted delta = %d, want 0 with retries disabled", d)
+	}
+}
+
+func TestCorruptPageNeverBackoffRetried(t *testing.T) {
+	s, _, mem := newFaultStore(t, 4)
+	f := writeOnePage(t, s, "v1", []byte("bytes on disk are wrong"))
+	s.Pool().SetRetryPolicy(RetryPolicy{Retries: 5, Backoff: time.Hour, MaxBackoff: time.Hour})
+
+	// Corrupt the page durably on the inner FS: every re-read sees the
+	// same wrong bytes.
+	h, err := mem.OpenFile(f.Path(), os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt([]byte{0xFF}, 3); err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+
+	rereads0 := obsCorruptRereads.Load()
+	retries0 := obsReadRetries.Load()
+	reads0 := s.Pool().StatsSnapshot().PagesRead
+	m := new(obs.TaskMeter)
+	start := time.Now()
+	_, err = s.Pool().GetMeteredCtx(context.Background(), f, 0, m)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get = %v, want ErrCorrupt", err)
+	}
+	// Hour-long backoffs: finishing fast proves corruption skipped the
+	// backoff loop entirely.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("corrupt read took %v: it entered the backoff loop", elapsed)
+	}
+	if d := s.Pool().StatsSnapshot().PagesRead - reads0; d != 2 {
+		t.Errorf("PagesRead delta = %d, want exactly 2 (first read + one immediate re-read)", d)
+	}
+	if d := obsCorruptRereads.Load() - rereads0; d != 1 {
+		t.Errorf("storage.corrupt_rereads delta = %d, want 1", d)
+	}
+	if d := obsReadRetries.Load() - retries0; d != 0 {
+		t.Errorf("storage.read_retries delta = %d, want 0: corruption is not transient", d)
+	}
+	if n := m.ReadRetries(); n != 0 {
+		t.Errorf("meter ReadRetries = %d, want 0", n)
+	}
+}
+
+// corruptReadsFS flips a bit in the first n ReadAt results — in-transit
+// corruption that is gone on re-read, unlike bytes wrong on the disk.
+type corruptReadsFS struct {
+	FS
+	mu sync.Mutex
+	n  int // remaining reads to corrupt; guarded by mu
+}
+
+func (c *corruptReadsFS) OpenFile(path string, flag int, perm os.FileMode) (FSFile, error) {
+	f, err := c.FS.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &corruptReadsFile{FSFile: f, fs: c}, nil
+}
+
+type corruptReadsFile struct {
+	FSFile
+	fs *corruptReadsFS
+}
+
+func (f *corruptReadsFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := f.FSFile.ReadAt(p, off)
+	f.fs.mu.Lock()
+	if f.fs.n > 0 && n > 0 {
+		f.fs.n--
+		p[0] ^= 0x01
+	}
+	f.fs.mu.Unlock()
+	return n, err
+}
+
+func TestTransitCorruptionClearsOnImmediateReread(t *testing.T) {
+	cfs := &corruptReadsFS{FS: NewMemFS()}
+	s, err := OpenStoreFS(cfs, "repo", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	f := writeOnePage(t, s, "v1", []byte("clean on disk"))
+
+	cfs.mu.Lock()
+	cfs.n = 1 // corrupt only the next read
+	cfs.mu.Unlock()
+	rereads0 := obsCorruptRereads.Load()
+	reads0 := s.Pool().StatsSnapshot().PagesRead
+	fr, err := s.Pool().Get(f, 0)
+	if err != nil {
+		t.Fatalf("Get after transit corruption: %v", err)
+	}
+	defer s.Pool().Unpin(fr, false)
+	if got := string(fr.Data[:13]); got != "clean on disk" {
+		t.Errorf("read back %q", got)
+	}
+	if d := s.Pool().StatsSnapshot().PagesRead - reads0; d != 2 {
+		t.Errorf("PagesRead delta = %d, want 2 (corrupt read + clean re-read)", d)
+	}
+	if d := obsCorruptRereads.Load() - rereads0; d != 1 {
+		t.Errorf("storage.corrupt_rereads delta = %d, want 1", d)
+	}
+}

@@ -3,6 +3,7 @@ package vector
 import (
 	"bytes"
 	"compress/flate"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -200,7 +201,8 @@ type CompressedPaged struct {
 	file  *storage.File
 	count int64
 	bytes int64
-	meter *obs.TaskMeter // nil on shared readers; set on Metered views
+	meter *obs.TaskMeter  // nil on shared readers; set on Metered views
+	ctx   context.Context // nil on shared readers; set on WithContext views
 }
 
 // Metered implements Meterable: the returned view charges page faults to
@@ -209,6 +211,21 @@ func (p *CompressedPaged) Metered(m *obs.TaskMeter) Vector {
 	v := *p
 	v.meter = m
 	return &v
+}
+
+// WithContext implements Contextual: the returned view's page reads honor
+// ctx during transient-read retry backoff.
+func (p *CompressedPaged) WithContext(ctx context.Context) Vector {
+	v := *p
+	v.ctx = ctx
+	return &v
+}
+
+func (p *CompressedPaged) context() context.Context {
+	if p.ctx != nil {
+		return p.ctx
+	}
+	return context.Background()
 }
 
 // OpenCompressed opens a finalized compressed vector file.
@@ -296,7 +313,7 @@ func (p *CompressedPaged) loadPage(cache *inflateCache, pageNo int64) error {
 	if cache.page == pageNo {
 		return nil
 	}
-	fr, err := p.pool.GetMetered(p.file, pageNo, p.meter)
+	fr, err := p.pool.GetMeteredCtx(p.context(), p.file, pageNo, p.meter)
 	if err != nil {
 		return err
 	}
@@ -340,7 +357,7 @@ func (p *CompressedPaged) findPage(pos int64) (int64, error) {
 	lo, hi := int64(1), p.file.NumPages()-1
 	var ioErr error
 	firstIdxOf := func(pg int64) int64 {
-		fr, err := p.pool.GetMetered(p.file, pg, p.meter)
+		fr, err := p.pool.GetMeteredCtx(p.context(), p.file, pg, p.meter)
 		if err != nil {
 			ioErr = err
 			return 0

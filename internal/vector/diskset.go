@@ -1,6 +1,7 @@
 package vector
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"path/filepath"
@@ -221,11 +222,52 @@ func (c *clamped) Metered(m *obs.TaskMeter) Vector {
 	return c
 }
 
+// WithContext implements Contextual by forwarding to the wrapped vector,
+// keeping the clamp.
+func (c *clamped) WithContext(ctx context.Context) Vector {
+	if cv, ok := c.Vector.(Contextual); ok {
+		return &clamped{Vector: cv.WithContext(ctx), n: c.n}
+	}
+	return c
+}
+
 func (c *clamped) Scan(start, n int64, fn func(pos int64, val []byte) error) error {
 	if start < 0 || start+n > c.n {
 		return fmt.Errorf("vector: scan [%d,%d) out of range 0..%d", start, start+n, c.n)
 	}
 	return c.Vector.Scan(start, n, fn)
+}
+
+// Reverify re-reads the named vector from disk end to end — every page
+// through its CRC trailer, every record through its structural bounds —
+// and reports the first failure. It is the quarantine-clear path's proof
+// of health: the cached reader is discarded and the vector's buffered
+// pages dropped first, so the verification reads the *disk*, not frames
+// cached from before the failure. On success later Vector calls reopen
+// a fresh reader.
+func (s *DiskSet) Reverify(name string) error {
+	s.mu.Lock()
+	delete(s.open, name)
+	e, ok := s.catalog[name]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("vector: no vector %q", name)
+	}
+	f, err := s.store.Open(e.File)
+	if err != nil {
+		return err
+	}
+	// A frame pinned by an in-flight scan cannot be dropped; the caller
+	// retries once that query drains. (Quarantined vectors fail fast in
+	// the engine, so pins on them are short-lived stragglers.)
+	if err := s.store.Pool().DropFile(f); err != nil {
+		return fmt.Errorf("vector: reverify %q: %w", name, err)
+	}
+	v, err := s.Vector(name)
+	if err != nil {
+		return err
+	}
+	return v.Scan(0, v.Len(), func(int64, []byte) error { return nil })
 }
 
 // Files returns the on-disk file name and current page count of every

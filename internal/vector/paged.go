@@ -1,6 +1,7 @@
 package vector
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -145,7 +146,8 @@ type Paged struct {
 	file  *storage.File
 	count int64
 	bytes int64
-	meter *obs.TaskMeter // nil on shared readers; set on Metered views
+	meter *obs.TaskMeter  // nil on shared readers; set on Metered views
+	ctx   context.Context // nil on shared readers; set on WithContext views
 }
 
 // Metered implements Meterable: the returned view charges page faults to
@@ -154,6 +156,21 @@ func (p *Paged) Metered(m *obs.TaskMeter) Vector {
 	v := *p
 	v.meter = m
 	return &v
+}
+
+// WithContext implements Contextual: the returned view's page reads honor
+// ctx during transient-read retry backoff.
+func (p *Paged) WithContext(ctx context.Context) Vector {
+	v := *p
+	v.ctx = ctx
+	return &v
+}
+
+func (p *Paged) context() context.Context {
+	if p.ctx != nil {
+		return p.ctx
+	}
+	return context.Background()
 }
 
 // OpenPaged opens a finalized vector file.
@@ -196,7 +213,7 @@ func (p *Paged) Scan(start, n int64, fn func(pos int64, val []byte) error) error
 	pos := int64(-1)
 	end := start + n
 	for pageNo < p.file.NumPages() {
-		fr, err := p.pool.GetMetered(p.file, pageNo, p.meter)
+		fr, err := p.pool.GetMeteredCtx(p.context(), p.file, pageNo, p.meter)
 		if err != nil {
 			return err
 		}
@@ -247,7 +264,7 @@ func (p *Paged) findPage(pos int64) (int64, error) {
 	lo, hi := int64(1), p.file.NumPages()-1
 	var scanErr error
 	firstIdxOf := func(pg int64) int64 {
-		fr, err := p.pool.GetMetered(p.file, pg, p.meter)
+		fr, err := p.pool.GetMeteredCtx(p.context(), p.file, pg, p.meter)
 		if err != nil {
 			scanErr = err
 			return 0

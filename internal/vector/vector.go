@@ -11,6 +11,7 @@
 package vector
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -34,6 +35,14 @@ type Vector interface {
 // behaves exactly like the receiver).
 type Meterable interface {
 	Metered(m *obs.TaskMeter) Vector
+}
+
+// Contextual is implemented by disk-backed vectors whose page reads can
+// honor a context: WithContext returns a view (a shallow copy, like
+// Metered) whose transient-read retry backoff aborts when ctx is
+// cancelled. A nil ctx view behaves exactly like the receiver.
+type Contextual interface {
+	WithContext(ctx context.Context) Vector
 }
 
 // Get is a convenience positional read returning a copy of one value.

@@ -34,6 +34,12 @@ type Repository struct {
 	Classes *skeleton.Classes
 	Vectors vector.Set
 
+	// Health is the repository's quarantine table: vectors whose reads
+	// surfaced persistent corruption, fenced off until re-verified. Set by
+	// Open; engines over this repository (core.NewRepoEngine) consult and
+	// feed it.
+	Health *storage.Health
+
 	// epoch counts committed mutations since Open: Append bumps it after
 	// its last durable commit step. A query result is valid exactly for
 	// the epoch it was evaluated under, which is what lets result caches
@@ -261,11 +267,49 @@ func Open(dir string, opts Options) (*Repository, error) {
 		Skel:    skel,
 		Classes: classes,
 		Vectors: set,
+		Health:  storage.NewHealth(),
 	}, nil
 }
 
 // Close flushes and closes the underlying store.
 func (r *Repository) Close() error { return r.Store.Close() }
+
+// VerifyVector re-reads one vector from disk end to end (dropping any
+// buffered pages first) and, when it verifies clean, clears its
+// quarantine. The returned error is the verification failure, if any —
+// the vector then stays quarantined with the refreshed reason.
+func (r *Repository) VerifyVector(name string) error {
+	set, ok := r.Vectors.(*vector.DiskSet)
+	if !ok {
+		return fmt.Errorf("vectorize: repository vectors are not disk-backed")
+	}
+	if err := set.Reverify(name); err != nil {
+		if _, ok := r.Health.Quarantined(name); ok {
+			// Refresh the reason: the re-verify failure is the current truth.
+			r.Health.Clear(name)
+			r.Health.Quarantine(name, err.Error())
+		}
+		return err
+	}
+	r.Health.Clear(name)
+	return nil
+}
+
+// ReverifyQuarantined re-verifies every quarantined vector, clearing the
+// ones that now read clean (the corruption was upstream of the disk, or
+// an operator repaired the file) and keeping the rest. It returns the
+// cleared and kept vector names — the quarantine-clear endpoint's
+// response body.
+func (r *Repository) ReverifyQuarantined() (cleared, kept []string) {
+	for _, e := range r.Health.List() {
+		if err := r.VerifyVector(e.Vector); err != nil {
+			kept = append(kept, e.Vector)
+		} else {
+			cleared = append(cleared, e.Vector)
+		}
+	}
+	return cleared, kept
+}
 
 // WriteXML reconstructs the stored document as XML text.
 func (r *Repository) WriteXML(w io.Writer) error {
