@@ -31,11 +31,13 @@ bench:
 bench-full:
 	go run ./cmd/vxbench -work bench-work all
 
-# Machine-readable benchmark record for this change: concurrent serving
-# throughput plus the query-scoped telemetry overhead. CI runs this and
-# uploads BENCH_PR6.json as an artifact.
+# Machine-readable benchmark records for this change: concurrent serving
+# throughput plus the query-scoped telemetry overhead (BENCH_PR6.json),
+# and the sharded scatter-gather serving grid (BENCH_PR8.json). CI runs
+# this and uploads both as artifacts.
 bench-snapshot:
 	go run ./cmd/vxbench -quick -work bench-work -o BENCH_PR6.json snapshot
+	go run ./cmd/vxbench -quick -work bench-work -o BENCH_PR8.json sharded
 
 fuzz:
 	go test -fuzz FuzzParse -fuzztime 30s ./internal/xq/

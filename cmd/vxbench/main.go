@@ -4,11 +4,14 @@
 //
 // Usage:
 //
-//	vxbench [-work DIR] [-quick] table1|table2|table3|fig8|ablations|verify|snapshot|all
+//	vxbench [-work DIR] [-quick] table1|table2|table3|fig8|ablations|verify|snapshot|sharded|all
 //
 // The snapshot experiment writes a machine-readable benchmark record
 // (concurrent throughput plus query-scoped telemetry overhead) to the
-// file named by -o, for CI artifact upload and cross-PR comparison.
+// file named by -o, for CI artifact upload and cross-PR comparison. The
+// sharded experiment does the same for the scatter-gather serving
+// layer: the Zipf KQ1 mix through a shard coordinator across a
+// goroutines x shard-count grid.
 //
 // Datasets are generated and vectorized on first use and cached under the
 // work directory, so the first run is slower than subsequent ones.
@@ -17,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -32,10 +36,10 @@ func main() {
 	ssRows := flag.Int("ssrows", 0, "SkyServer rows override")
 	ssCols := flag.Int("sscols", 0, "SkyServer columns override")
 	timeout := flag.Duration("timeout", 0, "per-query timeout override")
-	out := flag.String("o", "BENCH_PR6.json", "output file for the snapshot experiment")
+	out := flag.String("o", "", "output file for snapshot experiments (default BENCH_PR6.json, or BENCH_PR8.json for sharded)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: vxbench [flags] table1|table2|table3|fig8|ablations|verify|snapshot|all")
+		fmt.Fprintln(os.Stderr, "usage: vxbench [flags] table1|table2|table3|fig8|ablations|verify|snapshot|sharded|all")
 		os.Exit(2)
 	}
 
@@ -115,20 +119,31 @@ func main() {
 			if e != nil {
 				return e
 			}
-			f, e := os.Create(*out)
-			if e != nil {
-				return e
+			path := *out
+			if path == "" {
+				path = "BENCH_PR6.json"
 			}
-			if e := snap.WriteJSON(f); e != nil {
-				f.Close()
-				return e
-			}
-			if e := f.Close(); e != nil {
+			if e := writeJSON(path, snap.WriteJSON); e != nil {
 				return e
 			}
 			fmt.Println("== Benchmark snapshot ==")
 			snap.WriteJSON(os.Stdout)
-			fmt.Printf("(written to %s)\n", *out)
+			fmt.Printf("(written to %s)\n", path)
+		case "sharded":
+			snap, e := h.ShardedSnapshot(bench.KQ1, []int{1, 4, 16}, []int{1, 4, 8})
+			if e != nil {
+				return e
+			}
+			path := *out
+			if path == "" {
+				path = "BENCH_PR8.json"
+			}
+			if e := writeJSON(path, snap.WriteJSON); e != nil {
+				return e
+			}
+			fmt.Println("== Sharded serving snapshot ==")
+			bench.PrintSharded(os.Stdout, snap.Sharded)
+			fmt.Printf("(written to %s)\n", path)
 		case "all":
 			for _, sub := range []string{"table1", "table2", "table3", "fig8", "ablations"} {
 				if err := run(sub); err != nil {
@@ -149,4 +164,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vxbench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeJSON writes one snapshot record to path.
+func writeJSON(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

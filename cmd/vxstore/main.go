@@ -13,6 +13,10 @@
 //	vxstore query -repo DIR -f query.xq
 //	vxstore query -repo DIR -parallel 8 -workers 4 -f query.xq
 //	vxstore serve -repo DIR -addr :8080      HTTP query server with /metrics
+//	vxstore serve -shards DIR -addr :8080    serve a sharded federation
+//	vxstore shard split -out DIR -n N docs…  split documents into a federation
+//	vxstore shard list -dir DIR              per-shard federation status
+//	vxstore shard rebalance -dir DIR -out DIR -n M   re-split a federation
 //	vxstore quarantine -addr HOST:PORT       list or clear quarantined vectors
 package main
 
@@ -34,6 +38,7 @@ import (
 	"vxml/internal/obs"
 	"vxml/internal/qgraph"
 	"vxml/internal/serve"
+	"vxml/internal/shard"
 	"vxml/internal/storage"
 	"vxml/internal/vector"
 	"vxml/internal/vectorize"
@@ -61,6 +66,8 @@ func main() {
 		err = cmdFsck(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "shard":
+		err = cmdShard(os.Args[2:])
 	case "quarantine":
 		err = cmdQuarantine(os.Args[2:])
 	default:
@@ -81,10 +88,14 @@ func usage() {
   vxstore stats -repo DIR
   vxstore fsck -repo DIR [-q]
   vxstore query -repo DIR [-explain[=analyze]] [-parallel N] [-workers N] [-f query.xq | 'query text']
-  vxstore serve -repo DIR [-addr :8080] [-timeout 30s] [-slow 1s] [-workers N]
+  vxstore serve -repo DIR | -shards DIR [-addr :8080] [-timeout 30s] [-slow 1s] [-workers N]
                 [-plan-cache 256] [-result-cache 1024]
                 [-max-inflight N] [-max-inflight-pages N] [-admit-wait 5ms]
                 [-read-retries N] [-retry-backoff 2ms]
+                [-fan-out N] [-shard-retries N]
+  vxstore shard split -out DIR -n N [-policy hash|range] [-compress] [-pool N] doc.xml...
+  vxstore shard list -dir DIR [-pool N]
+  vxstore shard rebalance -dir DIR -out NEWDIR -n M [-policy hash|range] [-compress] [-pool N]
   vxstore quarantine -addr HOST:PORT [list | clear]`)
 }
 
@@ -304,11 +315,132 @@ func cmdQuery(args []string) error {
 	return nil
 }
 
+// cmdShard manages sharded federations: split a document set into one,
+// inspect it, or re-split it to a new shard count.
+func cmdShard(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("shard needs an action (split, list or rebalance)")
+	}
+	switch args[0] {
+	case "split":
+		return cmdShardSplit(args[1:])
+	case "list":
+		return cmdShardList(args[1:])
+	case "rebalance":
+		return cmdShardRebalance(args[1:])
+	default:
+		return fmt.Errorf("unknown shard action %q (want split, list or rebalance)", args[0])
+	}
+}
+
+// cmdShardSplit bulk-loads documents into a new federation: each
+// argument is one whole XML document, all sharing a root tag.
+func cmdShardSplit(args []string) error {
+	fs := flag.NewFlagSet("shard split", flag.ExitOnError)
+	out := fs.String("out", "", "federation directory to create")
+	n := fs.Int("n", 0, "shard count")
+	policy := fs.String("policy", "hash", "document placement: hash or range")
+	pool := fs.Int("pool", 8192, "buffer pool pages per shard")
+	compress := fs.Bool("compress", false, "DEFLATE-compress data vectors per page")
+	fs.Parse(args)
+	if *out == "" || *n < 1 || fs.NArg() == 0 {
+		return fmt.Errorf("shard split needs -out DIR, -n N >= 1 and at least one XML file")
+	}
+	docs := make([]string, fs.NArg())
+	for i, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		docs[i] = string(data)
+	}
+	cat, err := shard.Build(docs, *out, shard.BuildConfig{
+		Shards: *n,
+		Policy: shard.Policy(*policy),
+		Opts:   vectorize.Options{PoolPages: *pool, Compress: *compress},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("split %d documents (root <%s>) into %d shards under %s\n",
+		cat.NumDocs(), cat.RootTag, len(cat.Shards), *out)
+	for k, si := range cat.Shards {
+		fmt.Printf("  shard %d: %-12s %d documents\n", k, si.Dir, len(si.Docs))
+	}
+	return nil
+}
+
+func openFederation(dir string, pool int) (*shard.Federation, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("missing federation directory")
+	}
+	return shard.OpenFederation(dir, vectorize.Options{PoolPages: pool})
+}
+
+// cmdShardList prints per-shard status for a federation on disk.
+func cmdShardList(args []string) error {
+	fs := flag.NewFlagSet("shard list", flag.ExitOnError)
+	dir := fs.String("dir", "", "federation directory")
+	pool := fs.Int("pool", 8192, "buffer pool pages per shard")
+	fs.Parse(args)
+	f, err := openFederation(*dir, *pool)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Printf("federation %s: root <%s>, policy %s, %d documents, %d shards\n",
+		*dir, f.Catalog.RootTag, f.Catalog.Policy, f.Catalog.NumDocs(), len(f.Shards))
+	for _, st := range f.Status() {
+		fmt.Printf("  shard %d: %-12s %4d documents  %6d classes  %6d vectors  epoch %d",
+			st.Shard, st.Dir, st.Docs, st.Classes, st.Vectors, st.Epoch)
+		if len(st.Quarantined) > 0 {
+			fmt.Printf("  QUARANTINED %d", len(st.Quarantined))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// cmdShardRebalance re-splits an existing federation into a new one at
+// -out with a different shard count or policy; the source is untouched.
+func cmdShardRebalance(args []string) error {
+	fs := flag.NewFlagSet("shard rebalance", flag.ExitOnError)
+	dir := fs.String("dir", "", "source federation directory")
+	out := fs.String("out", "", "new federation directory to create")
+	n := fs.Int("n", 0, "new shard count")
+	policy := fs.String("policy", "hash", "document placement: hash or range")
+	pool := fs.Int("pool", 8192, "buffer pool pages per shard")
+	compress := fs.Bool("compress", false, "DEFLATE-compress data vectors per page")
+	fs.Parse(args)
+	if *dir == "" || *out == "" || *n < 1 {
+		return fmt.Errorf("shard rebalance needs -dir DIR, -out NEWDIR and -n N >= 1")
+	}
+	f, err := openFederation(*dir, *pool)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cat, err := shard.Rebalance(f, *out, shard.BuildConfig{
+		Shards: *n,
+		Policy: shard.Policy(*policy),
+		Opts:   vectorize.Options{PoolPages: *pool, Compress: *compress},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rebalanced %d documents from %d shards (%s) into %d shards under %s\n",
+		cat.NumDocs(), len(f.Catalog.Shards), *dir, len(cat.Shards), *out)
+	return nil
+}
+
 // cmdServe runs the HTTP query server until SIGINT/SIGTERM, then drains
 // in-flight requests and exits cleanly.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	repoDir := fs.String("repo", "", "repository directory")
+	shardsDir := fs.String("shards", "", "federation directory (serve a sharded federation instead of -repo)")
+	fanOut := fs.Int("fan-out", 0, "max shards one query scatters to concurrently (0 = all)")
+	shardRetries := fs.Int("shard-retries", 1, "coordinator-level retries of a shard's transient read failure")
 	pool := fs.Int("pool", 8192, "buffer pool pages")
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "intra-query scan worker pool size (0 = GOMAXPROCS)")
@@ -324,15 +456,34 @@ func cmdServe(args []string) error {
 	readRetries := fs.Int("read-retries", 0, "transient page-read retries before failing the query (0 = storage default, -1 = no retries)")
 	retryBackoff := fs.Duration("retry-backoff", 0, "initial retry backoff, doubling per attempt with jitter (0 = storage default)")
 	fs.Parse(args)
-	repo, err := openRepo(fs, repoDir, pool)
-	if err != nil {
-		return err
+	var (
+		repo *vectorize.Repository
+		fed  *shard.Federation
+		err  error
+	)
+	if *shardsDir != "" {
+		if *repoDir != "" {
+			return fmt.Errorf("serve takes -repo or -shards, not both")
+		}
+		fed, err = openFederation(*shardsDir, *pool)
+		if err != nil {
+			return err
+		}
+		defer fed.Close()
+	} else {
+		repo, err = openRepo(fs, repoDir, pool)
+		if err != nil {
+			return err
+		}
+		defer repo.Close()
 	}
-	defer repo.Close()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	srv := serve.New(serve.Config{
 		Repo:             repo,
+		Federation:       fed,
+		FanOut:           *fanOut,
+		ShardRetries:     *shardRetries,
 		Workers:          *workers,
 		Timeout:          *timeout,
 		SlowQuery:        *slow,

@@ -67,11 +67,87 @@ func zipfVariants(q QueryID, n int) ([]string, error) {
 	return out, nil
 }
 
+// mixRun is one measured run of the Zipf mix: how many queries
+// completed, over how long, and at what latency quantiles.
+type mixRun struct {
+	Queries int64
+	Elapsed time.Duration
+	P50     time.Duration
+	P99     time.Duration
+}
+
+// QPS is the run's aggregate throughput.
+func (r mixRun) QPS() float64 { return float64(r.Queries) / r.Elapsed.Seconds() }
+
+// zipfMix drives the Zipf-distributed choice among variants from
+// `goroutines` concurrent clients against do, until at least minQueries
+// have completed and minElapsed has passed. Per-goroutine RNGs are
+// seeded deterministically, so the mix is reproducible. Both the
+// single-repository and the sharded throughput benchmarks run this
+// exact loop; only the serving surface behind do differs.
+func zipfMix(variants []string, goroutines, minQueries int, minElapsed time.Duration, do func(query string) error) (mixRun, error) {
+	var (
+		next    atomic.Int64
+		done    atomic.Int64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstEr error
+	)
+	lats := make([][]time.Duration, goroutines)
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(9001 + g)))
+			z := rand.NewZipf(rng, zipfS, 1, uint64(len(variants)-1))
+			for {
+				if next.Add(1) > int64(minQueries) && time.Since(start) >= minElapsed {
+					return
+				}
+				query := variants[z.Uint64()]
+				qs := time.Now()
+				if err := do(query); err != nil {
+					mu.Lock()
+					if firstEr == nil {
+						firstEr = err
+					}
+					mu.Unlock()
+					return
+				}
+				lats[g] = append(lats[g], time.Since(qs))
+				done.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstEr != nil {
+		return mixRun{}, firstEr
+	}
+	total := done.Load()
+	if total <= 0 || elapsed <= 0 {
+		return mixRun{}, fmt.Errorf("bench: degenerate Zipf point (%d queries in %s)", total, elapsed)
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	nearestRank := func(q float64) time.Duration {
+		rank := int(math.Ceil(q * float64(len(all))))
+		if rank < 1 {
+			rank = 1
+		}
+		return all[rank-1]
+	}
+	return mixRun{Queries: total, Elapsed: elapsed, P50: nearestRank(0.50), P99: nearestRank(0.99)}, nil
+}
+
 // ZipfThroughput serves the Zipf mix of q variants from `goroutines`
 // concurrent clients through one core.Service with plan and result
 // caches on, until at least minQueries have completed and minElapsed has
-// passed. Per-goroutine RNGs are seeded deterministically, so the mix is
-// reproducible.
+// passed.
 func (h *Harness) ZipfThroughput(q QueryID, goroutines, minQueries int, minElapsed time.Duration) (SnapshotZipf, error) {
 	zp := SnapshotZipf{Query: string(q), Distinct: zipfDistinct, Goroutines: goroutines}
 	variants, err := zipfVariants(q, zipfDistinct)
@@ -93,72 +169,23 @@ func (h *Harness) ZipfThroughput(q QueryID, goroutines, minQueries int, minElaps
 	})
 
 	before := obs.Snapshot()
-	var (
-		next    atomic.Int64
-		done    atomic.Int64
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		firstEr error
-	)
-	lats := make([][]time.Duration, goroutines)
-	start := time.Now()
-	for g := 0; g < goroutines; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(9001 + g)))
-			z := rand.NewZipf(rng, zipfS, 1, uint64(zipfDistinct-1))
-			for {
-				if next.Add(1) > int64(minQueries) && time.Since(start) >= minElapsed {
-					return
-				}
-				query := variants[z.Uint64()]
-				qs := time.Now()
-				_, _, err := svc.Query(context.Background(), query)
-				if err != nil {
-					mu.Lock()
-					if firstEr == nil {
-						firstEr = err
-					}
-					mu.Unlock()
-					return
-				}
-				lats[g] = append(lats[g], time.Since(qs))
-				done.Add(1)
-			}
-		}(g)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	if firstEr != nil {
-		return zp, firstEr
+	run, err := zipfMix(variants, goroutines, minQueries, minElapsed, func(query string) error {
+		_, _, err := svc.Query(context.Background(), query)
+		return err
+	})
+	if err != nil {
+		return zp, err
 	}
 	after := obs.Snapshot()
 
-	total := done.Load()
-	if total <= 0 || elapsed <= 0 {
-		return zp, fmt.Errorf("bench: degenerate Zipf point (%d queries in %s)", total, elapsed)
-	}
-	var all []time.Duration
-	for _, l := range lats {
-		all = append(all, l...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	nearestRank := func(q float64) int64 {
-		rank := int(math.Ceil(q * float64(len(all))))
-		if rank < 1 {
-			rank = 1
-		}
-		return all[rank-1].Microseconds()
-	}
 	delta := func(name string) float64 { return float64(after[name] - before[name]) }
-	zp.Queries = total
-	zp.ElapsedUS = elapsed.Microseconds()
-	zp.QPS = float64(total) / elapsed.Seconds()
-	zp.P50US = nearestRank(0.50)
-	zp.P99US = nearestRank(0.99)
-	zp.PlanCacheHitRate = delta("core.plan_cache_hits") / float64(total)
-	zp.ResultCacheHitRate = (delta("core.result_cache_hits") + delta("core.singleflight_followers")) / float64(total)
+	zp.Queries = run.Queries
+	zp.ElapsedUS = run.Elapsed.Microseconds()
+	zp.QPS = run.QPS()
+	zp.P50US = run.P50.Microseconds()
+	zp.P99US = run.P99.Microseconds()
+	zp.PlanCacheHitRate = delta("core.plan_cache_hits") / float64(run.Queries)
+	zp.ResultCacheHitRate = (delta("core.result_cache_hits") + delta("core.singleflight_followers")) / float64(run.Queries)
 	return zp, nil
 }
 

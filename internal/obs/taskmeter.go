@@ -123,6 +123,26 @@ type TaskCounters struct {
 	ReadRetries      int64 `json:"read_retries"`
 }
 
+// Add folds a snapshot of another meter into this one. The shard
+// coordinator gives each per-shard sub-query its own meter (so the
+// active-query listing attributes work per shard) and folds them back
+// into the request's meter when the scatter completes.
+func (m *TaskMeter) Add(c TaskCounters) {
+	if m == nil {
+		return
+	}
+	m.pagesFaulted.Add(c.PagesFaulted)
+	m.bytesRead.Add(c.BytesRead)
+	m.checksumVerifies.Add(c.ChecksumVerifies)
+	m.vectorOpens.Add(c.VectorOpens)
+	m.memoHits.Add(c.MemoHits)
+	m.memoMisses.Add(c.MemoMisses)
+	m.tuples.Add(c.Tuples)
+	m.staticEmpty.Add(c.StaticEmpty)
+	m.cacheHits.Add(c.CacheHits)
+	m.readRetries.Add(c.ReadRetries)
+}
+
 // Counters snapshots the meter. A nil meter reads as all zeros.
 func (m *TaskMeter) Counters() TaskCounters {
 	if m == nil {

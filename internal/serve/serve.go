@@ -1,11 +1,15 @@
 // Package serve is the HTTP serving surface over one vectorized
-// repository: POST /query evaluates XQ queries (JSON in, JSON out, with
-// optional per-op traces), GET /metrics exposes the obs registry (JSON
-// by default, Prometheus text exposition with Accept: text/plain), and
-// /debug/pprof and /debug/vars mount the stdlib profiling handlers. One
-// engine is built per request (the engine-per-query serving pattern from
-// the concurrency work), so requests never share mutable state beyond
-// the repository's own concurrency-safe read path.
+// repository or one sharded federation: POST /query evaluates XQ queries
+// (JSON in, JSON out, with optional per-op traces), GET /metrics exposes
+// the obs registry (JSON by default, Prometheus text exposition with
+// Accept: text/plain), and /debug/pprof and /debug/vars mount the stdlib
+// profiling handlers. One engine is built per request (the
+// engine-per-query serving pattern from the concurrency work), so
+// requests never share mutable state beyond the repository's own
+// concurrency-safe read path. With Config.Federation set, queries route
+// through a shard.Coordinator (scatter-gather with union fallback),
+// /healthz rolls per-shard health up, and GET /debug/shards reports
+// per-shard status.
 //
 // Query-scoped telemetry rides every request: each evaluation carries a
 // per-query obs.TaskMeter, GET /debug/queries lists the in-flight
@@ -34,6 +38,8 @@ import (
 
 	"vxml/internal/core"
 	"vxml/internal/obs"
+	"vxml/internal/qgraph"
+	"vxml/internal/shard"
 	"vxml/internal/storage"
 	"vxml/internal/vectorize"
 )
@@ -42,6 +48,19 @@ import (
 // no slow-query log, log to the standard logger.
 type Config struct {
 	Repo *vectorize.Repository
+	// Federation switches the server into sharded mode: queries answer
+	// through a shard.Coordinator over this federation instead of a
+	// single-repository service, /healthz rolls shard health up, and
+	// GET /debug/shards reports per-shard status. Repo is ignored when
+	// Federation is set.
+	Federation *shard.Federation
+	// FanOut caps how many shards one query scatters to concurrently;
+	// 0 means all at once. Only meaningful with Federation.
+	FanOut int
+	// ShardRetries is how many times the coordinator re-asks a shard
+	// whose answer was a transient read fault. Only meaningful with
+	// Federation.
+	ShardRetries int
 	// Workers is the per-query scan worker pool size (core.Options.Workers).
 	Workers int
 	// Timeout caps each request's evaluation time; requests may ask for
@@ -139,11 +158,20 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// Server serves queries over one repository.
+// QueryService is the serving surface the HTTP layer drives: both
+// core.Service (one repository) and shard.Coordinator (a federation)
+// implement it.
+type QueryService interface {
+	Plan(query string) (*qgraph.Plan, error)
+	Query(ctx context.Context, query string) (*core.Result, core.Source, error)
+}
+
+// Server serves queries over one repository or one federation.
 type Server struct {
-	cfg Config
-	svc *core.Service
-	mux *http.ServeMux
+	cfg   Config
+	svc   QueryService
+	coord *shard.Coordinator // non-nil iff serving a federation
+	mux   *http.ServeMux
 	// draining flips when graceful shutdown begins: /healthz answers 503
 	// from then on so load balancers stop routing while in-flight
 	// requests finish.
@@ -171,7 +199,7 @@ func New(cfg Config) *Server {
 	// The slow ring is process-global (evaluations capture into it from
 	// the engine, below the HTTP layer); the server owns its thresholds.
 	obs.SlowQueries.Configure(cfg.SlowQuery, cfg.SlowPages, cfg.SlowRingSize)
-	if cfg.Repo != nil && (cfg.ReadRetries != 0 || cfg.RetryBackoff != 0) {
+	if cfg.ReadRetries != 0 || cfg.RetryBackoff != 0 {
 		rp := storage.DefaultRetryPolicy
 		switch {
 		case cfg.ReadRetries < 0:
@@ -182,19 +210,36 @@ func New(cfg Config) *Server {
 		if cfg.RetryBackoff > 0 {
 			rp.Backoff = cfg.RetryBackoff
 		}
-		cfg.Repo.Store.Pool().SetRetryPolicy(rp)
+		if cfg.Federation != nil {
+			for _, repo := range cfg.Federation.Shards {
+				repo.Store.Pool().SetRetryPolicy(rp)
+			}
+		} else if cfg.Repo != nil {
+			cfg.Repo.Store.Pool().SetRetryPolicy(rp)
+		}
 	}
-	s := &Server{
-		cfg: cfg,
-		svc: core.NewService(cfg.Repo, core.ServiceConfig{
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	if cfg.Federation != nil {
+		s.coord = shard.NewCoordinator(cfg.Federation, shard.Config{
 			Opts:             core.Options{Workers: cfg.Workers},
 			PlanCacheSize:    cfg.PlanCacheSize,
 			ResultCacheSize:  cfg.ResultCacheSize,
 			MaxInflight:      cfg.MaxInflight,
 			MaxInflightPages: cfg.MaxInflightPages,
 			AdmitWait:        cfg.AdmitWait,
-		}),
-		mux: http.NewServeMux(),
+			FanOut:           cfg.FanOut,
+			ShardRetries:     cfg.ShardRetries,
+		})
+		s.svc = s.coord
+	} else {
+		s.svc = core.NewService(cfg.Repo, core.ServiceConfig{
+			Opts:             core.Options{Workers: cfg.Workers},
+			PlanCacheSize:    cfg.PlanCacheSize,
+			ResultCacheSize:  cfg.ResultCacheSize,
+			MaxInflight:      cfg.MaxInflight,
+			MaxInflightPages: cfg.MaxInflightPages,
+			AdmitWait:        cfg.AdmitWait,
+		})
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -204,6 +249,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/debug/slow", s.handleSlow)
 	s.mux.HandleFunc("/debug/panics", s.handlePanics)
 	s.mux.HandleFunc("/debug/quarantine/clear", s.handleQuarantineClear)
+	s.mux.HandleFunc("/debug/shards", s.handleShards)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -268,12 +314,34 @@ type healthResponse struct {
 	// stop routing).
 	Status      string                    `json:"status"`
 	Quarantined []storage.QuarantineEntry `json:"quarantined,omitempty"`
+	// Shards rolls per-shard health up in federation mode: one row per
+	// shard, with that shard's quarantine entries. The federation is
+	// degraded as soon as any shard is — scattered queries touching a
+	// fenced shard answer degraded, not partially.
+	Shards []shardHealth `json:"shards,omitempty"`
+}
+
+// shardHealth is one shard's row in the /healthz rollup.
+type shardHealth struct {
+	Shard       int                       `json:"shard"`
+	Status      string                    `json:"status"`
+	Quarantined []storage.QuarantineEntry `json:"quarantined,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	resp := healthResponse{Status: "ok"}
 	status := http.StatusOK
-	if s.cfg.Repo != nil {
+	if s.cfg.Federation != nil {
+		for k, repo := range s.cfg.Federation.Shards {
+			sh := shardHealth{Shard: k, Status: "ok"}
+			if q := repo.Health.List(); len(q) > 0 {
+				sh.Status = "degraded"
+				sh.Quarantined = q
+				resp.Status = "degraded"
+			}
+			resp.Shards = append(resp.Shards, sh)
+		}
+	} else if s.cfg.Repo != nil {
 		if q := s.cfg.Repo.Health.List(); len(q) > 0 {
 			resp.Status = "degraded"
 			resp.Quarantined = q
@@ -288,6 +356,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(resp)
+}
+
+// handleShards serves the federation's per-shard status (directory,
+// document count, epoch, class/vector counts, quarantine list).
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Federation == nil {
+		s.fail(w, http.StatusUnprocessableEntity, errors.New("not serving a federation"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.cfg.Federation.Status())
 }
 
 // handlePanics serves the captured query panics, most recent first.
@@ -307,16 +388,31 @@ func (s *Server) handleQuarantineClear(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
-	if s.cfg.Repo == nil {
+	cleared, kept := []string{}, []string{}
+	switch {
+	case s.cfg.Federation != nil:
+		// Re-verify every shard; names are prefixed with the shard index so
+		// the operator sees which shard each vector came back in.
+		for k, repo := range s.cfg.Federation.Shards {
+			c, kp := repo.ReverifyQuarantined()
+			for _, name := range c {
+				cleared = append(cleared, fmt.Sprintf("shard%d/%s", k, name))
+			}
+			for _, name := range kp {
+				kept = append(kept, fmt.Sprintf("shard%d/%s", k, name))
+			}
+		}
+	case s.cfg.Repo != nil:
+		cleared, kept = s.cfg.Repo.ReverifyQuarantined()
+		if cleared == nil {
+			cleared = []string{}
+		}
+		if kept == nil {
+			kept = []string{}
+		}
+	default:
 		s.fail(w, http.StatusUnprocessableEntity, errors.New("no repository"))
 		return
-	}
-	cleared, kept := s.cfg.Repo.ReverifyQuarantined()
-	if cleared == nil {
-		cleared = []string{}
-	}
-	if kept == nil {
-		kept = []string{}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string][]string{"cleared": cleared, "kept": kept})
@@ -433,8 +529,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if req.Check {
-		eng := core.NewRepoEngine(s.cfg.Repo, core.Options{})
-		sc := eng.CheckPlan(plan)
+		var sc *core.StaticCheck
+		if s.coord != nil {
+			sc = s.coord.Check(plan)
+		} else {
+			sc = core.NewRepoEngine(s.cfg.Repo, core.Options{}).CheckPlan(plan)
+		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(QueryResponse{
 			Result:          sc.String(),
@@ -489,6 +589,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Retry-After", "60")
 		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 			status = http.StatusGatewayTimeout
+		default:
+			// A partial-shard failure that is neither overload nor a
+			// quarantine fence (e.g. an unrecoverable read fault in one
+			// shard) is still a typed degraded response, not a 500: the
+			// federation refused to serve a partial merge.
+			var de *shard.DegradedError
+			if errors.As(err, &de) {
+				status = http.StatusServiceUnavailable
+				w.Header().Set("Retry-After", "60")
+			}
 		}
 		s.fail(w, status, err)
 		return

@@ -1,0 +1,53 @@
+package shard
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a small mutex-guarded LRU for the coordinator's plan and merged
+// result caches. Coordinator cache traffic is a hash lookup per request
+// — far from the per-scan hot paths that justified core's lock-free
+// CLOCK cache — so the simple implementation wins on clarity.
+type lru[K comparable, V any] struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List          // guarded by mu; front = most recent
+	items map[K]*list.Element // guarded by mu
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+func newLRUCache[K comparable, V any](capacity int) *lru[K, V] {
+	return &lru[K, V]{cap: capacity, order: list.New(), items: make(map[K]*list.Element)}
+}
+
+func (c *lru[K, V]) get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+func (c *lru[K, V]) put(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*lruEntry[K, V]).val = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.order.PushFront(&lruEntry[K, V]{key: k, val: v})
+	for len(c.items) > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry[K, V]).key)
+	}
+}
