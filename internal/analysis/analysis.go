@@ -13,10 +13,17 @@
 // Every analyzer has an annotation escape so that a human decision is
 // recorded next to the code it covers:
 //
-//	//vx:unreachable <why>  a panic that no input bytes can reach (corrupterr)
-//	//vx:locked <mu> <why>  every caller holds <mu> (lockguard)
-//	//vx:rawvector <why>    a sanctioned raw Vectors.Vector open (ctxpoll)
-//	//vx:presynced <why>    rename whose contents were fsynced earlier (fsyncorder)
+//	//vx:unreachable <why>        a panic that no input bytes can reach (corrupterr)
+//	//vx:locked <mu> <why>        every caller holds <mu> (lockguard)
+//	//vx:rawvector <why>          a sanctioned raw Vectors.Vector open (ctxpoll)
+//	//vx:presynced <why>          rename whose contents were fsynced earlier (fsyncorder)
+//	//vx:goroutine-bounded <why>  a goroutine whose termination is proven elsewhere (goleak)
+//	//vx:lockorder <why>          a lock nesting excluded from the global order graph (lockorder)
+//	//vx:fault-classified <why>   a boundary whose storage errors are classified elsewhere (faultflow)
+//	//vx:alloc <why>              a sanctioned allocation inside a hot loop (hotalloc)
+//
+// plus one positive marker: //vx:hot on a function declaration names a
+// hot-path entry point whose reachable loops hotalloc checks.
 //
 // and lockguard's positive annotation, a trailing field comment:
 //
@@ -32,7 +39,11 @@ import (
 	"strings"
 )
 
-// An Analyzer describes one invariant checker.
+// An Analyzer describes one invariant checker. Per-package analyzers
+// set Run and are applied to each loaded package in isolation;
+// whole-program analyzers set RunProgram and are applied once to the
+// call graph over every module package of the load. Exactly one of the
+// two must be set.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and -only filters.
 	Name string
@@ -40,10 +51,13 @@ type Analyzer struct {
 	Doc string
 	// Scope restricts the analyzer to packages whose import path contains
 	// one of these path suffixes (e.g. "internal/core"). Empty means every
-	// package the driver loads.
+	// package the driver loads. Whole-program analyzers see the entire
+	// program regardless; Scope restricts where they may *report*.
 	Scope []string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
+	// RunProgram applies the analyzer to the whole program at once.
+	RunProgram func(*ProgramPass) error
 }
 
 // covers reports whether the analyzer applies to the import path.

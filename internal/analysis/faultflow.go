@@ -1,0 +1,292 @@
+package analysis
+
+// FaultFlow: errors born in internal/storage carry the fault taxonomy
+// (ErrCorrupt vs transient vs caller) and must pass through a
+// classification point before they escape the serving surface —
+// otherwise retry, quarantine and the HTTP status mapping all see an
+// opaque error and do the wrong safe thing. The analysis is a taint
+// fixpoint over the call graph:
+//
+//   - a function is a *source* when it is declared in internal/storage
+//     and returns an error (the bytes-to-error birthplace);
+//   - a function is a *classifier* when its body consults the taxonomy:
+//     storage.IsTransientRead(err), errors.Is(err, <module sentinel>)
+//     (storage.ErrCorrupt, core.ErrQuarantined, ...), a
+//     Health.Quarantine call, or construction of a typed taxonomy error
+//     (*DegradedError, *QuarantinedError, *PanicError);
+//   - taint propagates callee -> caller through every function that can
+//     return an error, and a classifier stops it.
+//
+// Diagnostics:
+//
+//  1. an exported function or method of internal/core, internal/serve
+//     or internal/shard that may return a still-unclassified storage
+//     error (annotate //vx:fault-classified <why> when classification
+//     provably happens elsewhere);
+//  2. fmt.Errorf without %w applied to a tainted error value — the
+//     wrap that would have severed errors.Is classification entirely.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// FaultFlow returns the storage-error taxonomy-flow analyzer.
+func FaultFlow() *Analyzer {
+	a := &Analyzer{
+		Name: "faultflow",
+		Doc:  "storage-born errors pass the fault taxonomy before escaping core/serve/shard; no %w-less fmt.Errorf on tainted paths",
+	}
+	a.RunProgram = func(pass *ProgramPass) error {
+		prog := pass.Prog
+		classified := make(map[*FuncNode]bool, len(prog.Nodes))
+		for _, n := range prog.Nodes {
+			classified[n] = isClassifier(n)
+		}
+		tainted := Solve(prog, FlowProblem[bool]{
+			Seed: func(n *FuncNode) bool {
+				return isStorageSource(n) && !classified[n]
+			},
+			Transfer: func(n *FuncNode, acc bool, c *Call, callee bool) bool {
+				if acc || classified[n] || c.Go {
+					return acc
+				}
+				return callee && returnsError(n)
+			},
+			Equal: func(a, b bool) bool { return a == b },
+		})
+		for _, n := range prog.Nodes {
+			checkErrorfWrap(pass, n, tainted)
+			if n.Decl == nil || !boundaryPackage(n.Pkg.ImportPath) {
+				continue
+			}
+			if !n.Obj.Exported() || !tainted[n] {
+				continue
+			}
+			if _, ok := DocAnnotation(n.Decl.Doc, "fault-classified"); ok {
+				continue
+			}
+			if _, ok := prog.Ann(n.Pkg).Marked(n.Decl.Pos(), "fault-classified"); ok {
+				continue
+			}
+			pass.Reportf(n.Decl.Pos(), "%s may return a storage-born error that never passed the fault taxonomy (no IsTransientRead / errors.Is sentinel / quarantine on the path); classify it or annotate //vx:fault-classified <why>", n.Name())
+		}
+		return nil
+	}
+	return a
+}
+
+// boundaryPackage reports whether the import path is part of the
+// serving surface whose exported API must only leak classified errors.
+func boundaryPackage(path string) bool {
+	for _, s := range [...]string{"internal/core", "internal/serve", "internal/shard"} {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// storagePackage reports whether the import path is internal/storage.
+func storagePackage(path string) bool {
+	return path == "internal/storage" || strings.HasSuffix(path, "/internal/storage") || path == "storage"
+}
+
+// isStorageSource reports whether the node births taxonomy errors: a
+// declared internal/storage function that returns an error and whose
+// body references a taxonomy sentinel (ErrCorrupt, ErrInjected) — the
+// checksum verifiers, the fault injectors, the page-alignment checks.
+// Storage plumbing that only forwards foreign errors (Close, MkdirAll)
+// is not a source; it taints callers only when a real source sits below
+// it in the call graph.
+func isStorageSource(n *FuncNode) bool {
+	if n.Obj == nil || !storagePackage(n.Pkg.ImportPath) || !returnsError(n) {
+		return false
+	}
+	info := n.Pkg.TypesInfo
+	found := false
+	ast.Inspect(n.Body(), func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Name != "ErrCorrupt" && id.Name != "ErrInjected" {
+			return true
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok && v.Pkg() != nil && isErrorType(v.Type()) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// returnsError reports whether the node's signature has an error result.
+func returnsError(n *FuncNode) bool {
+	var sig *types.Signature
+	if n.Obj != nil {
+		sig = n.Obj.Type().(*types.Signature)
+	} else if tv, ok := n.Pkg.TypesInfo.Types[n.Lit]; ok {
+		if s, ok := tv.Type.(*types.Signature); ok {
+			sig = s
+		}
+	}
+	if sig == nil {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool { return types.Implements(t, errorIface) }
+
+// isClassifier reports whether the node's body consults the fault
+// taxonomy. Nested function literals count as part of the enclosing
+// body: a scatter loop whose retry closure calls IsTransientRead is a
+// function that consults the taxonomy, wherever the call lexically sits.
+func isClassifier(n *FuncNode) bool {
+	info := n.Pkg.TypesInfo
+	found := false
+	ast.Inspect(n.Body(), func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.CompositeLit:
+			// Constructing a typed taxonomy error is classification: the
+			// error's class is now explicit in its type.
+			if tv, ok := info.Types[x]; ok && isTaxonomyErrorType(tv.Type) {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			obj := calleeObject(info, ast.Unparen(x.Fun))
+			if obj == nil {
+				return true
+			}
+			name, pkg := obj.Name(), ""
+			if obj.Pkg() != nil {
+				pkg = obj.Pkg().Path()
+			}
+			switch {
+			case name == "IsTransientRead" && storagePackage(pkg):
+				found = true
+			case name == "Quarantine" || name == "Quarantined":
+				// storage.Health consultation (method receiver).
+				if recv := obj.Type().(*types.Signature).Recv(); recv != nil && typeShortName(recv.Type()) == "*Health" {
+					found = true
+				}
+			case name == "Is" && pkg == "errors" && len(x.Args) == 2:
+				// errors.Is against a module sentinel is taxonomy
+				// classification; stdlib sentinels (context.Canceled,
+				// io.EOF) describe the caller, not the medium.
+				if sentinelFromModule(info, x.Args[1]) {
+					found = true
+				}
+			}
+			if found {
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isTaxonomyErrorType reports whether t (or *t) is one of the typed
+// taxonomy errors.
+func isTaxonomyErrorType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "DegradedError", "QuarantinedError", "PanicError":
+		return true
+	}
+	return false
+}
+
+// sentinelFromModule reports whether the expression resolves to a
+// package-level error variable declared in a module (non-stdlib)
+// package — storage.ErrCorrupt, core.ErrQuarantined, and friends.
+func sentinelFromModule(info *types.Info, expr ast.Expr) bool {
+	var obj types.Object
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	case *ast.Ident:
+		obj = info.Uses[e]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	if !isErrorType(v.Type()) {
+		return false
+	}
+	path := v.Pkg().Path()
+	// Module packages: anything that is not a bare stdlib path. The
+	// loader marks stdlib via go list, but the object here only carries
+	// its path; module paths contain a dot or are fixture-relative.
+	return strings.Contains(path, "/internal/") || strings.Contains(path, ".") ||
+		path == "storage" || path == "core"
+}
+
+// checkErrorfWrap flags fmt.Errorf calls in tainted functions (any
+// package) whose format has no %w yet whose arguments include an
+// error-typed value: the storage error's taxonomy dies there.
+func checkErrorfWrap(pass *ProgramPass, n *FuncNode, tainted map[*FuncNode]bool) {
+	if !tainted[n] {
+		return
+	}
+	info := n.Pkg.TypesInfo
+	ast.Inspect(n.Body(), func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			obj := calleeObject(info, ast.Unparen(x.Fun))
+			if obj == nil || obj.Name() != "Errorf" || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+				return true
+			}
+			if len(x.Args) < 2 {
+				return true
+			}
+			if tv, ok := info.Types[x.Args[0]]; !ok || tv.Value == nil ||
+				tv.Value.Kind() != constant.String || strings.Contains(constant.StringVal(tv.Value), "%w") {
+				return true
+			}
+			hasErrArg := false
+			for _, arg := range x.Args[1:] {
+				if tv, ok := info.Types[arg]; ok && tv.Type != nil && isErrorType(tv.Type) {
+					hasErrArg = true
+					break
+				}
+			}
+			if !hasErrArg {
+				return true
+			}
+			if _, ok := pass.Prog.Ann(n.Pkg).Marked(x.Pos(), "fault-classified"); ok {
+				return true
+			}
+			pass.Reportf(x.Pos(), "fmt.Errorf without %%w on a storage-tainted path: the fault taxonomy (errors.Is) cannot see through this wrap; use %%w or annotate //vx:fault-classified <why>")
+		}
+		return true
+	})
+}

@@ -39,11 +39,36 @@ func stdImports() (*Loader, error) {
 }
 
 // fixtureImporter resolves imports for fixture packages: testdata/src
-// first, standard library second.
+// first, standard library second. Fixture-local dependencies keep their
+// parsed files and type info so RunProgramFixture can include them in
+// the whole-program call graph (a taint source living in the fixture's
+// own stub storage package, say).
 type fixtureImporter struct {
-	fset *token.FileSet
-	root string
-	pkgs map[string]*types.Package
+	fset  *token.FileSet
+	root  string
+	pkgs  map[string]*types.Package
+	files map[string][]*ast.File
+	infos map[string]*types.Info
+}
+
+func newFixtureImporter(fset *token.FileSet, root string) *fixtureImporter {
+	return &fixtureImporter{
+		fset:  fset,
+		root:  root,
+		pkgs:  make(map[string]*types.Package),
+		files: make(map[string][]*ast.File),
+		infos: make(map[string]*types.Info),
+	}
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
 }
 
 func (im *fixtureImporter) Import(path string) (*types.Package, error) {
@@ -56,12 +81,15 @@ func (im *fixtureImporter) Import(path string) (*types.Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		info := newTypesInfo()
 		conf := types.Config{Importer: im}
-		tp, err := conf.Check(path, im.fset, files, nil)
+		tp, err := conf.Check(path, im.fset, files, info)
 		if err != nil {
 			return nil, fmt.Errorf("fixture dep %s: %w", path, err)
 		}
 		im.pkgs[path] = tp
+		im.files[path] = files
+		im.infos[path] = info
 		return tp, nil
 	}
 	std, err := stdImports()
@@ -146,14 +174,8 @@ func RunFixture(t *testing.T, a *Analyzer, pkg string) {
 	if len(files) == 0 {
 		t.Fatalf("fixture %s has no Go files", pkg)
 	}
-	info := &types.Info{
-		Types:      make(map[ast.Expr]types.TypeAndValue),
-		Defs:       make(map[*ast.Ident]types.Object),
-		Uses:       make(map[*ast.Ident]types.Object),
-		Selections: make(map[*ast.SelectorExpr]*types.Selection),
-		Implicits:  make(map[ast.Node]types.Object),
-	}
-	im := &fixtureImporter{fset: fset, root: root, pkgs: make(map[string]*types.Package)}
+	info := newTypesInfo()
+	im := newFixtureImporter(fset, root)
 	conf := types.Config{Importer: im}
 	tpkg, err := conf.Check(pkg, fset, files, info)
 	if err != nil {
@@ -163,8 +185,56 @@ func RunFixture(t *testing.T, a *Analyzer, pkg string) {
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("run %s on fixture %s: %v", a.Name, pkg, err)
 	}
+	checkWants(t, fset, files, pass.diags)
+}
+
+// RunProgramFixture applies a whole-program analyzer to the mini-program
+// rooted at testdata/src/<pkg>: the fixture package plus every
+// fixture-local package it imports (transitively) form the Program, and
+// diagnostics are checked against want comments in the root package's
+// files.
+func RunProgramFixture(t *testing.T, a *Analyzer, pkg string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	root := filepath.Join("testdata", "src")
+	files, err := parseFixtureDir(fset, filepath.Join(root, pkg))
+	if err != nil {
+		t.Fatalf("parse fixture %s: %v", pkg, err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", pkg)
+	}
+	info := newTypesInfo()
+	im := newFixtureImporter(fset, root)
+	conf := types.Config{Importer: im}
+	tpkg, err := conf.Check(pkg, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck fixture %s: %v", pkg, err)
+	}
+	pkgs := []*Package{{ImportPath: pkg, Dir: filepath.Join(root, pkg), Files: files, Types: tpkg, TypesInfo: info}}
+	for path, tp := range im.pkgs {
+		pkgs = append(pkgs, &Package{
+			ImportPath: path,
+			Dir:        filepath.Join(root, path),
+			Files:      im.files[path],
+			Types:      tp,
+			TypesInfo:  im.infos[path],
+		})
+	}
+	pass := &ProgramPass{Analyzer: a, Prog: BuildProgram(fset, pkgs)}
+	if err := a.RunProgram(pass); err != nil {
+		t.Fatalf("run %s on fixture %s: %v", a.Name, pkg, err)
+	}
+	checkWants(t, fset, files, pass.diags)
+}
+
+// checkWants matches produced diagnostics against the fixture's want
+// comments: every diagnostic must match a want on its line, and every
+// want must be matched exactly once.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []Diagnostic) {
+	t.Helper()
 	wants := collectWants(t, fset, files)
-	for _, d := range pass.diags {
+	for _, d := range diags {
 		found := false
 		for _, w := range wants {
 			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {

@@ -178,8 +178,12 @@ func (im *pkgImporter) Import(path string) (*types.Package, error) {
 // compile-time assertion: pkgImporter satisfies types.Importer.
 var _ types.Importer = (*pkgImporter)(nil)
 
-// Run loads every package patterns name in dir and applies each analyzer
-// whose Scope covers it, returning all diagnostics sorted by position.
+// Run loads every package patterns name in dir and applies each
+// per-package analyzer whose Scope covers it, plus each whole-program
+// analyzer once over the call graph of every module (non-stdlib)
+// package in the load. Diagnostics come back deterministically: sorted
+// by position then analyzer, with identical findings from overlapping
+// passes deduplicated.
 func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	l, roots, err := NewLoader(dir, patterns)
 	if err != nil {
@@ -192,7 +196,7 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 			return nil, err
 		}
 		for _, a := range analyzers {
-			if !a.covers(pkg.ImportPath) {
+			if a.Run == nil || !a.covers(pkg.ImportPath) {
 				continue
 			}
 			pass := &Pass{
@@ -208,6 +212,65 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 			diags = append(diags, pass.diags...)
 		}
 	}
+	var programAnalyzers []*Analyzer
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			programAnalyzers = append(programAnalyzers, a)
+		}
+	}
+	if len(programAnalyzers) > 0 {
+		pkgs, err := l.loadModule()
+		if err != nil {
+			return nil, err
+		}
+		prog := BuildProgram(l.Fset, pkgs)
+		for _, a := range programAnalyzers {
+			pass := &ProgramPass{Analyzer: a, Prog: prog}
+			if err := a.RunProgram(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s: %w", a.Name, err)
+			}
+			for _, d := range pass.diags {
+				if len(a.Scope) == 0 || scopeCoversFile(a, d.Pos.Filename) {
+					diags = append(diags, d)
+				}
+			}
+		}
+	}
+	return SortDiagnostics(diags), nil
+}
+
+// scopeCoversFile applies an Analyzer's Scope to a diagnostic's file
+// path (whole-program analyzers report across packages, so scoping
+// happens on the finding's location rather than the loaded package).
+func scopeCoversFile(a *Analyzer, filename string) bool {
+	return a.covers(filepath.ToSlash(filepath.Dir(filename)))
+}
+
+// loadModule loads every non-stdlib package in the `go list -deps`
+// closure — the whole-program analyzers' view of the module.
+func (l *Loader) loadModule() ([]*Package, error) {
+	paths := make([]string, 0, len(l.meta))
+	for path, meta := range l.meta {
+		if !meta.Standard {
+			paths = append(paths, path)
+		}
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// SortDiagnostics orders diagnostics by (file, line, column, analyzer,
+// message) and drops exact duplicates, so vxlint output is byte-stable
+// across runs and overlapping passes report a finding once.
+func SortDiagnostics(diags []Diagnostic) []Diagnostic {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -219,7 +282,20 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags, nil
+	out := diags[:0]
+	for _, d := range diags {
+		if n := len(out); n > 0 {
+			prev := out[n-1]
+			if prev.Pos == d.Pos && prev.Analyzer == d.Analyzer && prev.Message == d.Message {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
 }

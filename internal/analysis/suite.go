@@ -1,7 +1,8 @@
 package analysis
 
 // Suite returns every analyzer in the repository's invariant suite, in the
-// order vxlint runs them.
+// order vxlint runs them: the per-package passes first, then the four
+// whole-program passes that run once over the call graph.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		AtomicAlign(),
@@ -11,5 +12,9 @@ func Suite() []*Analyzer {
 		LockGuard(),
 		ObsNames(),
 		RecoverScope(),
+		FaultFlow(),
+		GoLeak(),
+		HotAlloc(),
+		LockOrder(),
 	}
 }

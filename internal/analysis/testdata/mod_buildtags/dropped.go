@@ -1,0 +1,12 @@
+//go:build sometag
+
+package tagged
+
+// Dropped only exists under -tags sometag; the loader must not see it
+// (or Kept would not compile: both files declare the same name when the
+// tag is on).
+func Dropped() int { return 2 }
+
+// Kept would redeclare kept.go's Kept if this file ever loaded without
+// the tag.
+func init() { _ = Dropped() }

@@ -1,0 +1,3 @@
+module mod_buildtags
+
+go 1.22

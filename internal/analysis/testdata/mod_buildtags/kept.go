@@ -1,0 +1,6 @@
+// Package tagged exercises the loader's build-tag handling: this file
+// has no constraint and always loads.
+package tagged
+
+// Kept is visible under the default build configuration.
+func Kept() int { return 1 }

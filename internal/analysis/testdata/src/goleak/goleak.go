@@ -1,0 +1,88 @@
+// Fixture for the goleak analyzer: every `go` statement needs a
+// termination proof — WaitGroup discipline, a ctx poll reachable through
+// the call graph, or an explicit annotation.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+// leaky spins forever with no bound: the true positive.
+func leaky() {
+	go func() { // want "goroutine may never terminate"
+		for {
+		}
+	}()
+}
+
+// waitGrouped follows the discipline: defer wg.Done() in the literal,
+// wg.Wait() in the spawner, same WaitGroup object.
+func waitGrouped() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// wrongWaitGroup waits on a different WaitGroup than the one the
+// goroutine signals: the spawner can return first.
+func wrongWaitGroup() {
+	var wg, other sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "goroutine may never terminate"
+		defer wg.Done()
+		work()
+	}()
+	other.Wait()
+}
+
+// ctxPolled is bounded because the spawned function reaches a ctx poll
+// through the call graph (pollLoop polls, two calls down).
+func ctxPolled(ctx context.Context) {
+	go pollLoop(ctx)
+}
+
+func pollLoop(ctx context.Context) {
+	for ctx.Err() == nil {
+		work()
+	}
+}
+
+// ctxPolledDeep reaches the poll through an intermediate helper: the
+// proof is whole-program, not syntactic.
+func ctxPolledDeep(ctx context.Context) {
+	go func() {
+		helper(ctx)
+	}()
+}
+
+func helper(ctx context.Context) { pollLoop(ctx) }
+
+// annotated carries its proof as prose; the analyzer trusts it.
+func annotated(done chan struct{}) {
+	//vx:goroutine-bounded closed over done; the caller always closes it
+	go func() {
+		<-done
+	}()
+}
+
+// annotatedNoReason forgot to say why: the annotation itself is flagged.
+func annotatedNoReason() {
+	//vx:goroutine-bounded
+	go func() { // want "needs a reason"
+		for {
+		}
+	}()
+}
+
+// opaque spawns a function value the call graph cannot resolve: no
+// proof is checkable, so it is a diagnostic.
+func opaque(fn func()) {
+	go fn() // want "goroutine may never terminate"
+}
+
+func work() {}

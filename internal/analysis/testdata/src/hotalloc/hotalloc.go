@@ -1,0 +1,49 @@
+// Fixture for the hotalloc analyzer: loops reachable from a //vx:hot
+// entry point must not allocate per iteration — no escaping closures,
+// no capacity-less append growth, no interface boxing.
+package hotalloc
+
+type point struct{ x, y int }
+
+// Hot is the fixture's annotated entry point.
+//
+//vx:hot fixture scan loop
+func Hot(vals [][]byte, sink func(interface{})) int {
+	total := 0
+	acc := make([]int, 0, len(vals))
+	var grow []int
+	for i, v := range vals {
+		f := func() int { return len(v) } // want "closure allocated per iteration"
+		total += f()
+		grow = append(grow, i) // want "append to grow grows without preallocation"
+		acc = append(acc, i)
+		sink(point{i, i}) // want "interface boxing"
+		//vx:alloc fixture: sanctioned per-iteration closure
+		g := func() int { return i }
+		total += g()
+		if len(v) == 0 {
+			// Exit path: this block ends in return, so its allocations run
+			// at most once and are exempt.
+			cleanup := func() int { return total }
+			return cleanup()
+		}
+	}
+	_ = acc
+	helper(vals)
+	return total
+}
+
+// helper is checked because Hot reaches it, not because it is annotated.
+func helper(vals [][]byte) {
+	for range vals {
+		_ = func() {} // want "closure allocated per iteration"
+	}
+}
+
+// cold has the same shape but is unreachable from any //vx:hot root, so
+// it stays silent.
+func cold(vals [][]byte) {
+	for range vals {
+		_ = func() {}
+	}
+}

@@ -1,0 +1,66 @@
+// Fixture for the faultflow analyzer, laid out as a boundary package
+// (import path internal/shard): storage-born errors must pass the fault
+// taxonomy before escaping an exported function, and fmt.Errorf on a
+// tainted path must wrap with %w.
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	"storage"
+)
+
+// Leaky surfaces a storage-born error with no taxonomy consultation
+// anywhere on the path.
+func Leaky(n int) error { // want "Leaky may return a storage-born error"
+	_, err := storage.ReadPage(n)
+	return err
+}
+
+// Outer is tainted through inner: propagation is interprocedural, and
+// the diagnostic lands on the exported boundary, not the helper.
+func Outer(n int) error { // want "Outer may return a storage-born error"
+	return inner(n)
+}
+
+func inner(n int) error {
+	_, err := storage.ReadPage(n)
+	return err
+}
+
+// Classified consults IsTransientRead: the taxonomy saw the error.
+func Classified(n int) error {
+	_, err := storage.ReadPage(n)
+	if err != nil && storage.IsTransientRead(err) {
+		return nil
+	}
+	return err
+}
+
+// SentinelChecked classifies by errors.Is against a module sentinel.
+func SentinelChecked(n int) error {
+	_, err := storage.ReadPage(n)
+	if errors.Is(err, storage.ErrCorrupt) {
+		return fmt.Errorf("fence page %d: %w", n, err)
+	}
+	return err
+}
+
+// Annotated escapes: its only caller classifies, and the annotation
+// records that.
+//
+//vx:fault-classified fixture: the sole caller runs IsTransientRead
+func Annotated(n int) error {
+	_, err := storage.ReadPage(n)
+	return err
+}
+
+// badWrap severs the errors.Is chain on a tainted path.
+func badWrap(n int) error {
+	_, err := storage.ReadPage(n)
+	if err != nil {
+		return fmt.Errorf("read %d failed: %v", n, err) // want "without %w on a storage-tainted path"
+	}
+	return nil
+}

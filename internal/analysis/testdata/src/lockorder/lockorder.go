@@ -1,0 +1,73 @@
+// Fixture for the lockorder analyzer: the global lock-acquisition-order
+// graph must be cycle-free. muA/muB cycle lexically; muE/muF cycle
+// through calls; muC/muD would cycle but one site is annotated away.
+package lockorder
+
+import "sync"
+
+var (
+	muA, muB sync.Mutex
+	muC, muD sync.Mutex
+	muE, muF sync.Mutex
+)
+
+// ab acquires A then B; ba acquires B then A: a two-path deadlock.
+func ab() {
+	muA.Lock()
+	muB.Lock() // want "lock order cycle"
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func ba() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// cd nests D under C through a call; dc nests C under D lexically, but
+// the site carries an annotation, so its edge stays out of the graph
+// and no cycle forms.
+func cd() {
+	muC.Lock()
+	lockD()
+	muC.Unlock()
+}
+
+func lockD() {
+	muD.Lock()
+	muD.Unlock()
+}
+
+func dc() {
+	muD.Lock()
+	//vx:lockorder fixture: dc never runs concurrently with cd
+	muC.Lock()
+	muC.Unlock()
+	muD.Unlock()
+}
+
+// ef/fe close a cycle purely through the call graph: neither function
+// lexically acquires both locks.
+func ef() {
+	muE.Lock()
+	lockF() // want "lock order cycle"
+	muE.Unlock()
+}
+
+func lockF() {
+	muF.Lock()
+	muF.Unlock()
+}
+
+func fe() {
+	muF.Lock()
+	lockE()
+	muF.Unlock()
+}
+
+func lockE() {
+	muE.Lock()
+	muE.Unlock()
+}

@@ -1,8 +1,30 @@
 // Package storage is a fixture stub standing in for vxml/internal/storage:
-// just the corruption sentinel the corrupterr fixture wraps.
+// the taxonomy sentinels, the transient-read classifier, and one
+// error-birthing read so the corrupterr and faultflow fixtures have a
+// source to wrap and taint from.
 package storage
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // ErrCorrupt is the sentinel every decode error must wrap.
 var ErrCorrupt = errors.New("storage: corrupt data")
+
+// ErrInjected marks an injected transient I/O fault.
+var ErrInjected = errors.New("storage: injected I/O fault")
+
+// IsTransientRead reports whether err is worth a bounded retry.
+func IsTransientRead(err error) bool {
+	return errors.Is(err, ErrInjected)
+}
+
+// ReadPage is a taxonomy-error birthplace: it returns errors wrapping
+// ErrCorrupt, so faultflow seeds taint here.
+func ReadPage(n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("page %d: %w", n, ErrCorrupt)
+	}
+	return make([]byte, 8), nil
+}

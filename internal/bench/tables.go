@@ -173,7 +173,7 @@ func (h *Harness) Figure8(scales []float64) ([]Fig8Point, error) {
 		for _, q := range []QueryID{KQ1, KQ2, KQ3, KQ4} {
 			r := d.runVX(q, core.Options{})
 			if !r.OK() {
-				return nil, fmt.Errorf("bench: fig8 %s at SF %g: %s (%v)", q, sf, r.Fail, r.Err)
+				return nil, fmt.Errorf("bench: fig8 %s at SF %g: %s (%w)", q, sf, r.Fail, r.Err)
 			}
 			out = append(out, Fig8Point{Scale: sf, Query: q, Elapsed: r.Elapsed, Results: r.Results})
 		}
@@ -302,7 +302,7 @@ func (h *Harness) VerifyVX(w io.Writer) error {
 		}
 		vx := d.runVX(q, core.Options{})
 		if !vx.OK() {
-			return fmt.Errorf("bench: VX failed %s: %s (%v)", q, vx.Fail, vx.Err)
+			return fmt.Errorf("bench: VX failed %s: %s (%w)", q, vx.Fail, vx.Err)
 		}
 		gx := d.runGX(q)
 		if !gx.OK() {

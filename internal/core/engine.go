@@ -258,6 +258,9 @@ type cancelVector struct {
 	ctx context.Context
 }
 
+// Scan polls ctx between chunked sub-scans of the wrapped vector.
+//
+//vx:hot every value a query touches flows through this scan loop
 func (cv *cancelVector) Scan(start, n int64, fn func(pos int64, val []byte) error) error {
 	if start < 0 || n < 0 || start+n > cv.Vector.Len() {
 		// Out-of-range scans surface the implementation's own error before

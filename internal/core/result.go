@@ -54,6 +54,8 @@ func (e *Engine) Eval(ctx context.Context, plan *qgraph.Plan) (*vectorize.MemRep
 // catalog, fsynced vectors, manifest) and renamed into place as the last
 // step. A crash or a cancelled ctx leaves either no result directory or a
 // complete one.
+//
+//vx:fault-classified materialization API: a failed result build removes the .building dir and surfaces raw to the pipeline driver
 func (e *Engine) EvalToDir(ctx context.Context, plan *qgraph.Plan, dir string, poolPages int) (*vectorize.Repository, error) {
 	fsys := storage.DefaultFS
 	building := dir + ".building"

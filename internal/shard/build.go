@@ -33,6 +33,8 @@ type BuildConfig struct {
 // A shard the policy assigns no documents still gets a repository with a
 // bare <roottag/> document, so every shard answers every query (with an
 // empty contribution) rather than erroring on open.
+//
+//vx:fault-classified offline build API: failures abort the build and surface raw; retry/quarantine apply only at query time
 func Build(docs []string, dir string, cfg BuildConfig) (*Catalog, error) {
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("shard: build: %d shards (want >= 1)", cfg.Shards)
@@ -120,6 +122,8 @@ func Build(docs []string, dir string, cfg BuildConfig) (*Catalog, error) {
 // global load order, by serializing each shard and cutting its root back
 // into documents along the catalog's RootChildren boundaries. It is the
 // inverse of Build and the first half of a rebalance.
+//
+//vx:fault-classified offline admin API: extraction failures abort the rebalance and surface raw to the operator
 func ExtractDocs(f *Federation) ([]string, error) {
 	docs := make([]string, f.Catalog.NumDocs())
 	for k, repo := range f.Shards {
@@ -157,6 +161,8 @@ func ExtractDocs(f *Federation) ([]string, error) {
 // with a (possibly different) shard count and policy: documents are
 // extracted in global order and re-loaded through Build. The source
 // federation is untouched.
+//
+//vx:fault-classified offline admin API: rebalance failures abort and surface raw; the source federation keeps serving
 func Rebalance(f *Federation, dir string, cfg BuildConfig) (*Catalog, error) {
 	docs, err := ExtractDocs(f)
 	if err != nil {

@@ -82,6 +82,8 @@ func (c *Catalog) NumDocs() int {
 }
 
 // WriteCatalog atomically writes the catalog into dir.
+//
+//vx:fault-classified build-time write path: a failed catalog write fails the build; no query-time taxonomy applies
 func WriteCatalog(fsys storage.FS, dir string, c *Catalog) error {
 	data, err := json.MarshalIndent(c, "", " ")
 	if err != nil {
@@ -94,6 +96,8 @@ func WriteCatalog(fsys storage.FS, dir string, c *Catalog) error {
 }
 
 // ReadCatalog reads and validates dir's catalog.
+//
+//vx:fault-classified open-time API: a corrupt catalog is already branded ErrCorrupt here and fails the open; nothing to retry
 func ReadCatalog(fsys storage.FS, dir string) (*Catalog, error) {
 	body, err := storage.ReadFileChecksummed(fsys, filepath.Join(dir, CatalogName))
 	if os.IsNotExist(err) {
@@ -160,6 +164,8 @@ type Federation struct {
 
 // OpenFederation opens every shard of the federation at dir. opts (pool
 // size, FS) applies to each shard repository.
+//
+//vx:fault-classified open-time API: a shard that fails to open fails the whole open, before any query could be degraded
 func OpenFederation(dir string, opts vectorize.Options) (*Federation, error) {
 	fsys := storage.DefaultFS
 	if opts.FS != nil {
@@ -182,6 +188,8 @@ func OpenFederation(dir string, opts vectorize.Options) (*Federation, error) {
 }
 
 // Close closes every shard repository, returning the first error.
+//
+//vx:fault-classified shutdown path: close errors are reported, not retried; the taxonomy governs query-time reads
 func (f *Federation) Close() error {
 	var first error
 	for _, repo := range f.Shards {

@@ -25,7 +25,11 @@ import (
 // federation's shards, all non-nil) into one Result. Stats are summed;
 // the merged result is statically empty only when every shard's was.
 // The merged Trace is nil — per-shard traces describe per-shard work and
-// do not concatenate meaningfully.
+// do not concatenate meaningfully. A shard whose result vectors cannot
+// be read surfaces as a DegradedError naming that shard, the same typed
+// failure the coordinator uses for every other per-shard fault.
+//
+//vx:hot the scatter-gather merge runs once per federated query
 func MergeResults(results []*core.Result) (*core.Result, error) {
 	if len(results) == 0 {
 		return nil, fmt.Errorf("shard: merge: no shard results")
@@ -35,7 +39,13 @@ func MergeResults(results []*core.Result) (*core.Result, error) {
 	out := vector.NewMemSet()
 	merged := &core.Result{StaticallyEmpty: true}
 	resultTag := xmlmodel.NoSym
-	var edges []skeleton.Edge
+	totalEdges := 0
+	for _, r := range results {
+		if r != nil && r.Repo != nil {
+			totalEdges += len(r.Repo.Skel.Root.Edges)
+		}
+	}
+	edges := make([]skeleton.Edge, 0, totalEdges)
 	for k, r := range results {
 		if r == nil {
 			return nil, fmt.Errorf("shard: merge: shard %d has no result", k)
@@ -59,11 +69,11 @@ func MergeResults(results []*core.Result) (*core.Result, error) {
 		for _, name := range r.Repo.Vectors.Names() {
 			v, err := r.Repo.Vectors.Vector(name)
 			if err != nil {
-				return nil, fmt.Errorf("shard: merge: shard %d vector %s: %w", k, name, err)
+				return nil, &DegradedError{Shard: k, Err: fmt.Errorf("merge vector %s: %w", name, err)}
 			}
 			vals, err := vector.All(v)
 			if err != nil {
-				return nil, fmt.Errorf("shard: merge: shard %d vector %s: %w", k, name, err)
+				return nil, &DegradedError{Shard: k, Err: fmt.Errorf("merge vector %s: %w", name, err)}
 			}
 			mv := out.Add(name)
 			for _, val := range vals {

@@ -76,15 +76,19 @@ func newConcatSet(parts []vector.Set) *concatSet {
 
 func (s *concatSet) Names() []string { return s.names }
 
+// Vector concatenates the shards' vectors for one class. A shard whose
+// vector cannot be opened (quarantined page, corrupt catalog) fails the
+// union read as a DegradedError naming that shard — the same typed
+// failure the coordinator's scatter path produces.
 func (s *concatSet) Vector(name string) (vector.Vector, error) {
-	var parts []vector.Vector
+	parts := make([]vector.Vector, 0, len(s.parts))
 	for k, p := range s.parts {
 		if !s.has[k][name] {
 			continue
 		}
 		v, err := p.Vector(name)
 		if err != nil {
-			return nil, err
+			return nil, &DegradedError{Shard: k, Err: err}
 		}
 		parts = append(parts, v)
 	}
@@ -132,6 +136,7 @@ func (c *concatVector) Scan(start, n int64, fn func(pos int64, val []byte) error
 			hi = phi
 		}
 		off := c.offs[i]
+		//vx:alloc one closure per shard part spanned, not per value scanned
 		if err := p.Scan(lo-off, hi-lo, func(pos int64, val []byte) error {
 			return fn(off+pos, val)
 		}); err != nil {

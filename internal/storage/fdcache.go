@@ -37,7 +37,7 @@ func (g *fdGate) admit(f *File) []*File {
 	} else {
 		g.elems[f] = g.order.PushBack(f)
 	}
-	var victims []*File
+	victims := make([]*File, 0, max(0, g.order.Len()-g.limit))
 	for g.order.Len() > g.limit {
 		front := g.order.Front()
 		victim := front.Value.(*File)

@@ -162,8 +162,9 @@ type overlaySet struct {
 }
 
 func (o *overlaySet) Names() []string {
-	var out []string
-	for _, n := range o.base.Names() {
+	base := o.base.Names()
+	out := make([]string, 0, len(base)+len(o.added))
+	for _, n := range base {
 		if !o.hidden[n] {
 			out = append(out, n)
 		}
