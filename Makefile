@@ -58,6 +58,7 @@ bench-full:
 bench-snapshot:
 	go run ./cmd/vxbench -quick -work bench-work -o BENCH_PR6.json snapshot
 	go run ./cmd/vxbench -quick -work bench-work -o BENCH_PR8.json sharded
+	go run ./cmd/vxbench -quick -work bench-work -o BENCH_PR10.json spans
 
 fuzz:
 	go test -fuzz FuzzParse -fuzztime 30s ./internal/xq/

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vxbench [-work DIR] [-quick] table1|table2|table3|fig8|ablations|verify|snapshot|sharded|all
+//	vxbench [-work DIR] [-quick] table1|table2|table3|fig8|ablations|verify|snapshot|sharded|spans|all
 //
 // The snapshot experiment writes a machine-readable benchmark record
 // (concurrent throughput plus query-scoped telemetry overhead) to the
@@ -36,10 +36,10 @@ func main() {
 	ssRows := flag.Int("ssrows", 0, "SkyServer rows override")
 	ssCols := flag.Int("sscols", 0, "SkyServer columns override")
 	timeout := flag.Duration("timeout", 0, "per-query timeout override")
-	out := flag.String("o", "", "output file for snapshot experiments (default BENCH_PR6.json, or BENCH_PR8.json for sharded)")
+	out := flag.String("o", "", "output file for snapshot experiments (default BENCH_PR6.json, BENCH_PR8.json for sharded, BENCH_PR10.json for spans)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: vxbench [flags] table1|table2|table3|fig8|ablations|verify|snapshot|sharded|all")
+		fmt.Fprintln(os.Stderr, "usage: vxbench [flags] table1|table2|table3|fig8|ablations|verify|snapshot|sharded|spans|all")
 		os.Exit(2)
 	}
 
@@ -143,6 +143,22 @@ func main() {
 			}
 			fmt.Println("== Sharded serving snapshot ==")
 			bench.PrintSharded(os.Stdout, snap.Sharded)
+			fmt.Printf("(written to %s)\n", path)
+		case "spans":
+			sp, e := h.SpanOverhead(bench.KQ1, 51)
+			if e != nil {
+				return e
+			}
+			snap := &bench.SpansSnapshot{Spans: sp}
+			path := *out
+			if path == "" {
+				path = "BENCH_PR10.json"
+			}
+			if e := writeJSON(path, snap.WriteJSON); e != nil {
+				return e
+			}
+			fmt.Println("== Span overhead snapshot ==")
+			snap.WriteJSON(os.Stdout)
 			fmt.Printf("(written to %s)\n", path)
 		case "all":
 			for _, sub := range []string{"table1", "table2", "table3", "fig8", "ablations"} {

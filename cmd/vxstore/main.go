@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -45,7 +46,12 @@ import (
 	"vxml/internal/xq"
 )
 
+// version identifies the binary on /metrics (vx_build_info); release
+// builds override it with -ldflags "-X main.version=...".
+var version = "dev"
+
 func main() {
+	obs.SetBuildInfo(version, int64(vectorize.FormatVersion()))
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
@@ -455,6 +461,11 @@ func cmdServe(args []string) error {
 	admitWait := fs.Duration("admit-wait", 5*time.Millisecond, "how long an over-budget query queues before the 429")
 	readRetries := fs.Int("read-retries", 0, "transient page-read retries before failing the query (0 = storage default, -1 = no retries)")
 	retryBackoff := fs.Duration("retry-backoff", 0, "initial retry backoff, doubling per attempt with jitter (0 = storage default)")
+	tracing := fs.Bool("trace", true, "per-request span trees: W3C traceparent in/out plus the GET /debug/traces ring")
+	traceRing := fs.Int("trace-ring", 128, "how many sampled traces /debug/traces retains")
+	traceSample := fs.Int64("trace-sample", 16, "keep 1-in-N healthy traces (slow/degraded traces are always kept); 1 keeps all")
+	traceExport := fs.String("trace-export", "", "append every completed trace to this file as OTLP-shaped JSON lines (\"-\" = stdout)")
+	wideEvents := fs.String("wide-events", "", "append one JSON wide-event record per completed query to this file (\"-\" = stdout)")
 	fs.Parse(args)
 	var (
 		repo *vectorize.Repository
@@ -477,6 +488,34 @@ func cmdServe(args []string) error {
 		}
 		defer repo.Close()
 	}
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	openSink := func(path string) (io.Writer, error) {
+		if path == "" {
+			return nil, nil
+		}
+		if path == "-" {
+			return os.Stdout, nil
+		}
+		f, ferr := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if ferr != nil {
+			return nil, ferr
+		}
+		closers = append(closers, f)
+		return f, nil
+	}
+	exportW, err := openSink(*traceExport)
+	if err != nil {
+		return err
+	}
+	wideW, err := openSink(*wideEvents)
+	if err != nil {
+		return err
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	srv := serve.New(serve.Config{
@@ -496,6 +535,11 @@ func cmdServe(args []string) error {
 		AdmitWait:        *admitWait,
 		ReadRetries:      *readRetries,
 		RetryBackoff:     *retryBackoff,
+		Tracing:          *tracing,
+		TraceRingSize:    *traceRing,
+		TraceSample:      *traceSample,
+		TraceExport:      exportW,
+		WideEvents:       wideW,
 	})
 	return srv.ListenAndRun(ctx, *addr, nil)
 }

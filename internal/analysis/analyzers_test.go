@@ -10,6 +10,7 @@ func TestLockGuardFixture(t *testing.T)    { RunFixture(t, LockGuard(), "lockgua
 func TestCtxPollFixture(t *testing.T)      { RunFixture(t, CtxPoll(), "ctxpoll") }
 func TestFsyncOrderFixture(t *testing.T)   { RunFixture(t, FsyncOrder(), "fsyncorder") }
 func TestObsNamesFixture(t *testing.T)     { RunFixture(t, ObsNames(), "obsnames") }
+func TestSpanNamesFixture(t *testing.T)    { RunFixture(t, ObsNames(), "spannames") }
 func TestAtomicAlignFixture(t *testing.T)  { RunFixture(t, AtomicAlign(), "atomicalign") }
 func TestRecoverScopeFixture(t *testing.T) { RunFixture(t, RecoverScope(), "recoverscope") }
 

@@ -2,6 +2,8 @@ package analysis
 
 import (
 	"go/ast"
+	"go/constant"
+	"go/types"
 	"regexp"
 )
 
@@ -16,10 +18,16 @@ var obsNameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$`)
 // name, each name is registered exactly once, and registration happens at
 // package scope (package-level var or init) so counters are
 // process-global, not re-created per value.
+//
+// It applies the same convention to span names: the name argument of
+// obs.StartSpan, obs.StartRequestSpan, and (*obs.SpanTrace).Start must be
+// a package-level string constant matching <pkg>.<dotted_name> whose first
+// segment is the package name, and each span name belongs to exactly one
+// Start call site (one const, one site keeps trace trees unambiguous).
 func ObsNames() *Analyzer {
 	a := &Analyzer{
 		Name: "obsnames",
-		Doc:  "obs metric names follow vx_<pkg>_<name> and register exactly once at package scope",
+		Doc:  "obs metric and span names follow vx_<pkg>_<name> and register exactly once at package scope",
 	}
 	a.Run = func(pass *Pass) error {
 		// Positions of registration calls that occur at package scope:
@@ -46,10 +54,32 @@ func ObsNames() *Analyzer {
 			}
 		}
 		seen := make(map[string]bool)
+		seenSpan := make(map[string]bool)
 		for _, f := range pass.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
 				if !ok {
+					return true
+				}
+				// The obs package itself forwards caller-supplied names
+				// through its Start helpers; the convention binds callers.
+				if isSpanStart(pass.TypesInfo, call) && len(call.Args) >= 2 && pass.Pkg.Name() != "obs" {
+					name, ok := pkgLevelConst(pass.TypesInfo, pass.Pkg, call.Args[1])
+					if !ok {
+						pass.Reportf(call.Pos(), "span name must be a package-level string constant")
+						return true
+					}
+					if !obsNameRe.MatchString(name) {
+						pass.Reportf(call.Pos(), "span name %q does not match the <pkg>.<dotted_name> convention", name)
+						return true
+					}
+					if first := name[:indexByte(name, '.')]; first != pass.Pkg.Name() {
+						pass.Reportf(call.Pos(), "span name %q: first segment must be the package name %q", name, pass.Pkg.Name())
+					}
+					if seenSpan[name] {
+						pass.Reportf(call.Pos(), "span name %q started at more than one call site", name)
+					}
+					seenSpan[name] = true
 					return true
 				}
 				isCtr := isPkgFunc(pass.TypesInfo, call, "obs", "GetCounter")
@@ -83,6 +113,42 @@ func ObsNames() *Analyzer {
 		return nil
 	}
 	return a
+}
+
+// isSpanStart reports whether the call mints a span: obs.StartSpan,
+// obs.StartRequestSpan, or the Start method on *obs.SpanTrace.
+func isSpanStart(info *types.Info, call *ast.CallExpr) bool {
+	if isPkgFunc(info, call, "obs", "StartSpan") || isPkgFunc(info, call, "obs", "StartRequestSpan") {
+		return true
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "Start" || fn.Pkg() == nil || !pathMatches(fn.Pkg().Path(), "obs") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "SpanTrace"
+}
+
+// pkgLevelConst returns the string value of e when e is an identifier
+// bound to a package-level string constant of pkg.
+func pkgLevelConst(info *types.Info, pkg *types.Package, e ast.Expr) (string, bool) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	if !ok || c.Parent() != pkg.Scope() || c.Val().Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(c.Val()), true
 }
 
 // indexByte is strings.IndexByte without the import; the regexp above

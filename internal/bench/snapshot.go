@@ -228,6 +228,91 @@ func (h *Harness) telemetryOverhead(q QueryID, rounds int) (SnapshotTelemetry, e
 	return tel, nil
 }
 
+// SnapshotSpans records the request-tracing overhead: median per-query
+// service time through core.Service with the span machinery off and on.
+type SnapshotSpans struct {
+	Query       string  `json:"query"`
+	Rounds      int     `json:"rounds"`
+	Batch       int     `json:"batch"`
+	SampleRate  int64   `json:"sample_rate"`
+	OffMedianUS int64   `json:"off_median_us"`
+	OnMedianUS  int64   `json:"on_median_us"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// SpansSnapshot is the benchmark record written by `make bench-snapshot`
+// (BENCH_PR10.json): the tracing on/off overhead on the XMark dataset at
+// the harness scale, under the serving defaults' 1-in-16 head sampling.
+type SpansSnapshot struct {
+	Spans SnapshotSpans `json:"spans"`
+}
+
+// SpanOverhead interleaves tracing-off and tracing-on rounds (each a
+// timed batch of queries through a core.Service with the result cache
+// off, so every query evaluates) and reports the median per-query time
+// of each mode. The trace ring runs at the serving defaults (128
+// entries, 1-in-16 head sampling), so the amortized cost of tree
+// assembly for kept traces is part of the measured number.
+func (h *Harness) SpanOverhead(q QueryID, rounds int) (SnapshotSpans, error) {
+	const sampleRate = 16
+	sp := SnapshotSpans{Query: string(q), Rounds: rounds, Batch: telemetryBatch, SampleRate: sampleRate}
+	d, err := h.Dataset(DatasetOf(q))
+	if err != nil {
+		return sp, err
+	}
+	repo, err := vectorize.Open(d.RepoDir, vectorize.Options{PoolPages: h.Cfg.PoolPages})
+	if err != nil {
+		return sp, err
+	}
+	defer repo.Close()
+	svc := core.NewService(repo, core.ServiceConfig{PlanCacheSize: 16})
+	src := QuerySources[q]
+	obs.Traces.Configure(128, sampleRate, 0)
+	defer obs.Traces.Configure(128, 1, 0)
+	prev := obs.TracingEnabled()
+	defer obs.SetTracing(prev)
+	var off, on []time.Duration
+	for i := 0; i < rounds; i++ {
+		obs.SetTracing(false)
+		start := time.Now()
+		for j := 0; j < telemetryBatch; j++ {
+			if _, _, err := svc.Query(context.Background(), src); err != nil {
+				return sp, err
+			}
+		}
+		off = append(off, time.Since(start)/telemetryBatch)
+
+		obs.SetTracing(true)
+		start = time.Now()
+		for j := 0; j < telemetryBatch; j++ {
+			if _, _, err := svc.Query(context.Background(), src); err != nil {
+				return sp, err
+			}
+		}
+		on = append(on, time.Since(start)/telemetryBatch)
+	}
+	median := func(ds []time.Duration) time.Duration {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[len(ds)/2]
+	}
+	o, n := median(off), median(on)
+	sp.OffMedianUS = o.Microseconds()
+	sp.OnMedianUS = n.Microseconds()
+	if sp.OffMedianUS <= 0 || sp.OnMedianUS <= 0 {
+		return sp, fmt.Errorf("bench: span-overhead median rounded to zero (off=%s on=%s); evaluation too fast for batch=%d",
+			o, n, telemetryBatch)
+	}
+	sp.OverheadPct = float64(n-o) / float64(o) * 100
+	return sp, nil
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s *SpansSnapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
 // WriteJSON renders the snapshot as indented JSON.
 func (s *Snapshot) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)

@@ -212,9 +212,10 @@ func (x *evalContext) vectorFor(c skeleton.ClassID) (vector.Vector, error) {
 		// Fail fast before any I/O: the bad page stays untouched until an
 		// operator re-verify clears the quarantine.
 		obsQuarantinedQueries.Inc()
+		obs.SpanFrom(x.ctx).Event(evQuarantine, obs.Str("vector", name), obs.Str("error", "already quarantined: "+reason))
 		return nil, &QuarantinedError{Vector: name, Reason: reason}
 	}
-	v, err := e.Vectors.Vector(name)
+	v, err := vector.OpenFrom(x.ctx, x.meter, e.Vectors, name)
 	if err != nil {
 		if errors.Is(err, storage.ErrCorrupt) {
 			// The open itself hit persistent corruption (bad meta page, count
@@ -232,7 +233,7 @@ func (x *evalContext) vectorFor(c skeleton.ClassID) (vector.Vector, error) {
 		}
 	}
 	if e.Health != nil {
-		v = &quarantineVector{Vector: v, health: e.Health, name: name}
+		v = &quarantineVector{Vector: v, health: e.Health, name: name, span: obs.SpanFrom(x.ctx)}
 	}
 	if x.ctx.Done() != nil {
 		v = &cancelVector{Vector: v, ctx: x.ctx}

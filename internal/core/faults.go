@@ -71,12 +71,21 @@ type quarantineVector struct {
 	vector.Vector
 	health *storage.Health
 	name   string
+	// span is the evaluation's span at wrap time (nil when tracing is
+	// off). Scan has no context parameter, so the quarantine event is
+	// charged to the span captured when the vector was opened.
+	span *obs.Span
 }
 
 func (qv *quarantineVector) Scan(start, n int64, fn func(pos int64, val []byte) error) error {
 	err := qv.Vector.Scan(start, n, fn)
 	if err != nil && errors.Is(err, storage.ErrCorrupt) {
 		qv.health.Quarantine(qv.name, err.Error())
+		qv.span.Event(evQuarantine, obs.Str("vector", qv.name), obs.Str("error", err.Error()))
 	}
 	return err
 }
+
+// evQuarantine is the span event recorded when a scan integrity failure
+// quarantines a vector mid-query.
+const evQuarantine = "core.quarantine"

@@ -166,6 +166,7 @@ func (e *Engine) evalWithSinkTraced(ctx context.Context, plan *qgraph.Plan, sink
 			if trace != nil {
 				rec.Trace = trace.Redacted()
 			}
+			rec.TraceID = obs.SpanFrom(ctx).TraceID()
 			obs.SlowQueries.Record(rec)
 		}
 	}()

@@ -66,6 +66,41 @@ func (s Source) String() string {
 	}
 }
 
+// Span names for the serving layer, one package-level const per name
+// (enforced by the vxlint obsnames analyzer).
+const (
+	spanQuery      = "core.query"
+	spanPlan       = "core.plan"
+	spanCacheProbe = "core.cache_lookup"
+	spanFlightWait = "core.singleflight_wait"
+	spanAdmission  = "core.admission_wait"
+	spanEval       = "core.eval"
+)
+
+// OutcomeClass buckets a completed query's error into the serving
+// outcome taxonomy used by span attributes, trace-ring tail sampling,
+// and the wide-event log. The shard coordinator layers "degraded" on
+// top via shard.OutcomeClass; the HTTP surface adds "bad_request" for
+// parse failures it rejects before Query runs.
+func OutcomeClass(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrOverloaded):
+		return "shed"
+	case errors.Is(err, ErrQuarantined):
+		return "quarantined"
+	case errors.Is(err, ErrInternal):
+		return "panic"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "error"
+	}
+}
+
 // Serving-layer metrics, registered once at package scope.
 var (
 	obsPlanCacheHits     = obs.GetCounter("core.plan_cache_hits")
@@ -215,6 +250,17 @@ func (s *Service) Plan(query string) (*qgraph.Plan, error) {
 	return pe.plan, nil
 }
 
+// Canonical returns the query's canonical text — the cache key the
+// serving layer actually uses — through the plan cache, so an exact
+// repeat costs one cache probe.
+func (s *Service) Canonical(query string) (string, error) {
+	pe, err := s.planFor(query)
+	if err != nil {
+		return "", err
+	}
+	return pe.canon, nil
+}
+
 // planFor resolves a query text to its cached plan entry. The cache is
 // double-keyed: by trimmed raw text, so an exact repeat — the hot serving
 // case — skips the parser entirely, and by canonical form, so a
@@ -264,7 +310,24 @@ func (s *Service) Query(ctx context.Context, query string) (*Result, Source, err
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Root-or-child: under the HTTP surface (or a federation coordinator)
+	// the context already carries a span and core.query nests inside it;
+	// called directly with the tracing gate on, this query roots its own
+	// trace and owns offering it to the /debug/traces ring.
+	ctx, sp, owned := obs.StartRequestSpan(ctx, spanQuery)
+	res, src, err := s.queryTraced(ctx, query)
+	if sp != nil {
+		outcome := OutcomeClass(err)
+		sp.SetAttr(obs.Str("source", src.String()), obs.Str("outcome", outcome))
+		obs.FinishRequestSpan(sp, owned, strings.Join(strings.Fields(query), " "), outcome)
+	}
+	return res, src, err
+}
+
+func (s *Service) queryTraced(ctx context.Context, query string) (*Result, Source, error) {
+	_, psp := obs.StartSpan(ctx, spanPlan)
 	pe, err := s.planFor(query)
+	psp.End()
 	if err != nil {
 		return nil, SourceEval, err
 	}
@@ -274,13 +337,18 @@ func (s *Service) Query(ctx context.Context, query string) (*Result, Source, err
 		// Append commits is stored under the pre-append key and can
 		// never satisfy a post-append lookup.
 		key := resultKey{canon: pe.canon, epoch: s.epoch()}
+		_, csp := obs.StartSpan(ctx, spanCacheProbe)
 		if s.results != nil {
 			if r, ok := s.results.get(key); ok {
 				obsResultCacheHits.Inc()
 				obs.MeterFrom(ctx).CacheHit()
+				csp.SetAttr(obs.Bool("hit", true))
+				csp.End()
 				return r, SourceResultCache, nil
 			}
 		}
+		csp.SetAttr(obs.Bool("hit", false))
+		csp.End()
 		s.flightMu.Lock()
 		f, joined := s.flights[key]
 		if !joined {
@@ -293,10 +361,13 @@ func (s *Service) Query(ctx context.Context, query string) (*Result, Source, err
 			return res, SourceEval, err
 		}
 		obsFlightFollowers.Inc()
+		_, wsp := obs.StartSpan(ctx, spanFlightWait)
 		select {
 		case <-ctx.Done():
+			wsp.End()
 			return nil, SourceFollower, ctx.Err()
 		case <-f.done:
+			wsp.End()
 		}
 		if f.err != nil {
 			if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
@@ -324,7 +395,10 @@ func (s *Service) lead(ctx context.Context, pe *planEntry, key resultKey, f *fli
 		s.flightMu.Unlock()
 		close(f.done)
 	}()
-	if err = s.admit(ctx); err != nil {
+	_, asp := obs.StartSpan(ctx, spanAdmission)
+	err = s.admit(ctx)
+	asp.End()
+	if err != nil {
 		return nil, err
 	}
 	defer s.release()
@@ -334,7 +408,9 @@ func (s *Service) lead(ctx context.Context, pe *planEntry, key resultKey, f *fli
 	if s.results != nil {
 		obsResultCacheMisses.Inc()
 	}
-	repo, tr, err := s.newEngine().EvalTraced(ctx, pe.plan)
+	ectx, esp := obs.StartSpan(ctx, spanEval)
+	repo, tr, err := s.newEngine().EvalTraced(ectx, pe.plan)
+	esp.End()
 	if err != nil {
 		return nil, err
 	}

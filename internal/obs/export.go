@@ -1,0 +1,163 @@
+package obs
+
+// OTLP-shaped JSON trace export. Each completed trace is written as one
+// JSON object per line in the shape of an OTLP/HTTP ExportTraceServiceRequest
+// (resourceSpans → scopeSpans → spans), so files can be replayed into
+// any OTLP-speaking collector with a thin shim. We deliberately encode
+// the shape by hand — the repo takes no external dependencies — and
+// keep only the fields the span model populates.
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// otlp* mirror the OTLP/JSON field names.
+type otlpExport struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+type otlpResourceSpans struct {
+	Resource   otlpResource     `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpResource struct {
+	Attributes []otlpKV `json:"attributes"`
+}
+
+type otlpScopeSpans struct {
+	Scope otlpScope  `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpScope struct {
+	Name string `json:"name"`
+}
+
+type otlpSpan struct {
+	TraceID      string      `json:"traceId"`
+	SpanID       string      `json:"spanId"`
+	ParentSpanID string      `json:"parentSpanId,omitempty"`
+	Name         string      `json:"name"`
+	StartNano    string      `json:"startTimeUnixNano"`
+	EndNano      string      `json:"endTimeUnixNano"`
+	Attributes   []otlpKV    `json:"attributes,omitempty"`
+	Events       []otlpEvent `json:"events,omitempty"`
+}
+
+type otlpEvent struct {
+	TimeNano   string   `json:"timeUnixNano"`
+	Name       string   `json:"name"`
+	Attributes []otlpKV `json:"attributes,omitempty"`
+}
+
+// otlpKV is an OTLP KeyValue with its oneof AnyValue payload.
+type otlpKV struct {
+	Key   string    `json:"key"`
+	Value otlpValue `json:"value"`
+}
+
+type otlpValue struct {
+	Str  *string `json:"stringValue,omitempty"`
+	Int  *string `json:"intValue,omitempty"` // OTLP encodes int64 as string
+	Bool *bool   `json:"boolValue,omitempty"`
+}
+
+func otlpAttr(a Attr) otlpKV {
+	kv := otlpKV{Key: a.Key}
+	switch a.kind {
+	case attrInt:
+		s := strconv.FormatInt(a.i, 10)
+		kv.Value.Int = &s
+	case attrBool:
+		b := a.i != 0
+		kv.Value.Bool = &b
+	default:
+		s := a.s
+		kv.Value.Str = &s
+	}
+	return kv
+}
+
+// TraceExporter appends completed traces to a writer, one OTLP-shaped
+// JSON object per line. Safe for concurrent use.
+type TraceExporter struct {
+	mu      sync.Mutex
+	w       io.Writer // guarded by mu
+	service string
+}
+
+// NewTraceExporter wraps w. service labels the resource
+// ("service.name"); empty defaults to "vxstore".
+func NewTraceExporter(w io.Writer, service string) *TraceExporter {
+	if service == "" {
+		service = "vxstore"
+	}
+	return &TraceExporter{w: w, service: service}
+}
+
+// Export writes one trace. Nil-safe on both receiver and trace.
+func (e *TraceExporter) Export(t *SpanTrace) error {
+	if e == nil || t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]otlpSpan, 0, len(spans))
+	for _, sp := range spans {
+		out = append(out, e.span(t, sp))
+	}
+	svc := e.service
+	req := otlpExport{ResourceSpans: []otlpResourceSpans{{
+		Resource: otlpResource{Attributes: []otlpKV{otlpAttr(Str("service.name", svc))}},
+		ScopeSpans: []otlpScopeSpans{{
+			Scope: otlpScope{Name: "vxml/internal/obs"},
+			Spans: out,
+		}},
+	}}}
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, err = e.w.Write(buf)
+	return err
+}
+
+func (e *TraceExporter) span(t *SpanTrace, sp *Span) otlpSpan {
+	sp.mu.Lock()
+	attrs := append([]Attr(nil), sp.attrs...)
+	events := append([]SpanEvent(nil), sp.events...)
+	sp.mu.Unlock()
+	start := sp.start.UnixNano()
+	o := otlpSpan{
+		TraceID:   t.id.String(),
+		SpanID:    sp.id.String(),
+		Name:      sp.name,
+		StartNano: strconv.FormatInt(start, 10),
+		EndNano:   strconv.FormatInt(start+int64(sp.Duration()), 10),
+	}
+	if !sp.parent.IsZero() {
+		o.ParentSpanID = sp.parent.String()
+	}
+	for _, a := range attrs {
+		o.Attributes = append(o.Attributes, otlpAttr(a))
+	}
+	for _, ev := range events {
+		oe := otlpEvent{TimeNano: strconv.FormatInt(ev.Time.UnixNano(), 10), Name: ev.Name}
+		for _, a := range ev.Attrs {
+			oe.Attributes = append(oe.Attributes, otlpAttr(a))
+		}
+		o.Events = append(o.Events, oe)
+	}
+	return o
+}

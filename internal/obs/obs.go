@@ -273,10 +273,50 @@ func GetGauge(name string) *Gauge { return Default.Gauge(name) }
 // IsGauge reports whether name names a gauge in the default registry.
 func IsGauge(name string) bool { return Default.IsGauge(name) }
 
-// Snapshot snapshots the default registry.
-func Snapshot() map[string]int64 { return Default.Snapshot() }
+// Snapshot snapshots the default registry plus the process-level keys
+// (start time and uptime), which live outside the registry because they
+// are derived from the wall clock rather than accumulated.
+func Snapshot() map[string]int64 {
+	snap := Default.Snapshot()
+	snap["process.start_time_unix_seconds"] = processStart.Unix()
+	snap["process.uptime_seconds"] = int64(time.Since(processStart).Seconds())
+	return snap
+}
+
+// processStart anchors the process uptime and start-time metrics.
+var processStart = time.Now()
+
+var (
+	buildMu      sync.Mutex
+	buildVersion = "dev" // guarded by buildMu
+	buildFormat  int64   // guarded by buildMu; repository format version
+)
+
+// SetBuildInfo records the binary's version string and the repository
+// format version it writes, exposed as the vx_build_info gauge on
+// /metrics and under "vx_build_info" in expvar.
+func SetBuildInfo(version string, format int64) {
+	buildMu.Lock()
+	if version != "" {
+		buildVersion = version
+	}
+	buildFormat = format
+	buildMu.Unlock()
+}
+
+// BuildInfo returns the recorded version string and format version.
+func BuildInfo() (version string, format int64) {
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	return buildVersion, buildFormat
+}
 
 func init() {
-	// /debug/vars integration: the whole registry as one JSON object.
-	expvar.Publish("vx", expvar.Func(func() any { return Default.Snapshot() }))
+	// /debug/vars integration: the whole registry (plus process keys) as
+	// one JSON object, and build identity as a second.
+	expvar.Publish("vx", expvar.Func(func() any { return Snapshot() }))
+	expvar.Publish("vx_build_info", expvar.Func(func() any {
+		v, f := BuildInfo()
+		return map[string]any{"version": v, "format": f}
+	}))
 }

@@ -33,6 +33,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -99,6 +100,29 @@ type Config struct {
 	// RetryBackoff overrides the initial retry backoff; 0 keeps the
 	// storage default.
 	RetryBackoff time.Duration
+	// Tracing enables end-to-end request tracing: every /query request
+	// gets a span tree (rooted from an incoming W3C traceparent header
+	// when present, minted fresh otherwise), the trace ID echoes in the
+	// Traceparent response header, and sampled traces land in the
+	// GET /debug/traces ring. Off by default — with it off the request
+	// path is unchanged.
+	Tracing bool
+	// TraceRingSize is how many sampled traces /debug/traces retains;
+	// 0 means the default of 128. Only meaningful with Tracing.
+	TraceRingSize int
+	// TraceSample keeps 1-in-N healthy traces in the ring (head
+	// sampling); slow, degraded, shed, quarantined and panicked traces
+	// are always kept (tail sampling). 0 means the default of 16; 1
+	// keeps everything. Only meaningful with Tracing.
+	TraceSample int64
+	// TraceExport, when non-nil, receives every completed trace as one
+	// OTLP-shaped JSON object per line. Only meaningful with Tracing.
+	TraceExport io.Writer
+	// WideEvents, when non-nil, receives one structured JSON record per
+	// completed /query request: trace ID, canonical query, cache source,
+	// shard fan-out, retry counts, every TaskMeter counter, and the
+	// outcome class.
+	WideEvents io.Writer
 }
 
 // QueryRequest is the POST /query body.
@@ -163,15 +187,22 @@ type errorResponse struct {
 // implement it.
 type QueryService interface {
 	Plan(query string) (*qgraph.Plan, error)
+	Canonical(query string) (string, error)
 	Query(ctx context.Context, query string) (*core.Result, core.Source, error)
 }
 
+// spanRequest is the HTTP request root span (vxlint obsnames: span
+// names are package-level consts).
+const spanRequest = "serve.request"
+
 // Server serves queries over one repository or one federation.
 type Server struct {
-	cfg   Config
-	svc   QueryService
-	coord *shard.Coordinator // non-nil iff serving a federation
-	mux   *http.ServeMux
+	cfg      Config
+	svc      QueryService
+	coord    *shard.Coordinator // non-nil iff serving a federation
+	exporter *obs.TraceExporter // non-nil iff cfg.TraceExport set
+	mux      *http.ServeMux
+	wideMu   sync.Mutex // serializes wide-event lines on cfg.WideEvents
 	// draining flips when graceful shutdown begins: /healthz answers 503
 	// from then on so load balancers stop routing while in-flight
 	// requests finish.
@@ -199,6 +230,17 @@ func New(cfg Config) *Server {
 	// The slow ring is process-global (evaluations capture into it from
 	// the engine, below the HTTP layer); the server owns its thresholds.
 	obs.SlowQueries.Configure(cfg.SlowQuery, cfg.SlowPages, cfg.SlowRingSize)
+	if cfg.Tracing {
+		if cfg.TraceRingSize == 0 {
+			cfg.TraceRingSize = 128
+		}
+		if cfg.TraceSample == 0 {
+			cfg.TraceSample = 16
+		}
+		// Tail sampling reuses the slow-query threshold: a trace worth a
+		// slow-ring entry is worth keeping whole.
+		obs.Traces.Configure(cfg.TraceRingSize, cfg.TraceSample, cfg.SlowQuery)
+	}
 	if cfg.ReadRetries != 0 || cfg.RetryBackoff != 0 {
 		rp := storage.DefaultRetryPolicy
 		switch {
@@ -219,6 +261,9 @@ func New(cfg Config) *Server {
 		}
 	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	if cfg.TraceExport != nil {
+		s.exporter = obs.NewTraceExporter(cfg.TraceExport, "")
+	}
 	if cfg.Federation != nil {
 		s.coord = shard.NewCoordinator(cfg.Federation, shard.Config{
 			Opts:             core.Options{Workers: cfg.Workers},
@@ -247,6 +292,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/debug/queries", s.handleQueries)
 	s.mux.HandleFunc("/debug/queries/", s.handleQueryCancel)
 	s.mux.HandleFunc("/debug/slow", s.handleSlow)
+	s.mux.HandleFunc("/debug/traces", s.handleTraces)
 	s.mux.HandleFunc("/debug/panics", s.handlePanics)
 	s.mux.HandleFunc("/debug/quarantine/clear", s.handleQuarantineClear)
 	s.mux.HandleFunc("/debug/shards", s.handleShards)
@@ -445,6 +491,12 @@ var promGaugeSuffixes = []string{".p50_us", ".p90_us", ".p99_us", ".max_us"}
 // gauge, everything else (plain counters, histogram counts and sums)
 // counter.
 func writePrometheus(w io.Writer, snap map[string]int64) {
+	// Build identity first: a constant-1 gauge whose labels carry the
+	// version and repository format, the standard Prometheus idiom for
+	// joining build metadata onto other series.
+	version, format := obs.BuildInfo()
+	fmt.Fprintf(w, "# TYPE vx_build_info gauge\nvx_build_info{version=%q,format=%q} 1\n",
+		version, strconv.FormatInt(format, 10))
 	keys := make([]string, 0, len(snap))
 	for k := range snap {
 		keys = append(keys, k)
@@ -452,7 +504,7 @@ func writePrometheus(w io.Writer, snap map[string]int64) {
 	sort.Strings(keys)
 	for _, k := range keys {
 		typ := "counter"
-		if obs.IsGauge(k) {
+		if obs.IsGauge(k) || strings.HasPrefix(k, "process.") {
 			typ = "gauge"
 		}
 		for _, suf := range promGaugeSuffixes {
@@ -510,23 +562,55 @@ func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(obs.SlowQueries.List())
 }
 
+// handleTraces serves the sampled trace ring, most recent first: one
+// record per retained request with its full span tree.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(obs.Traces.List())
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
 	obsRequests.Inc()
+	ctx := r.Context()
+	// Request tracing: honor an incoming W3C traceparent (joining the
+	// caller's trace, parenting our root on the caller's span); mint a
+	// fresh trace otherwise — a malformed header is never a 4xx, it just
+	// gets a fresh ID. The trace ID echoes in the response header before
+	// any status is written, so even shed/degraded responses carry it.
+	rt := reqTrace{s: s, start: time.Now()}
+	if s.cfg.Tracing {
+		if tid, psid, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			rt.tr = obs.NewTraceFrom(tid, psid)
+		} else {
+			rt.tr = obs.NewTrace()
+		}
+		ctx, rt.root = rt.tr.Start(ctx, spanRequest)
+		w.Header().Set("Traceparent", obs.FormatTraceparent(rt.tr.ID(), rt.root.ID()))
+	}
 	req, err := decodeQueryRequest(r)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		rt.finishError(w, http.StatusBadRequest, err, nil)
 		return
 	}
+	rt.ev.Query = compactQuery(req.Query)
 	// Parse and plan through the service's plan cache; malformed queries
 	// fail here with a 400 before any evaluation work.
 	plan, err := s.svc.Plan(req.Query)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		rt.finishError(w, http.StatusBadRequest, err, nil)
 		return
+	}
+	if canon, cerr := s.svc.Canonical(req.Query); cerr == nil {
+		rt.ev.Canonical = canon
+	}
+	if s.coord != nil {
+		rt.ev.ShardFanout = len(s.cfg.Federation.Shards)
 	}
 
 	if req.Check {
@@ -541,10 +625,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Result:          sc.String(),
 			StaticallyEmpty: sc.Empty,
 		})
+		rt.ev.Source = "static-check"
+		rt.ev.StaticallyEmpty = sc.Empty
+		rt.finish(http.StatusOK, "ok", nil)
 		return
 	}
 
-	ctx := r.Context()
 	timeout := s.cfg.Timeout
 	if req.TimeoutMS > 0 {
 		if reqTO := time.Duration(req.TimeoutMS) * time.Millisecond; timeout == 0 || reqTO < timeout {
@@ -601,12 +687,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				w.Header().Set("Retry-After", "60")
 			}
 		}
-		s.fail(w, status, err)
+		rt.finishError(w, status, err, meter)
 		return
 	}
 	xml, err := res.XML()
 	if err != nil {
-		s.fail(w, http.StatusInternalServerError, err)
+		rt.finishError(w, http.StatusInternalServerError, err, meter)
 		return
 	}
 	resp := QueryResponse{
@@ -630,6 +716,101 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
+	rt.ev.Source = src.String()
+	rt.ev.Cached = src.Cached()
+	rt.ev.StaticallyEmpty = res.StaticallyEmpty
+	rt.finish(http.StatusOK, "ok", meter)
+}
+
+// reqTrace bundles one request's observability lifecycle: the optional
+// span tree and the wide event accumulated as the handler progresses.
+type reqTrace struct {
+	s     *Server
+	tr    *obs.SpanTrace // nil when tracing is off
+	root  *obs.Span
+	start time.Time
+	ev    wideEvent
+}
+
+// wideEvent is one line of the wide-event query log: everything known
+// about one completed request in a single flat JSON record.
+type wideEvent struct {
+	Time            time.Time        `json:"time"`
+	TraceID         string           `json:"trace_id,omitempty"`
+	Query           string           `json:"query,omitempty"`
+	Canonical       string           `json:"canonical,omitempty"`
+	Outcome         string           `json:"outcome"`
+	Status          int              `json:"status"`
+	Source          string           `json:"source,omitempty"`
+	Cached          bool             `json:"cached,omitempty"`
+	StaticallyEmpty bool             `json:"statically_empty,omitempty"`
+	ElapsedUS       int64            `json:"elapsed_us"`
+	ShardFanout     int              `json:"shard_fanout,omitempty"`
+	DegradedShard   *int             `json:"degraded_shard,omitempty"`
+	Error           string           `json:"error,omitempty"`
+	Counters        obs.TaskCounters `json:"counters"`
+}
+
+// finishError maps err to the wide-event outcome taxonomy, writes the
+// HTTP error response, and completes the request's observability.
+func (rt *reqTrace) finishError(w http.ResponseWriter, status int, err error, meter *obs.TaskMeter) {
+	outcome := shard.OutcomeClass(err)
+	if status == http.StatusBadRequest {
+		outcome = "bad_request"
+	}
+	var de *shard.DegradedError
+	if errors.As(err, &de) {
+		rt.ev.DegradedShard = &de.Shard
+	}
+	rt.ev.Error = err.Error()
+	rt.s.fail(w, status, err)
+	rt.finish(status, outcome, meter)
+}
+
+// finish stamps the root span, offers the trace to the ring and the
+// exporter, and emits the wide-event line. Safe with tracing off (only
+// the wide event fires) and with wide events off (only the trace).
+func (rt *reqTrace) finish(status int, outcome string, meter *obs.TaskMeter) {
+	elapsed := time.Since(rt.start)
+	if rt.root != nil {
+		attrs := []obs.Attr{
+			obs.Str("outcome", outcome),
+			obs.Int("status", int64(status)),
+		}
+		if rt.ev.Source != "" {
+			attrs = append(attrs, obs.Str("source", rt.ev.Source))
+		}
+		rt.root.SetAttr(attrs...)
+		rt.root.End()
+		obs.Traces.OfferTrace(rt.tr, rt.ev.Query, outcome)
+		if rt.s.exporter != nil {
+			if err := rt.s.exporter.Export(rt.tr); err != nil {
+				rt.s.cfg.Log.Printf("serve: trace export failed: %v", err)
+			}
+		}
+	}
+	if rt.s.cfg.WideEvents == nil {
+		return
+	}
+	rt.ev.Time = rt.start
+	if rt.tr != nil {
+		rt.ev.TraceID = rt.tr.ID().String()
+	}
+	rt.ev.Outcome = outcome
+	rt.ev.Status = status
+	rt.ev.ElapsedUS = elapsed.Microseconds()
+	rt.ev.Counters = meter.Counters()
+	line, err := json.Marshal(rt.ev)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	rt.s.wideMu.Lock()
+	_, werr := rt.s.cfg.WideEvents.Write(line)
+	rt.s.wideMu.Unlock()
+	if werr != nil {
+		rt.s.cfg.Log.Printf("serve: wide-event write failed: %v", werr)
+	}
 }
 
 // decodeQueryRequest accepts either a JSON QueryRequest body or a raw XQ

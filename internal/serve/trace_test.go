@@ -1,0 +1,365 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vxml/internal/obs"
+	"vxml/internal/shard"
+	"vxml/internal/storage"
+	"vxml/internal/vectorize"
+)
+
+// syncSink is a goroutine-safe wide-event buffer: the handler writes
+// lines after the response has flushed, so tests poll Lines().
+type syncSink struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncSink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncSink) Lines() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return strings.Split(strings.TrimSpace(s.b.String()), "\n")
+}
+
+// postTraced posts a query with an optional traceparent header.
+func postTraced(t *testing.T, base, query, traceparent string) (*http.Response, QueryResponse) {
+	t.Helper()
+	body, _ := json.Marshal(QueryRequest{Query: query})
+	req, err := http.NewRequest(http.MethodPost, base+"/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /query: %v", err)
+	}
+	defer resp.Body.Close()
+	var qr QueryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp, qr
+}
+
+// waitTrace polls the trace ring for a record with the given trace ID.
+func waitTrace(t *testing.T, traceID string) obs.TraceRecord {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, rec := range obs.Traces.List() {
+			if rec.TraceID == traceID {
+				return rec
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no trace %s in ring", traceID)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitWideEvent polls the wide-event sink for a line with the trace ID.
+func waitWideEvent(t *testing.T, sink *syncSink, traceID string) wideEvent {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, line := range sink.Lines() {
+			var ev wideEvent
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				continue
+			}
+			if ev.TraceID == traceID {
+				return ev
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no wide event for trace %s", traceID)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+const parentTraceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+
+// TestTraceparentMalformed: a bad (or absent) traceparent header never
+// fails the request — the server mints a fresh trace and echoes a
+// well-formed traceparent naming it.
+func TestTraceparentMalformed(t *testing.T) {
+	base, cancel, done := startServer(t, Config{Tracing: true, TraceSample: 1})
+	defer func() { cancel(); <-done }()
+
+	for _, hdr := range []string{
+		"",
+		"garbage",
+		"00-xyz-00f067aa0ba902b7-01",
+		"00-" + parentTraceID + "-00f067aa0ba902b7",                     // missing flags
+		"ff-" + parentTraceID + "-00f067aa0ba902b7-01",                  // forbidden version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",       // zero trace ID
+		"00-" + strings.ToUpper(parentTraceID) + "-00f067aa0ba902b7-01", // uppercase hex
+	} {
+		resp, qr := postTraced(t, base, `for $b in /bib/book return $b/title`, hdr)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("header %q: status = %d, want 200", hdr, resp.StatusCode)
+		}
+		if qr.Result == "" {
+			t.Errorf("header %q: empty result", hdr)
+		}
+		echo := resp.Header.Get("Traceparent")
+		tid, _, ok := obs.ParseTraceparent(echo)
+		if !ok {
+			t.Fatalf("header %q: response traceparent %q is malformed", hdr, echo)
+		}
+		if tid.String() == parentTraceID {
+			t.Errorf("header %q: malformed parent joined instead of minting fresh", hdr)
+		}
+	}
+}
+
+// TestTraceparentRoundTrip: a valid incoming traceparent is honored —
+// the same trace ID appears in the response header, the /debug/traces
+// ring, and the wide-event log line, and the server's root span parents
+// on the caller's span ID.
+func TestTraceparentRoundTrip(t *testing.T) {
+	sink := &syncSink{}
+	base, cancel, done := startServer(t, Config{Tracing: true, TraceSample: 1, WideEvents: sink})
+	defer func() { cancel(); <-done }()
+
+	const parentSpan = "00f067aa0ba902b7"
+	resp, _ := postTraced(t, base, `for $b in /bib/book return $b/title`,
+		"00-"+parentTraceID+"-"+parentSpan+"-01")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	tid, sid, ok := obs.ParseTraceparent(resp.Header.Get("Traceparent"))
+	if !ok || tid.String() != parentTraceID {
+		t.Fatalf("response traceparent %q does not carry the caller's trace ID", resp.Header.Get("Traceparent"))
+	}
+	if sid.String() == parentSpan {
+		t.Error("response span ID is the caller's, not the server root's")
+	}
+
+	rec := waitTrace(t, parentTraceID)
+	if rec.Root == nil || rec.Root.Name != "serve.request" {
+		t.Fatalf("trace root = %+v, want serve.request", rec.Root)
+	}
+	if rec.Root.ParentID != parentSpan {
+		t.Errorf("server root parents on %q, want caller span %q", rec.Root.ParentID, parentSpan)
+	}
+
+	ev := waitWideEvent(t, sink, parentTraceID)
+	if ev.Outcome != "ok" || ev.Status != http.StatusOK {
+		t.Errorf("wide event outcome=%q status=%d, want ok/200", ev.Outcome, ev.Status)
+	}
+	if ev.Query == "" || ev.Canonical == "" {
+		t.Errorf("wide event missing query text: %+v", ev)
+	}
+	httpGetOK(t, base+"/debug/traces")
+}
+
+// httpGetOK asserts the URL serves a 200 with a non-empty body.
+func httpGetOK(t *testing.T, url string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil || resp.StatusCode != http.StatusOK || buf.Len() == 0 {
+		t.Fatalf("GET %s: status=%d len=%d err=%v", url, resp.StatusCode, buf.Len(), err)
+	}
+}
+
+// traceBib builds n-book documents so shard queries fault real vector
+// pages at evaluation time.
+func traceBib(lo, hi int) string {
+	var b strings.Builder
+	b.WriteString("<bib>")
+	for i := lo; i < hi; i++ {
+		fmt.Fprintf(&b, "<book><publisher>P%d</publisher><title>Book %d with padding to spread titles over vector pages</title></book>", i%5, i)
+	}
+	b.WriteString("</bib>")
+	return b.String()
+}
+
+// TestFederationTraceUnderShardFault is the tentpole acceptance test:
+// one federated query, with an injected transient read fault on shard
+// 0, produces a single trace tree that covers the request root, the
+// coordinator, the per-shard scatter (including the storage retry event
+// on shard 0) and the merge — all under the trace ID the caller sent,
+// which also labels the response header, the /debug/traces record, and
+// the wide-event log line with its retry counters.
+func TestFederationTraceUnderShardFault(t *testing.T) {
+	mem := storage.NewMemFS()
+	var docs []string
+	for d := 0; d < 4; d++ {
+		docs = append(docs, traceBib(d*30, (d+1)*30))
+	}
+	opts := vectorize.Options{PoolPages: 4, FS: mem}
+	cat, err := shard.Build(docs, "fed", shard.BuildConfig{Shards: 2, Policy: shard.PolicyRange, Opts: opts})
+	if err != nil {
+		t.Fatalf("build federation: %v", err)
+	}
+	ffs := storage.NewFaultFS(mem)
+	repos := make([]*vectorize.Repository, 2)
+	for k, si := range cat.Shards {
+		fsys := storage.FS(mem)
+		if k == 0 {
+			fsys = ffs
+		}
+		repo, err := vectorize.Open("fed/"+si.Dir, vectorize.Options{PoolPages: 4, FS: fsys})
+		if err != nil {
+			t.Fatalf("open shard %d: %v", k, err)
+		}
+		t.Cleanup(func() { repo.Close() })
+		repos[k] = repo
+	}
+	fed := &shard.Federation{Dir: "fed", Catalog: cat, Shards: repos}
+
+	sink := &syncSink{}
+	cfg := Config{
+		Federation:      fed,
+		Tracing:         true,
+		TraceSample:     1,
+		WideEvents:      sink,
+		PlanCacheSize:   16,
+		ResultCacheSize: 16,
+		ReadRetries:     4,
+		RetryBackoff:    50 * time.Microsecond,
+		Workers:         1,
+	}
+	base, cancel, done := startServer(t, cfg)
+	defer func() { cancel(); <-done }()
+
+	ffs.FailNthRead(1) // the next page read on shard 0 fails once, then recovers
+	resp, qr := postTraced(t, base, `for $b in /bib/book where $b/publisher = 'P3' return $b/title`,
+		"00-"+parentTraceID+"-00f067aa0ba902b7-01")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(qr.Result, "Book 3 ") {
+		t.Fatalf("result missing expected titles: %s", qr.Result)
+	}
+	if tid, _, ok := obs.ParseTraceparent(resp.Header.Get("Traceparent")); !ok || tid.String() != parentTraceID {
+		t.Fatalf("response traceparent %q lost the caller's trace ID", resp.Header.Get("Traceparent"))
+	}
+
+	rec := waitTrace(t, parentTraceID)
+	if rec.Root == nil || rec.Root.Name != "serve.request" {
+		t.Fatalf("root = %+v, want serve.request", rec.Root)
+	}
+	coord := childNamed(rec.Root, "shard.query")
+	if coord == nil {
+		t.Fatalf("no shard.query under the request root:\n%s", rec.Root.Redacted())
+	}
+	for _, want := range []string{"shard.plan", "shard.cache_lookup", "shard.scatter", "shard.merge"} {
+		if childNamed(coord, want) == nil {
+			t.Errorf("coordinator span missing child %s:\n%s", want, rec.Root.Redacted())
+		}
+	}
+	scatter := childNamed(coord, "shard.scatter")
+	if scatter == nil {
+		t.Fatal("no scatter span")
+	}
+	perShard := map[int64]*obs.SpanNode{}
+	for _, c := range scatter.Children {
+		if c.Name != "shard.shard_query" {
+			continue
+		}
+		for _, a := range c.Attrs {
+			if a.Key == "shard" {
+				if n, ok := a.Value.(int64); ok {
+					perShard[n] = c
+				}
+			}
+		}
+	}
+	if len(perShard) != 2 || perShard[0] == nil || perShard[1] == nil {
+		t.Fatalf("scatter fan-out spans = %v, want shards 0 and 1:\n%s", perShard, rec.Root.Redacted())
+	}
+	if n := countEvents(perShard[0], "storage.read_retry"); n == 0 {
+		t.Errorf("shard 0 subtree has no storage.read_retry event:\n%s", perShard[0].Redacted())
+	}
+	if n := countEvents(perShard[1], "storage.read_retry"); n != 0 {
+		t.Errorf("healthy shard 1 subtree has %d retry events", n)
+	}
+	checkContainment(t, rec.Root)
+
+	ev := waitWideEvent(t, sink, parentTraceID)
+	if ev.Outcome != "ok" || ev.Status != http.StatusOK {
+		t.Errorf("wide event outcome=%q status=%d", ev.Outcome, ev.Status)
+	}
+	if ev.ShardFanout != 2 {
+		t.Errorf("wide event shard_fanout = %d, want 2", ev.ShardFanout)
+	}
+	if ev.Counters.ReadRetries == 0 {
+		t.Errorf("wide event read_retries = 0, want >= 1: %+v", ev.Counters)
+	}
+}
+
+// childNamed returns the first direct child with the given span name.
+func childNamed(n *obs.SpanNode, name string) *obs.SpanNode {
+	if n == nil {
+		return nil
+	}
+	for _, c := range n.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// countEvents counts events with the given name anywhere in the subtree.
+func countEvents(n *obs.SpanNode, name string) int {
+	if n == nil {
+		return 0
+	}
+	total := 0
+	for _, ev := range n.Events {
+		if ev.Name == name {
+			total++
+		}
+	}
+	for _, c := range n.Children {
+		total += countEvents(c, name)
+	}
+	return total
+}
+
+// checkContainment asserts every span's window nests inside its
+// parent's, with a small slop for microsecond rounding.
+func checkContainment(t *testing.T, n *obs.SpanNode) {
+	t.Helper()
+	const slopUS = 5
+	for _, c := range n.Children {
+		if c.StartUS+slopUS < n.StartUS {
+			t.Errorf("span %s starts %dµs before parent %s", c.Name, n.StartUS-c.StartUS, n.Name)
+		}
+		if c.StartUS+c.DurUS > n.StartUS+n.DurUS+slopUS {
+			t.Errorf("span %s (ends %dµs) outlasts parent %s (ends %dµs)",
+				c.Name, c.StartUS+c.DurUS, n.Name, n.StartUS+n.DurUS)
+		}
+		checkContainment(t, c)
+	}
+}

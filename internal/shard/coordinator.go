@@ -29,6 +29,32 @@ var (
 	obsResultMisses  = obs.GetCounter("shard.result_cache_misses")
 )
 
+// Span names for the federation layer, one package-level const per name
+// (enforced by the vxlint obsnames analyzer).
+const (
+	spanQuery      = "shard.query"
+	spanPlan       = "shard.plan"
+	spanCacheProbe = "shard.cache_lookup"
+	spanScatter    = "shard.scatter"
+	spanShardQuery = "shard.shard_query"
+	spanMerge      = "shard.merge"
+	spanUnion      = "shard.union"
+)
+
+// evShardRetry is the span event recorded when the coordinator re-asks
+// a shard after a transient failure.
+const evShardRetry = "shard.retry"
+
+// OutcomeClass is core.OutcomeClass extended with the federation's
+// "degraded" class for partial-shard failures.
+func OutcomeClass(err error) string {
+	var de *DegradedError
+	if errors.As(err, &de) {
+		return "degraded"
+	}
+	return core.OutcomeClass(err)
+}
+
 // DegradedError is a partial-shard failure: the federation could not
 // assemble a full answer because one shard failed. It wraps the shard's
 // typed error (quarantine fence, storage fault, overload), so callers
@@ -139,6 +165,15 @@ func (c *Coordinator) Plan(query string) (*qgraph.Plan, error) {
 	return cp.plan, nil
 }
 
+// Canonical returns the query's canonical text through the plan cache.
+func (c *Coordinator) Canonical(query string) (string, error) {
+	cp, err := c.planFor(query)
+	if err != nil {
+		return "", err
+	}
+	return cp.canon, nil
+}
+
 // Shardable reports whether the query scatters (true) or falls back to
 // the union view, with the classifier's reason when it does not.
 func (c *Coordinator) Shardable(query string) (bool, string, error) {
@@ -194,20 +229,41 @@ func (c *Coordinator) Query(ctx context.Context, query string) (*core.Result, co
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Root-or-child like core.Service: under the HTTP surface shard.query
+	// nests in the request span; called directly with tracing on, the
+	// coordinator roots the trace and owns its ring offer.
+	ctx, sp, owned := obs.StartRequestSpan(ctx, spanQuery)
+	res, src, err := c.queryTraced(ctx, query)
+	if sp != nil {
+		outcome := OutcomeClass(err)
+		sp.SetAttr(obs.Str("source", src.String()), obs.Str("outcome", outcome))
+		obs.FinishRequestSpan(sp, owned, strings.Join(strings.Fields(query), " "), outcome)
+	}
+	return res, src, err
+}
+
+func (c *Coordinator) queryTraced(ctx context.Context, query string) (*core.Result, core.Source, error) {
 	obsQueries.Inc()
+	_, psp := obs.StartSpan(ctx, spanPlan)
 	cp, err := c.planFor(query)
+	psp.End()
 	if err != nil {
 		return nil, core.SourceEval, err
 	}
 	key := coordResultKey{canon: cp.canon, epoch: c.fed.Epoch()}
+	_, csp := obs.StartSpan(ctx, spanCacheProbe)
 	if c.results != nil {
 		if r, ok := c.results.get(key); ok {
 			obsResultHits.Inc()
 			obs.MeterFrom(ctx).CacheHit()
+			csp.SetAttr(obs.Bool("hit", true))
+			csp.End()
 			return r, core.SourceResultCache, nil
 		}
 		obsResultMisses.Inc()
 	}
+	csp.SetAttr(obs.Bool("hit", false))
+	csp.End()
 	var (
 		res *core.Result
 		src core.Source
@@ -236,7 +292,9 @@ func (c *Coordinator) Query(ctx context.Context, query string) (*core.Result, co
 // cancels the remaining shards and surfaces as a DegradedError.
 func (c *Coordinator) scatter(ctx context.Context, query string) (*core.Result, core.Source, error) {
 	obsScattered.Inc()
-	sctx, cancel := context.WithCancel(ctx)
+	start := time.Now()
+	fanCtx, fsp := obs.StartSpan(ctx, spanScatter)
+	sctx, cancel := context.WithCancel(fanCtx)
 	defer cancel()
 	n := len(c.shards)
 	fan := c.cfg.FanOut
@@ -248,12 +306,13 @@ func (c *Coordinator) scatter(ctx context.Context, query string) (*core.Result, 
 		qtext = strings.Join(strings.Fields(query), " ")
 	}
 	var (
-		wg      sync.WaitGroup
-		sem     = make(chan struct{}, fan)
-		results = make([]*core.Result, n)
-		sources = make([]core.Source, n)
-		errs    = make([]error, n)
-		meters  = make([]*obs.TaskMeter, n)
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, fan)
+		results  = make([]*core.Result, n)
+		sources  = make([]core.Source, n)
+		errs     = make([]error, n)
+		meters   = make([]*obs.TaskMeter, n)
+		attempts = make([]int64, n) // coordinator-level retries per shard
 	)
 	for k := range c.shards {
 		wg.Add(1)
@@ -267,7 +326,10 @@ func (c *Coordinator) scatter(ctx context.Context, query string) (*core.Result, 
 			}
 			m := &obs.TaskMeter{}
 			meters[k] = m
-			qctx := obs.WithMeter(obs.WithQueryText(sctx, fmt.Sprintf("[shard %d] %s", k, qtext)), m)
+			sqctx, ssp := obs.StartSpan(sctx, spanShardQuery)
+			ssp.SetAttr(obs.Int("shard", int64(k)))
+			defer ssp.End()
+			qctx := obs.WithMeter(obs.WithQueryText(sqctx, fmt.Sprintf("[shard %d] %s", k, qtext)), m)
 			for attempt := 0; ; attempt++ {
 				res, src, err := c.shards[k].Query(qctx, query)
 				if err == nil {
@@ -280,10 +342,14 @@ func (c *Coordinator) scatter(ctx context.Context, query string) (*core.Result, 
 					return
 				}
 				obsShardRetries.Inc()
+				m.ShardRetry()
+				attempts[k]++
+				ssp.Event(evShardRetry, obs.Int("shard", int64(k)), obs.Int("attempt", int64(attempt+1)), obs.Str("error", err.Error()))
 			}
 		}(k)
 	}
 	wg.Wait()
+	fsp.End()
 	obsShardQueries.Add(int64(n))
 	parent := obs.MeterFrom(ctx)
 	for _, m := range meters {
@@ -292,13 +358,17 @@ func (c *Coordinator) scatter(ctx context.Context, query string) (*core.Result, 
 		}
 	}
 	if err := pickShardError(ctx, errs); err != nil {
+		c.captureSlow(ctx, qtext, start, meters, errs, attempts, err)
 		return nil, core.SourceEval, err
 	}
+	_, msp := obs.StartSpan(ctx, spanMerge)
 	merged, err := MergeResults(results)
+	msp.End()
 	if err != nil {
 		return nil, core.SourceEval, err
 	}
 	obsMerges.Inc()
+	c.captureSlow(ctx, qtext, start, meters, errs, attempts, nil)
 	// The answer is "cached" only if every shard's was; the merge itself
 	// is recomputed, but no shard did storage work.
 	src := core.SourceResultCache
@@ -309,6 +379,48 @@ func (c *Coordinator) scatter(ctx context.Context, query string) (*core.Result, 
 		}
 	}
 	return merged, src, nil
+}
+
+// captureSlow records a coordinator-level slow-ring entry with per-shard
+// attribution: which shard did which work, which shard failed, and how
+// many coordinator-level retries each one cost. Degraded queries are
+// always captured (they are exactly what an operator inspects the ring
+// for); healthy queries are captured under the ring's usual wall/pages
+// thresholds.
+func (c *Coordinator) captureSlow(ctx context.Context, qtext string, start time.Time, meters []*obs.TaskMeter, errs []error, attempts []int64, err error) {
+	wall := time.Since(start)
+	var total obs.TaskCounters
+	agg := &obs.TaskMeter{}
+	for _, m := range meters {
+		if m != nil {
+			agg.Add(m.Counters())
+		}
+	}
+	total = agg.Counters()
+	var de *DegradedError
+	degraded := errors.As(err, &de)
+	if !degraded && !obs.SlowQueries.ShouldCapture(wall, total.PagesFaulted) {
+		return
+	}
+	rec := obs.SlowQueryRecord{
+		Query:    qtext,
+		Start:    start,
+		WallUS:   wall.Microseconds(),
+		Counters: total,
+		TraceID:  obs.SpanFrom(ctx).TraceID(),
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	for k := range meters {
+		ss := obs.SlowShard{Shard: k, Counters: meters[k].Counters(), Retries: attempts[k]}
+		if errs[k] != nil {
+			ss.Error = errs[k].Error()
+		}
+		rec.ShardRetries += attempts[k]
+		rec.Shards = append(rec.Shards, ss)
+	}
+	obs.SlowQueries.Record(rec)
 }
 
 // pickShardError reduces per-shard outcomes to the request's error: nil
@@ -351,20 +463,32 @@ func pickShardError(ctx context.Context, errs []error) error {
 // degraded response instead of re-reading known-bad pages.
 func (c *Coordinator) unionQuery(ctx context.Context, query string) (*core.Result, core.Source, error) {
 	obsUnionFallback.Inc()
+	uctx, usp := obs.StartSpan(ctx, spanUnion)
+	defer usp.End()
 	for k, repo := range c.fed.Shards {
 		if q := repo.Health.List(); len(q) > 0 {
 			obsDegraded.Inc()
-			return nil, core.SourceEval, &DegradedError{
+			derr := &DegradedError{
 				Shard: k,
 				Err:   &core.QuarantinedError{Vector: q[0].Vector, Reason: q[0].Reason},
 			}
+			// Fence refusals get the same shard attribution in the slow
+			// ring as a scatter-path degradation.
+			obs.SlowQueries.Record(obs.SlowQueryRecord{
+				Query:   strings.Join(strings.Fields(query), " "),
+				Start:   time.Now(),
+				Error:   derr.Error(),
+				TraceID: obs.SpanFrom(ctx).TraceID(),
+				Shards:  []obs.SlowShard{{Shard: k, Error: derr.Err.Error()}},
+			})
+			return nil, core.SourceEval, derr
 		}
 	}
 	svc, err := c.unionService()
 	if err != nil {
 		return nil, core.SourceEval, err
 	}
-	return svc.Query(ctx, query)
+	return svc.Query(uctx, query)
 }
 
 // unionService returns the union-view serving layer, rebuilding it when

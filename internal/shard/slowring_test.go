@@ -1,0 +1,52 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"vxml/internal/obs"
+)
+
+// TestSlowRingShardAttribution pins the federated slow-ring schema: a
+// degraded scatter is always captured, and the record carries per-shard
+// rows that name the failing shard with its error and retry count —
+// not just the coordinator-level totals.
+func TestSlowRingShardAttribution(t *testing.T) {
+	docs := []string{"<lib><b><t>x</t></b></lib>", "<lib><b><t>y</t></b></lib>"}
+	f, c := buildFed(t, docs, 2, PolicyRange)
+
+	// Thresholds no healthy query can cross: only the degraded-capture
+	// path may record.
+	obs.SlowQueries.Configure(time.Hour, 1<<40, 8)
+	defer obs.SlowQueries.Configure(0, 0, 64)
+
+	name := f.Shards[0].Vectors.Names()[0]
+	f.Shards[0].Health.Quarantine(name, "test fence")
+	defer f.Shards[0].Health.Clear(name)
+
+	_, _, err := c.Query(context.Background(), `for $b in /lib/b return $b/t`)
+	var de *DegradedError
+	if !errors.As(err, &de) || de.Shard != 0 {
+		t.Fatalf("want DegradedError on shard 0, got %v", err)
+	}
+
+	recs := obs.SlowQueries.List()
+	if len(recs) == 0 {
+		t.Fatal("degraded scatter did not capture a slow-ring record")
+	}
+	rec := recs[0]
+	if len(rec.Shards) != 2 {
+		t.Fatalf("record has %d shard rows, want 2: %+v", len(rec.Shards), rec)
+	}
+	if rec.Shards[0].Shard != 0 || rec.Shards[0].Error == "" {
+		t.Errorf("shard 0 row should name the fence error: %+v", rec.Shards[0])
+	}
+	if rec.Shards[1].Error != "" {
+		t.Errorf("healthy shard 1 row carries an error: %+v", rec.Shards[1])
+	}
+	if rec.Error == "" {
+		t.Error("record-level error is empty for a degraded query")
+	}
+}

@@ -123,6 +123,14 @@ func (p *BufferPool) GetMeteredCtx(ctx context.Context, f *File, pageNo int64, m
 		}
 		m.ReadRetry()
 		obsReadRetries.Inc()
+		// Retry visibility on the request's trace: each backoff-retried
+		// page read becomes an event on the enclosing span (nil-safe, so
+		// untraced requests pay one pointer test on this cold path).
+		obs.SpanFrom(ctx).Event(evReadRetry,
+			obs.Str("file", f.path),
+			obs.Int("page", pageNo),
+			obs.Int("attempt", int64(attempt+1)),
+			obs.Str("error", err.Error()))
 		if serr := sleepBackoff(ctx, rp.backoffFor(attempt)); serr != nil {
 			// Cancelled mid-backoff: the caller's context error wins, with
 			// the fault that sent us to sleep attached for the log line.
@@ -131,6 +139,10 @@ func (p *BufferPool) GetMeteredCtx(ctx context.Context, f *File, pageNo int64, m
 		attempt++
 	}
 }
+
+// evReadRetry is the span event recorded for each transient-read retry
+// performed on a query's behalf.
+const evReadRetry = "storage.read_retry"
 
 // getOnce is one pin-or-fill attempt. A failed fill discards the frame
 // while still under the pool lock, so between attempts the pool holds no

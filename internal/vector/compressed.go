@@ -230,7 +230,13 @@ func (p *CompressedPaged) context() context.Context {
 
 // OpenCompressed opens a finalized compressed vector file.
 func OpenCompressed(pool *storage.BufferPool, file *storage.File) (*CompressedPaged, error) {
-	fr, err := pool.Get(file, 0)
+	return OpenCompressedCtx(context.Background(), pool, file, nil)
+}
+
+// OpenCompressedCtx is OpenCompressed with request attribution, mirroring
+// OpenPagedCtx: the meta-page read charges m and retries trace on ctx.
+func OpenCompressedCtx(ctx context.Context, pool *storage.BufferPool, file *storage.File, m *obs.TaskMeter) (*CompressedPaged, error) {
+	fr, err := pool.GetMeteredCtx(ctx, file, 0, m)
 	if err != nil {
 		return nil, err
 	}

@@ -167,6 +167,14 @@ func (s *DiskSet) Names() []string {
 // reader (Paged and CompressedPaged are scan-state-free, so sharing is
 // safe).
 func (s *DiskSet) Vector(name string) (Vector, error) {
+	return s.VectorCtx(context.Background(), nil, name)
+}
+
+// VectorCtx implements CtxSet: a cold open's meta-page read is charged to
+// m and retries trace on ctx's span, so the first query to touch a vector
+// owns the I/O its open cost. A warm open (cached reader) does no I/O and
+// ignores both.
+func (s *DiskSet) VectorCtx(ctx context.Context, m *obs.TaskMeter, name string) (Vector, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if v, ok := s.open[name]; ok {
@@ -182,9 +190,9 @@ func (s *DiskSet) Vector(name string) (Vector, error) {
 	}
 	var v Vector
 	if e.Compressed {
-		v, err = OpenCompressed(s.store.Pool(), f)
+		v, err = OpenCompressedCtx(ctx, s.store.Pool(), f, m)
 	} else {
-		v, err = OpenPaged(s.store.Pool(), f)
+		v, err = OpenPagedCtx(ctx, s.store.Pool(), f, m)
 	}
 	if err != nil {
 		return nil, err

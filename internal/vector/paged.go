@@ -175,7 +175,15 @@ func (p *Paged) context() context.Context {
 
 // OpenPaged opens a finalized vector file.
 func OpenPaged(pool *storage.BufferPool, file *storage.File) (*Paged, error) {
-	fr, err := pool.Get(file, 0)
+	return OpenPagedCtx(context.Background(), pool, file, nil)
+}
+
+// OpenPagedCtx is OpenPaged with request attribution: the meta-page read
+// is charged to m and its transient-read retries become events on ctx's
+// span, so a fault on the very first page a query touches shows up on
+// that query's trace instead of vanishing into process-wide counters.
+func OpenPagedCtx(ctx context.Context, pool *storage.BufferPool, file *storage.File, m *obs.TaskMeter) (*Paged, error) {
+	fr, err := pool.GetMeteredCtx(ctx, file, 0, m)
 	if err != nil {
 		return nil, err
 	}

@@ -98,6 +98,25 @@ type Set interface {
 	Vector(name string) (Vector, error)
 }
 
+// CtxSet is an optional Set extension for request-attributed opens: the
+// open itself does I/O (the meta page of a cold vector file), and VectorCtx
+// charges that read to m and puts its transient-read retries on ctx's span.
+// Sets that wrap other sets forward the attribution to their base.
+type CtxSet interface {
+	VectorCtx(ctx context.Context, m *obs.TaskMeter, name string) (Vector, error)
+}
+
+// OpenFrom resolves a set through CtxSet when the set supports it, so
+// callers holding a request context and meter (the engine's vectorFor,
+// wrapping sets forwarding to their base) get attributed opens from any
+// Set without type-switching themselves.
+func OpenFrom(ctx context.Context, m *obs.TaskMeter, s Set, name string) (Vector, error) {
+	if cs, ok := s.(CtxSet); ok {
+		return cs.VectorCtx(ctx, m, name)
+	}
+	return s.Vector(name)
+}
+
 // MemSet is an in-memory Set. The zero value is empty and ready to use
 // after NewMemSet.
 type MemSet struct {

@@ -33,6 +33,10 @@ const ManifestName = "MANIFEST"
 // (no manifest) are not readable and must be rebuilt from source XML.
 const manifestFormat = 2
 
+// FormatVersion reports the repository format version this build reads
+// and writes, for build-info surfaces such as vx_build_info on /metrics.
+func FormatVersion() int { return manifestFormat }
+
 // Manifest describes a committed repository.
 type Manifest struct {
 	Format int                     `json:"format"`
